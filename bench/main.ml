@@ -1,0 +1,83 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation (run with an experiment name to run just one), then times the
+   key pipeline stages with Bechamel.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe table5     # one experiment
+     dune exec bench/main.exe -- --list  # list experiments *)
+
+open Bechamel
+
+let timing_tests () =
+  let pipeline src () = ignore (Autocorres.Driver.run src) in
+  let parse src () = ignore (Ac_simpl.C2simpl.parse src) in
+  let echronos = Ac_codegen.generate Ac_codegen.echronos_like in
+  let footnote2_nat () =
+    let module T = Ac_prover.Term in
+    let l = T.Var ("l", T.Sint) and r = T.Var ("r", T.Sint) in
+    let m = T.App (T.Div, [ T.add_t l r; T.int_of 2 ]) in
+    ignore
+      (Ac_prover.Solver.prove
+         ~hyps:[ T.le_t T.zero l; T.le_t T.zero r; T.lt_t l r ]
+         (T.and_t (T.le_t l m) (T.lt_t m r)))
+  in
+  let reverse_proof () = ignore (Ac_cases.Reverse_proof.run ~check_lemmas:false ()) in
+  Test.make_grouped ~name:"autocorres"
+    [
+      Test.make ~name:"table5: parse echronos-like" (Staged.stage (parse echronos));
+      Test.make ~name:"table5: pipeline echronos-like" (Staged.stage (pipeline echronos));
+      Test.make ~name:"fig2: pipeline max" (Staged.stage (pipeline Ac_cases.Csources.max_c));
+      Test.make ~name:"fig6: pipeline reverse"
+        (Staged.stage (pipeline Ac_cases.Csources.reverse_c));
+      Test.make ~name:"fig8: pipeline schorr_waite"
+        (Staged.stage (pipeline Ac_cases.Csources.schorr_waite_c));
+      Test.make ~name:"footnote2: auto on the nat midpoint VC"
+        (Staged.stage footnote2_nat);
+      Test.make ~name:"fig6: reversal proof end-to-end" (Staged.stage reverse_proof);
+    ]
+
+let run_timings () =
+  Experiments.header "Bechamel timings (OLS estimate)";
+  let cfg = Benchmark.cfg ~limit:60 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] (timing_tests ()) in
+  let results =
+    Analyze.all
+      (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some [ t ] -> Printf.sprintf "%.3f ms" (t /. 1e6)
+        | _ -> "n/a"
+      in
+      rows := [ name; est ] :: !rows)
+    results;
+  print_string
+    (Ac_stats.render_table ~header:[ "Benchmark"; "Time/run" ]
+       (List.sort compare !rows))
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [ "--list" ] ->
+    List.iter (fun (n, _) -> print_endline n) Experiments.all;
+    print_endline "timings"
+  | [] ->
+    List.iter (fun (_, f) -> f ()) Experiments.all;
+    run_timings ();
+    print_endline "\nAll experiments completed."
+  | names ->
+    List.iter
+      (fun name ->
+        if name = "timings" then run_timings ()
+        else begin
+          match List.assoc_opt name Experiments.all with
+          | Some f -> f ()
+          | None ->
+            Printf.eprintf "unknown experiment %s (try --list)\n" name;
+            exit 1
+        end)
+      names

@@ -1,0 +1,144 @@
+(* acc — the AutoCorres command line.
+
+     acc translate file.c            abstract a C file, print the output
+     acc check file.c                re-check derivations + differential test
+     acc stats file.c                Table 5-style pipeline statistics
+
+   Options select the paper's per-function abstraction switches. *)
+
+open Cmdliner
+module Driver = Autocorres.Driver
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let options_of ~no_heap ~no_word ~keep_low =
+  {
+    Driver.defaults = { Driver.word_abs = not no_word; heap_abs = not no_heap };
+    overrides =
+      List.map (fun f -> (f, { Driver.word_abs = false; heap_abs = false })) keep_low;
+    strategy = Autocorres.Wa.default_strategy;
+    polish = true;
+  }
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"C source file")
+
+let no_heap =
+  Arg.(value & flag & info [ "no-heap-abs" ] ~doc:"Disable heap abstraction (Sec 4)")
+
+let no_word =
+  Arg.(value & flag & info [ "no-word-abs" ] ~doc:"Disable word abstraction (Sec 3)")
+
+let keep_low =
+  Arg.(
+    value & opt_all string []
+    & info [ "keep-low-level" ] ~docv:"FUNC"
+        ~doc:"Keep $(docv) in the byte-level model (callable via exec_concrete)")
+
+let stage =
+  Arg.(
+    value
+    & opt (enum [ ("simpl", `Simpl); ("l1", `L1); ("l2", `L2); ("final", `Final) ]) `Final
+    & info [ "stage" ] ~doc:"Which representation to print: simpl, l1, l2 or final")
+
+let func_filter =
+  Arg.(
+    value & opt (some string) None
+    & info [ "func" ] ~docv:"NAME" ~doc:"Print only this function")
+
+let with_funcs res func_filter f =
+  List.iter
+    (fun fr ->
+      match func_filter with
+      | Some name when name <> fr.Driver.fr_name -> ()
+      | _ -> f fr)
+    res.Driver.funcs
+
+(* Front-end errors carry positions; render them the way compilers do. *)
+let run_frontend ~file ~options source =
+  try Ok (Driver.run ~options source) with
+  | Ac_cfront.Lexer.Lex_error (m, pos) ->
+    Error (Printf.sprintf "%s:%d:%d: lexical error: %s" file pos.Ac_cfront.Ast.line pos.Ac_cfront.Ast.col m)
+  | Ac_cfront.Parser.Parse_error (m, pos) ->
+    Error (Printf.sprintf "%s:%d:%d: parse error: %s" file pos.Ac_cfront.Ast.line pos.Ac_cfront.Ast.col m)
+  | Ac_cfront.Typecheck.Type_error (m, pos) ->
+    Error (Printf.sprintf "%s:%d:%d: type error: %s" file pos.Ac_cfront.Ast.line pos.Ac_cfront.Ast.col m)
+
+let translate file no_heap no_word keep_low stage func_filter =
+  let source = read_file file in
+  let options = options_of ~no_heap ~no_word ~keep_low in
+  match run_frontend ~file ~options source with
+  | Error e -> `Error (false, e)
+  | Ok res ->
+  with_funcs res func_filter (fun fr ->
+      (match stage with
+      | `Simpl -> print_endline (Ac_simpl.Print.func_to_string fr.Driver.fr_simpl)
+      | `L1 -> print_endline (Ac_monad.Mprint.func_to_string fr.Driver.fr_l1)
+      | `L2 -> print_endline (Ac_monad.Mprint.func_to_string fr.Driver.fr_l2)
+      | `Final -> print_endline (Ac_monad.Mprint.func_to_string fr.Driver.fr_final));
+      List.iter
+        (fun (phase, why) -> Printf.printf "  (%s skipped: %s)\n" phase why)
+        fr.Driver.fr_skipped);
+  `Ok ()
+
+let check file no_heap no_word keep_low cases =
+  let source = read_file file in
+  let options = options_of ~no_heap ~no_word ~keep_low in
+  match run_frontend ~file ~options source with
+  | Error e -> `Error (false, e)
+  | Ok res ->
+  (match Driver.check_all res with
+  | Ok () -> Printf.printf "kernel: all refinement derivations re-validated\n"
+  | Error e ->
+    Printf.printf "kernel: FAILED (%s)\n" e;
+    exit 1);
+  let report = Autocorres.Refine_test.check_program ~cases res in
+  Printf.printf
+    "differential test: %d cases, %d agree, %d abstraction-failed (no claim), %d skipped\n"
+    report.Autocorres.Refine_test.cases report.Autocorres.Refine_test.agreed
+    report.Autocorres.Refine_test.abstract_failed report.Autocorres.Refine_test.skipped;
+  match report.Autocorres.Refine_test.violations with
+  | [] -> `Ok ()
+  | (f, d) :: _ ->
+    Printf.printf "VIOLATION in %s: %s\n" f d;
+    exit 1
+
+let stats file =
+  let source = read_file file in
+  match run_frontend ~file ~options:Driver.default_options source with
+  | Error e -> `Error (false, e)
+  | Ok _ ->
+    let row, _ = Ac_stats.measure ~name:(Filename.basename file) source in
+    print_string
+      (Ac_stats.render_table ~header:Ac_stats.table5_header [ Ac_stats.row_to_strings row ]);
+    `Ok ()
+
+let translate_cmd =
+  Cmd.v
+    (Cmd.info "translate" ~doc:"Abstract a C file and print the result")
+    Term.(ret (const translate $ file_arg $ no_heap $ no_word $ keep_low $ stage $ func_filter))
+
+let check_cmd =
+  let cases =
+    Arg.(value & opt int 100 & info [ "cases" ] ~doc:"Differential test cases per function")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Re-validate derivations and differential-test the abstraction")
+    Term.(ret (const check $ file_arg $ no_heap $ no_word $ keep_low $ cases))
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Pipeline statistics (Table 5 metrics)")
+    Term.(ret (const stats $ file_arg))
+
+let () =
+  let info =
+    Cmd.info "acc" ~version:"1.0.0"
+      ~doc:"Proof-producing abstraction of C code (AutoCorres, PLDI 2014)"
+  in
+  exit (Cmd.eval (Cmd.group info [ translate_cmd; check_cmd; stats_cmd ]))

@@ -1,0 +1,44 @@
+(* The in-place list-reversal case study (paper Sec 5.2), end to end.
+
+     dune exec examples/list_reverse.exe
+
+   This is the paper's productivity experiment: take Mehta and Nipkow's
+   proof of list reversal — written for an idealised heap a decade before
+   AutoCorres — and apply it to the AutoCorres output of real C.  The
+   invariant, ghost sequences, lemma library and measure are M/N's; the
+   three adjustments are exactly the ones the paper enumerates. *)
+
+module Solver = Ac_prover.Solver
+open Ac_cases
+
+let () =
+  print_endline "=== in-place list reversal: porting Mehta & Nipkow ===";
+  Printf.printf "C source (Fig 6):\n%s\n" Csources.reverse_c;
+  let out =
+    let res = Autocorres.Driver.run Csources.reverse_c in
+    match Autocorres.Driver.find_result res "reverse" with
+    | Some fr -> Ac_monad.Mprint.func_to_string fr.Autocorres.Driver.fr_final
+    | None -> "<missing>"
+  in
+  Printf.printf "AutoCorres output:\n%s\n" out;
+  print_endline "Invariant (M/N's, with ghost sequences ps and qs):";
+  print_endline
+    "  islist next valid list ps ∧ islist next valid rev qs ∧\n\
+    \  disjoint ps qs ∧ rev Ps0 = rev ps @ qs\n\
+    \  measure: |ps|   (the termination argument the paper adds)\n";
+  print_endline "Validating the list lemma library (List definitions, Table 6)...";
+  (match Listlib.validate_all () with
+  | Ok () -> Printf.printf "  %d lemmas validated\n" (List.length Listlib.lemmas)
+  | Error e -> Printf.printf "  FAILED: %s\n" e);
+  print_endline "Generating and discharging the verification conditions...";
+  let r = Reverse_proof.run ~check_lemmas:false () in
+  List.iter
+    (fun (label, o) ->
+      Printf.printf "  %-55s %s\n" label
+        (if Solver.is_proved o then "PROVED" else "NOT PROVED"))
+    r.Reverse_proof.vcs;
+  if r.Reverse_proof.all_proved then
+    print_endline
+      "\nTotal correctness of the C implementation, via the same invariant\n\
+       and proof structure as the decade-older high-level proof."
+  else print_endline "\nSome obligations remain open."

@@ -1,0 +1,35 @@
+(* The Schorr-Waite case study (paper Sec 5.3).
+
+     dune exec examples/schorr_waite.exe
+
+   "The first mountain that any formalism for pointer aliasing should
+   climb" (Bornat).  The pipeline abstracts the Fig 8 C implementation into
+   a split-heap program; Mehta and Nipkow's correctness statement (Fig 7)
+   is then validated by bounded exhaustive checking over every graph shape
+   up to 3 nodes plus random larger graphs — including cyclic and shared
+   structures, which is where pointer-reversal algorithms break. *)
+
+open Ac_cases
+
+let () =
+  print_endline "=== Schorr-Waite graph marking ===";
+  Printf.printf "C source (Fig 8):\n%s\n" Csources.schorr_waite_c;
+  let res = Autocorres.Driver.run Csources.schorr_waite_c in
+  (match Autocorres.Driver.find_result res "schorr_waite" with
+  | Some fr ->
+    Printf.printf "AutoCorres output:\n%s\n"
+      (Ac_monad.Mprint.func_to_string fr.Autocorres.Driver.fr_final)
+  | None -> ());
+  print_endline "Correctness statement (Fig 7): after the run,";
+  print_endline
+    "  - a node is marked iff it is reachable from the root, and\n\
+    \  - every node's l/r pointers equal their initial values.\n";
+  let t0 = Sys.time () in
+  let r = Schorr_waite_proof.run () in
+  Printf.printf "Checked %d graphs in %.1fs: %d failures\n"
+    r.Schorr_waite_proof.graphs_checked (Sys.time () -. t0)
+    (List.length r.Schorr_waite_proof.failures);
+  List.iteri (fun i f -> if i < 5 then print_endline ("  " ^ f)) r.Schorr_waite_proof.failures;
+  print_endline
+    "\n(The same harness rejects mutants — e.g. dropping `t->r = q` from the\n\
+     pop branch — see test/test_cases.ml.)"

@@ -1,0 +1,88 @@
+(* Verifying `swap` on the lifted heap (paper Secs 4.1-4.5).
+
+     dune exec examples/verified_swap.exe
+
+   Shows the full workflow a verification engineer uses:
+   1. abstract the C with heap abstraction on,
+   2. state the Hoare triple on the split heap (the paper's Sec 4.2 form),
+   3. generate verification conditions with the WP calculus,
+   4. discharge them with the automatic prover.
+
+   Also shows the byte-level triple the engineer would *otherwise* face
+   (Fig 3 / the strengthened precondition of Sec 4.1). *)
+
+module B = Ac_bignum
+module T = Ac_prover.Term
+module Solver = Ac_prover.Solver
+module Vc = Ac_hoare.Vc
+module Driver = Autocorres.Driver
+module Ty = Ac_lang.Ty
+
+let u32 : Ty.cty = Ty.Cword (Ty.Unsigned, Ty.W32)
+
+let () =
+  print_endline "=== verified swap ===";
+  Printf.printf "C source:\n%s\n" Ac_cases.Csources.swap_c;
+
+  (* Without heap abstraction: the byte-level mess of Fig 3. *)
+  let low_options =
+    { Driver.default_options with defaults = { Driver.word_abs = false; heap_abs = false } }
+  in
+  let low = Driver.run ~options:low_options Ac_cases.Csources.swap_c in
+  let low_fr = Option.get (Driver.find_result low "swap") in
+  Printf.printf "Without heap abstraction (Fig 3): the program you'd reason about is\n%s\n"
+    (Ac_monad.Mprint.func_to_string low_fr.Driver.fr_final);
+
+  (* With heap abstraction: Fig 5. *)
+  let options =
+    { Driver.default_options with defaults = { Driver.word_abs = false; heap_abs = true } }
+  in
+  let res = Driver.run ~options Ac_cases.Csources.swap_c in
+  let fr = Option.get (Driver.find_result res "swap") in
+  Printf.printf "With heap abstraction (Fig 5):\n%s\n"
+    (Ac_monad.Mprint.func_to_string fr.Driver.fr_final);
+
+  (* The Hoare triple of Sec 4.5:
+       {is_valid a ∧ is_valid b ∧ s[a] = x ∧ s[b] = y ∧ a ≠ b}
+         swap' a b
+       {s[a] = y ∧ s[b] = x} *)
+  let cfg = Vc.make_config res.Driver.final_prog in
+  let x0 = T.Var ("x0", T.Sint) and y0 = T.Var ("y0", T.Sint) in
+  let heap st = Vc.state_get st (Vc.heap_name u32) in
+  let valid st = Vc.state_get st (Vc.valid_name u32) in
+  let triple =
+    {
+      Vc.t_pre =
+        (fun args st ->
+          match List.map Vc.tv_to_term args with
+          | [ a; b ] ->
+            T.conj
+              [ T.select_t (valid st) a; T.select_t (valid st) b;
+                T.eq_t (T.select_t (heap st) a) x0; T.eq_t (T.select_t (heap st) b) y0;
+                T.not_t (T.eq_t a b) ]
+          | _ -> assert false);
+      t_post =
+        (fun args _rv _st0 st ->
+          match List.map Vc.tv_to_term args with
+          | [ a; b ] ->
+            T.and_t
+              (T.eq_t (T.select_t (heap st) a) y0)
+              (T.eq_t (T.select_t (heap st) b) x0)
+          | _ -> assert false);
+    }
+  in
+  let vcs = Vc.func_vcs cfg "swap" triple in
+  List.iter
+    (fun (label, vc) ->
+      let outcome, stats = Solver.prove vc in
+      Printf.printf "%-28s %s (%d branches, %d closed by CC, %d by arithmetic)\n" label
+        (match outcome with
+        | Solver.Proved -> "PROVED"
+        | Solver.Refuted _ -> "refuted"
+        | Solver.Unknown _ -> "unknown")
+        stats.Solver.branches stats.Solver.cc_closed stats.Solver.la_closed)
+    vcs;
+  print_endline
+    "\nThe guards (is_valid a, is_valid b) became proof obligations and were\n\
+     discharged from the precondition; no alignment, null or wrap reasoning\n\
+     was needed — the paper's Sec 4.2 contrast with the byte-level triple."

@@ -1,0 +1,104 @@
+(** Arbitrary-precision signed integers.
+
+    Substrate for the ideal [int]/[nat] types produced by word abstraction
+    (paper Sec 3) and for intermediate results of 64-bit word arithmetic.
+    Sign-magnitude representation over base-2^16 digit arrays; all operations
+    are exact. *)
+
+type t
+
+exception Division_by_zero
+
+(** Raised by bitwise operations and [test_bit] on negative operands; the
+    word layer always normalises to the unsigned representative first. *)
+exception Negative_operand of string
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+val of_int : int -> t
+val to_int_opt : t -> int option
+
+(** @raise Failure if the value does not fit in a native [int]. *)
+val to_int_exn : t -> int
+
+val to_float : t -> float
+
+(** Decimal or [0x]-prefixed hexadecimal, optional sign.
+    @raise Invalid_argument on malformed input. *)
+val of_string : string -> t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val hash : t -> int
+
+val is_zero : t -> bool
+
+(** [-1], [0] or [1]. *)
+val sign : t -> int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val lt : t -> t -> bool
+val le : t -> t -> bool
+val gt : t -> t -> bool
+val ge : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val succ : t -> t
+val pred : t -> t
+
+(** Truncated division, like OCaml's [/] and [mod]: the quotient rounds
+    toward zero and the remainder takes the dividend's sign.  This matches
+    C99 signed division.
+    @raise Division_by_zero *)
+val divmod : t -> t -> t * t
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+(** Flooring division: the quotient rounds toward negative infinity and the
+    remainder takes the divisor's sign.
+    @raise Division_by_zero *)
+val fdivmod : t -> t -> t * t
+
+val fdiv : t -> t -> t
+val fmod : t -> t -> t
+
+(** [pow2 n] is 2{^n}. @raise Invalid_argument if [n < 0]. *)
+val pow2 : int -> t
+
+(** [pow b n] is [b]{^n}. @raise Invalid_argument if [n < 0]. *)
+val pow : t -> int -> t
+
+val shift_left : t -> int -> t
+
+(** Arithmetic right shift: floor division by 2{^n}. *)
+val shift_right : t -> int -> t
+
+(** @raise Negative_operand on negative values. *)
+val test_bit : t -> int -> bool
+
+(** Number of significant bits in the magnitude; 0 for zero. *)
+val bit_length : t -> int
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+
+val gcd : t -> t -> t
+
+(** [mod_pow2 x n] reduces [x] to [0, 2{^n}): C's unsigned-overflow rule. *)
+val mod_pow2 : t -> int -> t
+
+(** [signed_mod_pow2 x n] reduces [x] to [-2{^n-1}, 2{^n-1}): the
+    two's-complement reinterpretation used for value-preserving casts. *)
+val signed_mod_pow2 : t -> int -> t

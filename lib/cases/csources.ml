@@ -1,0 +1,147 @@
+(* The C sources of the paper's examples and case studies, verbatim where
+   the paper shows them (Figs 2, 3, 6, 8; Secs 3.2, 4.3, 4.6, 5.2, 5.3). *)
+
+(* Fig 2 *)
+let max_c = "int max(int a, int b) {\n  if (a < b)\n    return b;\n  return a;\n}\n"
+
+(* Sec 3.3: Euclid's algorithm, whose abstraction equals gcd on ℕ *)
+let gcd_c =
+  "unsigned gcd(unsigned a, unsigned b) {\n\
+  \  while (b != 0u) {\n\
+  \    unsigned t = b;\n\
+  \    b = a % b;\n\
+  \    a = t;\n\
+  \  }\n\
+  \  return a;\n\
+   }\n"
+
+(* Fig 3 / Fig 5 *)
+let swap_c =
+  "void swap(unsigned *a, unsigned *b)\n\
+   {\n\
+  \  unsigned t = *a;\n\
+  \  *a = *b;\n\
+  \  *b = t;\n\
+   }\n"
+
+(* Sec 3.2: the binary-search midpoint *)
+let mid_c =
+  "unsigned mid(unsigned l, unsigned r)\n\
+   {\n\
+  \  unsigned m = (l + r) / 2u;\n\
+  \  return m;\n\
+   }\n"
+
+(* Sec 4.3: Suzuki's challenge *)
+let suzuki_c =
+  "struct node {\n\
+  \  struct node *next;\n\
+  \  unsigned data;\n\
+   };\n\
+   unsigned suzuki(struct node *w, struct node *x, struct node *y, struct node *z)\n\
+   {\n\
+  \  w->next = x; x->next = y; y->next = z; x->next = z;\n\
+  \  w->data = 1u; x->data = 2u; y->data = 3u; z->data = 4u;\n\
+  \  return w->next->next->data;\n\
+   }\n"
+
+(* Fig 6: in-place list reversal *)
+let reverse_c =
+  "struct node {\n\
+  \  struct node *next;\n\
+  \  unsigned data;\n\
+   };\n\
+   struct node *reverse(struct node *list) {\n\
+  \  struct node *rev = NULL;\n\
+  \  while (list) {\n\
+  \    struct node *next = list->next;\n\
+  \    list->next = rev; rev = list; list = next;\n\
+  \  }\n\
+  \  return rev;\n\
+   }\n"
+
+(* Fig 8: the Schorr-Waite graph-marking algorithm *)
+let schorr_waite_c =
+  "struct node {\n\
+  \  struct node *l;\n\
+  \  struct node *r;\n\
+  \  unsigned m;\n\
+  \  unsigned c;\n\
+   };\n\
+   void schorr_waite(struct node *root) {\n\
+  \  struct node *t = root, *p = NULL, *q;\n\
+  \  while (p != NULL || (t != NULL && !t->m)) {\n\
+  \    if (t == NULL || t->m) {\n\
+  \      if (p->c) {\n\
+  \        q = t; t = p; p = p->r; t->r = q;\n\
+  \      } else {\n\
+  \        q = t; t = p->r; p->r = p->l;\n\
+  \        p->l = q; p->c = 1u;\n\
+  \      }\n\
+  \    } else {\n\
+  \      q = p; p = t; t = t->l; p->l = q;\n\
+  \      p->m = 1u; p->c = 0u;\n\
+  \    }\n\
+  \  }\n\
+   }\n"
+
+(* Sec 4.6: a type-unsafe memset, kept at the byte level, plus a lifted
+   caller that reaches it through exec_concrete *)
+let memset_c =
+  "void my_memset(unsigned char *p, unsigned char v, unsigned n)\n\
+   {\n\
+  \  unsigned i = 0u;\n\
+  \  while (i < n) {\n\
+  \    p[i] = v;\n\
+  \    i = i + 1u;\n\
+  \  }\n\
+   }\n"
+
+let memset_mixed_c =
+  memset_c
+  ^ "unsigned zero_cell(unsigned *p)\n\
+     {\n\
+    \  my_memset((unsigned char *) p, 0, 4u);\n\
+    \  return *p;\n\
+     }\n"
+
+(* Sec 3.2's motivating context: a binary search using the midpoint
+   computation.  The early return inside the loop exercises the
+   exception-monad output path. *)
+let binary_search_c =
+  "int binary_search(unsigned *a, unsigned n, unsigned key)\n\
+   {\n\
+  \  unsigned l = 0u;\n\
+  \  unsigned r = n;\n\
+  \  while (l < r) {\n\
+  \    unsigned m = (l + r) / 2u;\n\
+  \    if (a[m] == key)\n\
+  \      return (int) m;\n\
+  \    if (a[m] < key)\n\
+  \      l = m + 1u;\n\
+  \    else\n\
+  \      r = m;\n\
+  \  }\n\
+  \  return -1;\n\
+   }\n"
+
+(* A pair of helpers exercising globals and calls. *)
+let counter_c =
+  "unsigned counter;\n\
+   void bump(unsigned by) { counter = counter + by; }\n\
+   unsigned twice(unsigned x) { bump(x); bump(x); return counter; }\n"
+
+let all : (string * string) list =
+  [
+    ("max", max_c);
+    ("gcd", gcd_c);
+    ("swap", swap_c);
+    ("mid", mid_c);
+    ("suzuki", suzuki_c);
+    ("reverse", reverse_c);
+    ("schorr_waite", schorr_waite_c);
+    ("binary_search", binary_search_c);
+    ("memset", memset_c);
+    ("memset_mixed", memset_mixed_c);
+    ("counter", counter_c);
+  ]

@@ -1,0 +1,297 @@
+module B = Ac_bignum
+module T = Ac_prover.Term
+module Seq = Ac_prover.Seq
+
+(* The list lemma library: the "List definitions" component of the paper's
+   Table 6.
+
+   Mehta and Nipkow's proof rests on a small library of facts about the
+   [List] predicate (here [islist], extended — as the paper describes in
+   Sec 5.2 (ii) — to assert that every list element is a *valid* pointer).
+   In Isabelle these lemmas are proved by induction; in this reproduction
+   each lemma is validated by exhaustive-within-bounds and randomised
+   testing over structured heap models (see DESIGN.md: interactive proof →
+   bounded validation), and its *instances* are then fed to the automatic
+   prover as hypotheses, playing the role of `simp add:` lemmas. *)
+
+type lemma = {
+  name : string;
+  params : (string * T.sort) list;
+  statement : T.t; (* free variables = params, implicitly universal *)
+  sampler : Random.State.t -> (string * T.value) list;
+}
+
+let h = T.Var ("h", T.Sarr T.Sint)
+let v = T.Var ("v", T.Sarr T.Sbool)
+let p = T.Var ("p", T.Sint)
+let q = T.Var ("q", T.Sint)
+let x = T.Var ("x", T.Sint)
+let y = T.Var ("y", T.Sint)
+let ps = T.Var ("ps", T.Sseq)
+let qs = T.Var ("qs", T.Sseq)
+let sa = T.Var ("sa", T.Sseq)
+let sb = T.Var ("sb", T.Sseq)
+let sc = T.Var ("sc", T.Sseq)
+
+(* ------------------------------------------------------------------ *)
+(* Samplers: structured random heap lists (sometimes corrupted, so that
+   hypotheses are genuinely exercised in both directions). *)
+
+let sample_int rand = B.of_int (Random.State.int rand 9)
+
+let sample_seq rand =
+  T.Vseq (List.init (Random.State.int rand 4) (fun _ -> T.Vint (sample_int rand)))
+
+(* A well-formed list heap: distinct non-zero addresses chained to null,
+   all elements valid. *)
+let sample_list rand =
+  let pool = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let shuffled =
+    List.sort (fun _ _ -> if Random.State.bool rand then 1 else -1) pool
+  in
+  let n = Random.State.int rand 5 in
+  let chain = List.filteri (fun i _ -> i < n) shuffled in
+  let rec links = function
+    | [] -> []
+    | [ last ] -> [ (B.of_int last, T.Vint B.zero) ]
+    | a :: (b :: _ as rest) -> (B.of_int a, T.Vint (B.of_int b)) :: links rest
+  in
+  let next = T.Varr (links chain, T.Vint B.zero) in
+  let valid =
+    T.Varr (List.map (fun a -> (B.of_int a, T.Vbool true)) chain, T.Vbool (Random.State.bool rand))
+  in
+  let ptr = match chain with [] -> B.zero | a :: _ -> B.of_int a in
+  let seq = T.Vseq (List.map (fun a -> T.Vint (B.of_int a)) chain) in
+  (next, valid, ptr, seq, chain)
+
+(* Corrupt a structured sample with some probability so the lemma's
+   hypotheses also get falsified during testing. *)
+let maybe_corrupt rand (next, valid, ptr, seq, chain) =
+  match Random.State.int rand 5 with
+  | 0 -> (next, valid, sample_int rand, seq, chain)
+  | 1 -> (next, valid, ptr, sample_seq rand, chain)
+  | 2 ->
+    let broken =
+      match next with
+      | T.Varr (entries, d) -> T.Varr ((sample_int rand, T.Vint (sample_int rand)) :: entries, d)
+      | other -> other
+    in
+    (broken, valid, ptr, seq, chain)
+  | _ -> (next, valid, ptr, seq, chain)
+
+let list_sampler extra rand =
+  let next, valid, ptr, seq, chain = maybe_corrupt rand (sample_list rand) in
+  [ ("h", next); ("v", valid); ("p", T.Vint ptr); ("ps", seq) ]
+  @ extra rand chain
+
+let no_extra _ _ = []
+
+(* a second, disjoint chain through the same heap *)
+let second_list rand chain =
+  let pool = List.filter (fun a -> not (List.mem a chain)) [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let n = Random.State.int rand (1 + List.length pool) in
+  let chain2 = List.filteri (fun i _ -> i < n) pool in
+  let seq2 =
+    if Random.State.int rand 4 = 0 then sample_seq rand
+    else T.Vseq (List.map (fun a -> T.Vint (B.of_int a)) chain2)
+  in
+  [ ("q", T.Vint (match chain2 with [] -> B.zero | a :: _ -> B.of_int a));
+    ("qs", seq2); ("x", T.Vint (sample_int rand)); ("y", T.Vint (sample_int rand)) ]
+
+(* ------------------------------------------------------------------ *)
+(* The lemmas. *)
+
+let islist = Seq.islist
+let lemmas : lemma list =
+  [
+    {
+      name = "islist_nil_ptr";
+      params = [ ("h", T.Sarr T.Sint); ("v", T.Sarr T.Sbool); ("p", T.Sint); ("ps", T.Sseq) ];
+      statement =
+        T.imp_t
+          (T.and_t (islist h v p ps) (T.eq_t p T.zero))
+          (T.eq_t ps Seq.nil);
+      sampler = list_sampler no_extra;
+    };
+    {
+      name = "islist_unfold";
+      params = [ ("h", T.Sarr T.Sint); ("v", T.Sarr T.Sbool); ("p", T.Sint); ("ps", T.Sseq) ];
+      statement =
+        T.imp_t
+          (T.and_t (islist h v p ps) (T.not_t (T.eq_t p T.zero)))
+          (T.conj
+             [ T.eq_t ps (Seq.cons p (Seq.stail ps));
+               islist h v (T.select_t h p) (Seq.stail ps);
+               T.select_t v p;
+               T.not_t (Seq.mem p (Seq.stail ps));
+               T.eq_t (Seq.len ps) (T.add_t (Seq.len (Seq.stail ps)) T.one);
+               T.le_t T.zero (Seq.len (Seq.stail ps));
+               Seq.mem p ps ]);
+      sampler = list_sampler no_extra;
+    };
+    {
+      name = "islist_frame";
+      params =
+        [ ("h", T.Sarr T.Sint); ("v", T.Sarr T.Sbool); ("q", T.Sint); ("qs", T.Sseq);
+          ("x", T.Sint); ("y", T.Sint) ];
+      statement =
+        T.imp_t
+          (T.and_t (islist h v q qs) (T.not_t (Seq.mem x qs)))
+          (islist (T.store_t h x y) v q qs);
+      sampler =
+        (fun rand ->
+          (* q/qs are the constructed chain; x is sometimes inside it *)
+          let next, valid, _, _, chain = maybe_corrupt rand (sample_list rand) in
+          [ ("h", next); ("v", valid);
+            ("q", T.Vint (match chain with [] -> B.zero | a :: _ -> B.of_int a));
+            ("qs", T.Vseq (List.map (fun a -> T.Vint (B.of_int a)) chain));
+            ("x", T.Vint (sample_int rand)); ("y", T.Vint (sample_int rand)) ]);
+    };
+    {
+      name = "disjoint_mem";
+      params = [ ("sa", T.Sseq); ("sb", T.Sseq); ("x", T.Sint) ];
+      statement =
+        T.imp_t (T.and_t (Seq.disjoint sa sb) (Seq.mem x sa)) (T.not_t (Seq.mem x sb));
+      sampler =
+        (fun rand -> [ ("sa", sample_seq rand); ("sb", sample_seq rand); ("x", T.Vint (sample_int rand)) ]);
+    };
+    {
+      name = "disjoint_tail_cons";
+      params =
+        [ ("h", T.Sarr T.Sint); ("v", T.Sarr T.Sbool); ("p", T.Sint); ("ps", T.Sseq);
+          ("qs", T.Sseq) ];
+      statement =
+        T.imp_t
+          (T.conj [ islist h v p ps; T.not_t (T.eq_t p T.zero); Seq.disjoint ps qs ])
+          (Seq.disjoint (Seq.stail ps) (Seq.cons p qs));
+      sampler =
+        list_sampler (fun rand chain ->
+            (* a disjoint-by-construction second sequence, sometimes
+               corrupted by [second_list] itself *)
+            let extras = second_list rand chain in
+            [ ("qs", List.assoc "qs" extras) ]);
+    };
+    {
+      name = "disjoint_nil";
+      params = [ ("sa", T.Sseq) ];
+      statement = Seq.disjoint sa Seq.nil;
+      sampler = (fun rand -> [ ("sa", sample_seq rand) ]);
+    };
+    {
+      name = "append_assoc";
+      params = [ ("sa", T.Sseq); ("sb", T.Sseq); ("sc", T.Sseq) ];
+      statement =
+        T.eq_t (Seq.append (Seq.append sa sb) sc) (Seq.append sa (Seq.append sb sc));
+      sampler =
+        (fun rand -> [ ("sa", sample_seq rand); ("sb", sample_seq rand); ("sc", sample_seq rand) ]);
+    };
+    {
+      name = "rev_step";
+      (* the induction step of the reversal argument:
+         rev s0 = rev sa @ sb and sa = x#sc give rev s0 = rev sc @ (x#sb) *)
+      params =
+        [ ("sa", T.Sseq); ("sb", T.Sseq); ("sc", T.Sseq); ("x", T.Sint); ("s0", T.Sseq) ];
+      statement =
+        (let s0 = T.Var ("s0", T.Sseq) in
+         T.imp_t
+           (T.and_t
+              (T.eq_t (Seq.rev s0) (Seq.append (Seq.rev sa) sb))
+              (T.eq_t sa (Seq.cons x sc)))
+           (T.eq_t (Seq.rev s0) (Seq.append (Seq.rev sc) (Seq.cons x sb))));
+      sampler =
+        (fun rand ->
+          (* bias towards satisfying instances: derive s0/sa from sc *)
+          let vseq v = match v with T.Vseq l -> l | _ -> [] in
+          let sc_v = sample_seq rand in
+          let x_v = T.Vint (sample_int rand) in
+          let sa_v =
+            if Random.State.int rand 4 = 0 then sample_seq rand
+            else T.Vseq (x_v :: vseq sc_v)
+          in
+          let sb_v = sample_seq rand in
+          let s0_v =
+            if Random.State.int rand 4 = 0 then sample_seq rand
+            else T.Vseq (List.rev (List.rev (vseq sb_v) @ List.rev (vseq sa_v)))
+            (* rev s0 = rev sa @ sb  ⟺  s0 = rev sb @ sa *)
+          in
+          [ ("sa", sa_v); ("sb", sb_v); ("sc", sc_v); ("x", x_v); ("s0", s0_v) ]);
+    };
+    {
+      name = "rev_done";
+      (* the exit step: rev s0 = rev sa @ sb and sa = nil give rev s0 = sb *)
+      params = [ ("sa", T.Sseq); ("sb", T.Sseq); ("s0", T.Sseq) ];
+      statement =
+        (let s0 = T.Var ("s0", T.Sseq) in
+         T.imp_t
+           (T.and_t
+              (T.eq_t (Seq.rev s0) (Seq.append (Seq.rev sa) sb))
+              (T.eq_t sa Seq.nil))
+           (T.eq_t (Seq.rev s0) sb));
+      sampler =
+        (fun rand ->
+          let vseq v = match v with T.Vseq l -> l | _ -> [] in
+          let sa_v = if Random.State.int rand 3 = 0 then sample_seq rand else T.Vseq [] in
+          let sb_v = sample_seq rand in
+          let s0_v =
+            if Random.State.int rand 4 = 0 then sample_seq rand
+            else T.Vseq (List.rev (List.rev (vseq sb_v) @ List.rev (vseq sa_v)))
+          in
+          [ ("sa", sa_v); ("sb", sb_v); ("s0", s0_v) ]);
+    };
+    {
+      name = "rev_append";
+      params = [ ("sa", T.Sseq); ("sb", T.Sseq) ];
+      statement =
+        T.eq_t (Seq.rev (Seq.append sa sb)) (Seq.append (Seq.rev sb) (Seq.rev sa));
+      sampler = (fun rand -> [ ("sa", sample_seq rand); ("sb", sample_seq rand) ]);
+    };
+    {
+      name = "len_nonneg";
+      params = [ ("sa", T.Sseq) ];
+      statement = T.le_t T.zero (Seq.len sa);
+      sampler = (fun rand -> [ ("sa", sample_seq rand) ]);
+    };
+  ]
+
+let find name =
+  match List.find_opt (fun l -> String.equal l.name name) lemmas with
+  | Some l -> l
+  | None -> invalid_arg ("unknown lemma " ^ name)
+
+(* An instance of a lemma, to be assumed as a hypothesis.  All parameters
+   must be instantiated. *)
+let instantiate name (args : (string * T.t) list) : T.t =
+  let l = find name in
+  List.iter
+    (fun (param, _) ->
+      if not (List.mem_assoc param args) then
+        invalid_arg (Printf.sprintf "lemma %s: parameter %s not instantiated" name param))
+    l.params;
+  T.subst args l.statement
+
+(* ------------------------------------------------------------------ *)
+(* Validation by testing. *)
+
+let validate ?(trials = 2000) (l : lemma) : (unit, string) result =
+  let rand = Random.State.make [| 0x11DEA; Hashtbl.hash l.name |] in
+  let rec go n =
+    if n = 0 then Result.ok ()
+    else begin
+      let env = l.sampler rand in
+      match T.eval ~interp:Seq.interp env l.statement with
+      | T.Vbool true -> go (n - 1)
+      | T.Vbool false ->
+        Result.error
+          (Printf.sprintf "lemma %s falsified (%s)" l.name
+             (String.concat ", " (List.map fst env)))
+      | _ -> Result.error (Printf.sprintf "lemma %s: non-boolean statement" l.name)
+      | exception T.Eval_failed m ->
+        Result.error (Printf.sprintf "lemma %s: evaluation failed (%s)" l.name m)
+    end
+  in
+  go trials
+
+let validate_all ?trials () : (unit, string) result =
+  List.fold_left
+    (fun acc l -> match acc with Result.Ok () -> validate ?trials l | e -> e)
+    (Result.Ok ()) lemmas

@@ -1,0 +1,131 @@
+module Ty = Ac_lang.Ty
+module Layout = Ac_lang.Layout
+(* Abstract syntax of the supported C subset, as parsed (untyped).
+
+   The subset matches the paper (Sec 2): loops, function calls, type casting,
+   pointer arithmetic, structures and recursion are supported; references to
+   local variables, goto, switch fall-through, unions, floating point and
+   function pointers are not. *)
+
+type pos = { line : int; col : int }
+
+let no_pos = { line = 0; col = 0 }
+let pp_pos fmt p = Format.fprintf fmt "%d:%d" p.line p.col
+
+(* Source-level type expressions. *)
+type ctype =
+  | Void
+  | Bool (* _Bool *)
+  | Integer of Ty.sign * Ty.width
+  | Pointer of ctype
+  | StructRef of string
+
+type unop = Uneg | Ubnot | Ulnot
+
+type binop =
+  | Badd
+  | Bsub
+  | Bmul
+  | Bdiv
+  | Bmod
+  | Bshl
+  | Bshr
+  | Bband
+  | Bbor
+  | Bbxor
+  | Beq
+  | Bne
+  | Blt
+  | Ble
+  | Bgt
+  | Bge
+  | Bland
+  | Blor
+
+type expr = { desc : expr_desc; pos : pos }
+
+and expr_desc =
+  | Const of Ac_bignum.t
+  | Ident of string
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Assign of expr * expr (* lvalue = rvalue; also feeds +=, ++ desugaring *)
+  | Call of string * expr list
+  | Cast of ctype * expr
+  | Deref of expr
+  | AddrOf of expr
+  | Field of expr * string (* e.f *)
+  | Arrow of expr * string (* e->f *)
+  | Index of expr * expr (* e[i] *)
+  | Cond of expr * expr * expr (* c ? a : b *)
+  | SizeofType of ctype
+  | SizeofExpr of expr
+
+type stmt = { sdesc : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | Sskip
+  | Sexpr of expr (* expression statement: assignment or call *)
+  | Sdecl of ctype * string * expr option (* local declaration *)
+  | Sblock of stmt list
+  | Sif of expr * stmt * stmt
+  | Swhile of expr * stmt
+  | Sdo of stmt * expr (* do body while (cond) *)
+  | Sfor of stmt option * expr option * stmt option * stmt
+  | Sbreak
+  | Scontinue
+  | Sreturn of expr option
+
+type func = {
+  fname : string;
+  fret : ctype;
+  fparams : (ctype * string) list;
+  fbody : stmt list;
+  fpos : pos;
+}
+
+type global_decl = {
+  gname : string;
+  gtype : ctype;
+  ginit : expr option;
+  gpos : pos;
+}
+
+type struct_decl = {
+  stname : string;
+  stfields : (ctype * string) list;
+  stpos : pos;
+}
+
+type decl = Dstruct of struct_decl | Dglobal of global_decl | Dfunc of func
+
+type program = decl list
+
+(* ------------------------------------------------------------------ *)
+
+let rec pp_ctype fmt = function
+  | Void -> Format.pp_print_string fmt "void"
+  | Bool -> Format.pp_print_string fmt "_Bool"
+  | Integer (Unsigned, W8) -> Format.pp_print_string fmt "unsigned char"
+  | Integer (Signed, W8) -> Format.pp_print_string fmt "char"
+  | Integer (Unsigned, W16) -> Format.pp_print_string fmt "unsigned short"
+  | Integer (Signed, W16) -> Format.pp_print_string fmt "short"
+  | Integer (Unsigned, W32) -> Format.pp_print_string fmt "unsigned int"
+  | Integer (Signed, W32) -> Format.pp_print_string fmt "int"
+  | Integer (Unsigned, W64) -> Format.pp_print_string fmt "unsigned long long"
+  | Integer (Signed, W64) -> Format.pp_print_string fmt "long long"
+  | Pointer t -> Format.fprintf fmt "%a *" pp_ctype t
+  | StructRef n -> Format.fprintf fmt "struct %s" n
+
+let ctype_to_string t = Format.asprintf "%a" pp_ctype t
+
+let ctype_equal a b =
+  let rec go a b =
+    match (a, b) with
+    | Void, Void | Bool, Bool -> true
+    | Integer (s1, w1), Integer (s2, w2) -> s1 = s2 && w1 = w2
+    | Pointer x, Pointer y -> go x y
+    | StructRef n, StructRef m -> String.equal n m
+    | (Void | Bool | Integer _ | Pointer _ | StructRef _), _ -> false
+  in
+  go a b

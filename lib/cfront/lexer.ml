@@ -1,0 +1,147 @@
+(* Hand-written lexer for the C subset.  Produces a token array with
+   positions; the recursive-descent parser indexes into it. *)
+
+module B = Ac_bignum
+
+type token =
+  | INT_LIT of B.t * bool * bool (* value, unsigned suffix, long-long suffix *)
+  | IDENT of string
+  | KW of string (* keyword, canonical spelling *)
+  | PUNCT of string (* operator or punctuation, canonical spelling *)
+  | EOF
+
+type loc_token = { tok : token; tpos : Ast.pos }
+
+exception Lex_error of string * Ast.pos
+
+let keywords =
+  [
+    "int"; "unsigned"; "signed"; "char"; "short"; "long"; "void"; "struct";
+    "if"; "else"; "while"; "do"; "for"; "return"; "break"; "continue";
+    "sizeof"; "NULL"; "_Bool"; "const"; "typedef"; "static"; "inline";
+    "uint8_t"; "uint16_t"; "uint32_t"; "uint64_t";
+    "int8_t"; "int16_t"; "int32_t"; "int64_t"; "word_t"; "bool";
+    (* recognised so the parser can reject them with a clear message *)
+    "goto"; "switch"; "case"; "default"; "union"; "float"; "double";
+  ]
+
+(* Longest-match-first list of multi-character punctuation. *)
+let puncts3 = [ "<<="; ">>=" ]
+
+let puncts2 =
+  [ "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>"; "->"; "++"; "--";
+    "+="; "-="; "*="; "/="; "%="; "&="; "|="; "^=" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+let is_hex_digit c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let tokenize (src : string) : loc_token list =
+  let n = String.length src in
+  let line = ref 1 and bol = ref 0 in
+  let pos i : Ast.pos = { line = !line; col = i - !bol + 1 } in
+  let error i msg = raise (Lex_error (msg, pos i)) in
+  let toks = ref [] in
+  let emit i tok = toks := { tok; tpos = pos i } :: !toks in
+  let i = ref 0 in
+  let newline at = incr line; bol := at + 1 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      newline !i;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      let start = !i in
+      i := !i + 2;
+      let rec skip () =
+        if !i + 1 >= n then error start "unterminated comment"
+        else if src.[!i] = '*' && src.[!i + 1] = '/' then i := !i + 2
+        else begin
+          if src.[!i] = '\n' then newline !i;
+          incr i;
+          skip ()
+        end
+      in
+      skip ()
+    end
+    else if c = '#' then begin
+      (* Preprocessor lines (e.g. #include) are ignored: inputs are assumed
+         to be pre-expanded, matching the C-parser pipeline. *)
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      let hex = c = '0' && !i + 1 < n && (src.[!i + 1] = 'x' || src.[!i + 1] = 'X') in
+      if hex then i := !i + 2;
+      let digit_ok = if hex then is_hex_digit else is_digit in
+      while !i < n && digit_ok src.[!i] do incr i done;
+      let body = String.sub src start (!i - start) in
+      let unsigned = ref false and longlong = ref false in
+      let rec suffix () =
+        if !i < n then
+          match src.[!i] with
+          | 'u' | 'U' ->
+            unsigned := true;
+            incr i;
+            suffix ()
+          | 'l' | 'L' ->
+            if !i + 1 < n && (src.[!i + 1] = 'l' || src.[!i + 1] = 'L') then begin
+              longlong := true;
+              i := !i + 2
+            end
+            else incr i;
+            suffix ()
+          | _ -> ()
+      in
+      suffix ();
+      if !i < n && is_ident_char src.[!i] then error start "malformed integer literal";
+      let v = try B.of_string body with Invalid_argument m -> error start m in
+      emit start (INT_LIT (v, !unsigned, !longlong))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      let name = String.sub src start (!i - start) in
+      if List.mem name keywords then emit start (KW name) else emit start (IDENT name)
+    end
+    else begin
+      let start = !i in
+      let try_punct lst len =
+        if !i + len <= n then begin
+          let s = String.sub src !i len in
+          if List.mem s lst then begin
+            emit start (PUNCT s);
+            i := !i + len;
+            true
+          end
+          else false
+        end
+        else false
+      in
+      if not (try_punct puncts3 3) then
+        if not (try_punct puncts2 2) then begin
+          match c with
+          | '+' | '-' | '*' | '/' | '%' | '=' | '<' | '>' | '!' | '&' | '|' | '^' | '~' | '('
+          | ')' | '{' | '}' | '[' | ']' | ';' | ',' | '.' | '?' | ':' ->
+            emit start (PUNCT (String.make 1 c));
+            incr i
+          | _ -> error start (Printf.sprintf "unexpected character %C" c)
+        end
+    end
+  done;
+  emit (n - 1) EOF;
+  List.rev !toks
+
+let token_to_string = function
+  | INT_LIT (v, u, ll) ->
+    B.to_string v ^ (if u then "u" else "") ^ if ll then "ll" else ""
+  | IDENT s -> s
+  | KW s -> s
+  | PUNCT s -> s
+  | EOF -> "<eof>"

@@ -1,0 +1,105 @@
+module Ty = Ac_lang.Ty
+module Layout = Ac_lang.Layout
+(* Typed intermediate representation of C, produced by the typechecker.
+
+   Every implicit C conversion (integer promotion, usual arithmetic
+   conversions, assignment conversion, scalar-to-boolean tests) has been made
+   explicit, so the Simpl translation can be entirely local.  Booleans are a
+   distinct type here (conditions are [Ttobool]-wrapped), even though C
+   conflates them with [int]; [Tofbool] re-injects 0/1 where a comparison is
+   used as an integer. *)
+
+module B = Ac_bignum
+
+type ctype = Ast.ctype
+
+type texpr = { te : texpr_desc; tt : ctype }
+
+and texpr_desc =
+  | Tconst of B.t * ctype
+  | Tnull of ctype (* null pointer of type Pointer t *)
+  | Tvar of string
+  | Tglobal of string
+  | Tunop of Ast.unop * texpr
+  | Tbinop of Ast.binop * texpr * texpr (* operands already converted *)
+  | Tcast of ctype * texpr
+  | Tload of tlval (* read an lvalue *)
+  | Taddr of tlval (* address of a memory lvalue *)
+  | Tptradd of texpr * texpr (* pointer + element count *)
+  | Ttobool of texpr (* scalar ≠ 0 *)
+  | Tofbool of texpr (* bool -> 0/1 of type int *)
+  | Tcond of texpr * texpr * texpr (* c ? a : b, c boolean *)
+
+and tlval =
+  | Lvar of string * ctype
+  | Lglobal of string * ctype
+  | Lmem of texpr * ctype (* object at address; texpr : Pointer ctype *)
+  | Lfield of tlval * string * string * ctype (* base, struct name, field, field type *)
+
+type tstmt =
+  | Tskip
+  | Tassign of tlval * texpr
+  | Tcall of tlval option * string * texpr list
+  | Tseq of tstmt * tstmt
+  | Tif of texpr * tstmt * tstmt
+  | Twhile of texpr * tstmt
+  | Tbreak
+  | Tcontinue
+  | Treturn of texpr option
+
+type tfunc = {
+  tf_name : string;
+  tf_ret : ctype; (* Void for procedures *)
+  tf_params : (string * ctype) list;
+  tf_locals : (string * ctype) list; (* declared locals after renaming *)
+  tf_body : tstmt;
+}
+
+type tprog = {
+  tp_lenv : Layout.env;
+  tp_globals : (string * ctype) list;
+  tp_funcs : tfunc list;
+}
+
+let lval_type = function
+  | Lvar (_, t) | Lglobal (_, t) | Lmem (_, t) | Lfield (_, _, _, t) -> t
+
+let rec seq_of_list = function
+  | [] -> Tskip
+  | [ s ] -> s
+  | s :: rest -> Tseq (s, seq_of_list rest)
+
+let find_func prog name = List.find_opt (fun f -> String.equal f.tf_name name) prog.tp_funcs
+
+(* Source lines of code of a program, the paper's LoC metric: non-blank,
+   non-comment-only lines. *)
+let source_loc (src : string) =
+  let lines = String.split_on_char '\n' src in
+  let in_comment = ref false in
+  let count = ref 0 in
+  List.iter
+    (fun line ->
+      let significant = ref false in
+      let n = String.length line in
+      let i = ref 0 in
+      while !i < n do
+        if !in_comment then begin
+          if !i + 1 < n && line.[!i] = '*' && line.[!i + 1] = '/' then begin
+            in_comment := false;
+            i := !i + 2
+          end
+          else incr i
+        end
+        else if !i + 1 < n && line.[!i] = '/' && line.[!i + 1] = '*' then begin
+          in_comment := true;
+          i := !i + 2
+        end
+        else if !i + 1 < n && line.[!i] = '/' && line.[!i + 1] = '/' then i := n
+        else begin
+          if line.[!i] <> ' ' && line.[!i] <> '\t' && line.[!i] <> '\r' then significant := true;
+          incr i
+        end
+      done;
+      if !significant then incr count)
+    lines;
+  !count

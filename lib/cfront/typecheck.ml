@@ -1,0 +1,513 @@
+module Ty = Ac_lang.Ty
+module Layout = Ac_lang.Layout
+(* Typechecker and elaborator: untyped AST -> typed IR.
+
+   Implements the C99 integer model on the paper's ILP32 architecture:
+   integer promotions (6.3.1.1), usual arithmetic conversions (6.3.1.8) and
+   assignment conversions become explicit [Tcast] nodes, so everything
+   downstream is conversion-free.  Rejects the constructs outside the
+   supported subset (address of locals, function pointers, unions, ...). *)
+
+open Ast
+open Tir
+module B = Ac_bignum
+module W = Ac_word
+module SMap = Map.Make (String)
+
+exception Type_error of string * pos
+
+let error pos fmt = Format.kasprintf (fun m -> raise (Type_error (m, pos))) fmt
+
+type func_sig = { sig_ret : ctype; sig_params : (string * ctype) list }
+
+type genv = {
+  lenv : Layout.env;
+  globals : ctype SMap.t;
+  funcs : func_sig SMap.t;
+}
+
+type lenv_local = {
+  genv : genv;
+  (* scoped locals: source name -> (renamed name, type) *)
+  mutable scopes : (string * ctype) SMap.t list;
+  mutable locals : (string * ctype) list; (* all renamed declarations *)
+  mutable fresh : int;
+  ret : ctype;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Type utilities. *)
+
+let is_integer = function Integer _ | Bool -> true | _ -> false
+let is_pointer = function Pointer _ -> true | _ -> false
+let is_scalar t = is_integer t || is_pointer t
+
+let int_t = Integer (Ty.Signed, Ty.W32)
+let uint_t = Integer (Ty.Unsigned, Ty.W32)
+
+let rank = function Ty.W8 -> 1 | Ty.W16 -> 2 | Ty.W32 -> 3 | Ty.W64 -> 4
+
+(* C99 6.3.1.1: integer promotion.  All sub-int types promote to signed int
+   (their values always fit on ILP32). *)
+let promote = function
+  | Bool -> int_t
+  | Integer (_, (Ty.W8 | Ty.W16)) -> int_t
+  | t -> t
+
+(* C99 6.3.1.8: usual arithmetic conversions on promoted operands. *)
+let usual_arith a b =
+  match (promote a, promote b) with
+  | Integer (s1, w1), Integer (s2, w2) ->
+    if s1 = s2 then Integer (s1, if rank w1 >= rank w2 then w1 else w2)
+    else begin
+      let (us, uw), (_, sw) =
+        if s1 = Ty.Unsigned then ((s1, w1), (s2, w2)) else ((s2, w2), (s1, w1))
+      in
+      ignore us;
+      if rank uw >= rank sw then Integer (Ty.Unsigned, uw)
+      else if rank sw > rank uw then Integer (Ty.Signed, sw) (* signed covers unsigned *)
+      else Integer (Ty.Unsigned, sw)
+    end
+  | _ -> invalid_arg "usual_arith: non-integer"
+
+(* Convert the Ast-level source type to the layout-level object type. *)
+let rec cty_of_ctype pos (t : ctype) : Ty.cty =
+  match t with
+  | Integer (s, w) -> Cword (s, w)
+  | Bool -> Cword (Ty.Unsigned, Ty.W8)
+  | Pointer Void -> Cptr (Cword (Ty.Unsigned, Ty.W8))
+  | Pointer t' -> Cptr (cty_of_ctype pos t')
+  | StructRef n -> Cstruct n
+  | Void -> error pos "void is not an object type"
+
+let ctype_of_cty (c : Ty.cty) : ctype =
+  let rec go = function
+    | Ty.Cword (s, w) -> Integer (s, w)
+    | Ty.Cptr c -> Pointer (go c)
+    | Ty.Cstruct n -> StructRef n
+  in
+  go c
+
+(* ------------------------------------------------------------------ *)
+(* Conversions. *)
+
+let cast_to pos target (e : texpr) : texpr =
+  if ctype_equal e.tt target then e
+  else begin
+    match (target, e.tt) with
+    | (Integer _ | Bool), (Integer _ | Bool) -> { te = Tcast (target, e); tt = target }
+    | Pointer _, (Integer _ | Bool) -> (
+      (* only the constant 0 converts implicitly *)
+      match e.te with
+      | Tconst (v, _) when B.is_zero v -> { te = Tnull target; tt = target }
+      | _ -> { te = Tcast (target, e); tt = target })
+    | Pointer _, Pointer _ -> { te = Tcast (target, e); tt = target }
+    | _ -> error pos "cannot convert %s to %s" (ctype_to_string e.tt) (ctype_to_string target)
+  end
+
+let promote_e pos (e : texpr) = cast_to pos (promote e.tt) e
+
+(* Type of an integer literal (C99 6.4.4.1, simplified to the common
+   dec/hex cases of systems code). *)
+let literal_type pos (v : B.t) unsigned longlong =
+  let fits s w = W.in_range s w v in
+  if longlong then
+    if unsigned then Integer (Ty.Unsigned, Ty.W64) else Integer (Ty.Signed, Ty.W64)
+  else if unsigned then
+    if fits Ty.Unsigned Ty.W32 then uint_t else Integer (Ty.Unsigned, Ty.W64)
+  else if fits Ty.Signed Ty.W32 then int_t
+  else if fits Ty.Unsigned Ty.W32 then uint_t
+  else if fits Ty.Signed Ty.W64 then Integer (Ty.Signed, Ty.W64)
+  else if fits Ty.Unsigned Ty.W64 then Integer (Ty.Unsigned, Ty.W64)
+  else error pos "integer literal out of range"
+
+(* ------------------------------------------------------------------ *)
+(* Scoped local environment. *)
+
+let push_scope env = env.scopes <- SMap.empty :: env.scopes
+let pop_scope env = env.scopes <- List.tl env.scopes
+
+let lookup_local env name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> ( match SMap.find_opt name scope with Some x -> Some x | None -> go rest)
+  in
+  go env.scopes
+
+let declare_local env pos name ty =
+  (match env.scopes with
+  | scope :: _ when SMap.mem name scope -> error pos "redeclaration of %s" name
+  | _ -> ());
+  let renamed =
+    if lookup_local env name = None && not (SMap.mem name env.genv.globals) then name
+    else begin
+      env.fresh <- env.fresh + 1;
+      Printf.sprintf "%s__%d" name env.fresh
+    end
+  in
+  (match env.scopes with
+  | scope :: rest -> env.scopes <- SMap.add name (renamed, ty) scope :: rest
+  | [] -> assert false);
+  env.locals <- (renamed, ty) :: env.locals;
+  renamed
+
+(* ------------------------------------------------------------------ *)
+(* Expression elaboration. *)
+
+let struct_of pos lenv t =
+  match t with
+  | StructRef n when Layout.has_struct lenv n -> n
+  | StructRef n -> error pos "incomplete struct %s" n
+  | _ -> error pos "member access on non-struct %s" (ctype_to_string t)
+
+let rec elab_expr env (e : Ast.expr) : texpr =
+  let pos = e.pos in
+  match e.desc with
+  | Const v ->
+    let t = literal_type pos v false false in
+    { te = Tconst (v, t); tt = t }
+  | Ident name -> (
+    match lookup_local env name with
+    | Some (renamed, t) -> { te = Tload (Lvar (renamed, t)); tt = t }
+    | None -> (
+      match SMap.find_opt name env.genv.globals with
+      | Some t -> { te = Tload (Lglobal (name, t)); tt = t }
+      | None -> error pos "undeclared identifier %s" name))
+  | Unop (Uneg, x) ->
+    let x = promote_e pos (elab_expr env x) in
+    if not (is_integer x.tt) then error pos "negation of %s" (ctype_to_string x.tt);
+    { te = Tunop (Uneg, x); tt = x.tt }
+  | Unop (Ubnot, x) ->
+    let x = promote_e pos (elab_expr env x) in
+    if not (is_integer x.tt) then error pos "~ of %s" (ctype_to_string x.tt);
+    { te = Tunop (Ubnot, x); tt = x.tt }
+  | Unop (Ulnot, x) ->
+    let b = elab_cond env x in
+    { te = Tofbool { te = Tunop (Ulnot, b); tt = Bool }; tt = int_t }
+  | Binop ((Bland | Blor) as op, x, y) ->
+    let bx = elab_cond env x and by = elab_cond env y in
+    { te = Tofbool { te = Tbinop (op, bx, by); tt = Bool }; tt = int_t }
+  | Binop ((Beq | Bne | Blt | Ble | Bgt | Bge) as op, x, y) ->
+    let cmp = elab_comparison env pos op x y in
+    { te = Tofbool cmp; tt = int_t }
+  | Binop ((Bshl | Bshr) as op, x, y) ->
+    let x = promote_e pos (elab_expr env x) in
+    let y = promote_e pos (elab_expr env y) in
+    if not (is_integer x.tt && is_integer y.tt) then error pos "shift of non-integers";
+    { te = Tbinop (op, x, y); tt = x.tt }
+  | Binop (Badd, x, y) -> (
+    let tx = elab_expr env x and ty = elab_expr env y in
+    match (tx.tt, ty.tt) with
+    | Pointer _, _ when is_integer ty.tt -> { te = Tptradd (tx, promote_e pos ty); tt = tx.tt }
+    | _, Pointer _ when is_integer tx.tt -> { te = Tptradd (ty, promote_e pos tx); tt = ty.tt }
+    | _ -> elab_arith env pos Badd tx ty)
+  | Binop (Bsub, x, y) -> (
+    let tx = elab_expr env x and ty = elab_expr env y in
+    match (tx.tt, ty.tt) with
+    | Pointer _, _ when is_integer ty.tt ->
+      let neg = { te = Tunop (Uneg, promote_e pos ty); tt = (promote_e pos ty).tt } in
+      { te = Tptradd (tx, neg); tt = tx.tt }
+    | Pointer _, Pointer _ -> error pos "pointer difference is not in the supported subset"
+    | _ -> elab_arith env pos Bsub tx ty)
+  | Binop (op, x, y) ->
+    let tx = elab_expr env x and ty = elab_expr env y in
+    elab_arith env pos op tx ty
+  | Assign _ -> error pos "assignment is a statement in the supported subset"
+  | Call _ -> error pos "function calls may not be nested inside expressions"
+  | Cast (t, x) -> (
+    let tx = elab_expr env x in
+    match (t, tx.tt) with
+    | Void, _ -> error pos "cast to void"
+    | _, t' when not (is_scalar t') -> error pos "cast of non-scalar %s" (ctype_to_string t')
+    | t, _ when not (is_scalar t) -> error pos "cast to non-scalar %s" (ctype_to_string t)
+    | _ -> cast_to pos t { te = Tcast (t, tx); tt = t })
+  | Deref x -> (
+    let tx = elab_expr env x in
+    match tx.tt with
+    | Pointer Void -> error pos "dereference of void pointer"
+    | Pointer t -> { te = Tload (Lmem (tx, t)); tt = t }
+    | t -> error pos "dereference of %s" (ctype_to_string t))
+  | AddrOf x -> (
+    let lv = elab_lvalue env x in
+    match lv with
+    | Lvar _ -> error pos "address of local variable is not in the supported subset"
+    | Lglobal _ -> error pos "address of global variable is not in the supported subset"
+    | Lmem (p, _) -> p
+    | Lfield _ ->
+      let rec addr_of = function
+        | Lfield (base, sname, fname, fty) ->
+          let pbase = addr_of base in
+          { te = Taddr (Lfield (Lmem (pbase, StructRef sname), sname, fname, fty));
+            tt = Pointer fty }
+        | Lmem (p, t) ->
+          ignore t;
+          p
+        | Lvar _ | Lglobal _ ->
+          error pos "address of local or global is not in the supported subset"
+      in
+      addr_of lv)
+  | Field _ | Arrow _ | Index _ ->
+    let lv = elab_lvalue env e in
+    { te = Tload lv; tt = lval_type lv }
+  | Cond (c, a, b) ->
+    let bc = elab_cond env c in
+    let ta = elab_expr env a and tb = elab_expr env b in
+    if is_integer ta.tt && is_integer tb.tt then begin
+      let t = usual_arith ta.tt tb.tt in
+      { te = Tcond (bc, cast_to pos t ta, cast_to pos t tb); tt = t }
+    end
+    else if ctype_equal ta.tt tb.tt then { te = Tcond (bc, ta, tb); tt = ta.tt }
+    else error pos "mismatched branches of ?:"
+  | SizeofType t ->
+    let size = Layout.size_of env.genv.lenv (cty_of_ctype pos t) in
+    { te = Tconst (B.of_int size, uint_t); tt = uint_t }
+  | SizeofExpr x ->
+    let tx = elab_expr env x in
+    let size = Layout.size_of env.genv.lenv (cty_of_ctype pos tx.tt) in
+    { te = Tconst (B.of_int size, uint_t); tt = uint_t }
+
+and elab_arith env pos op tx ty =
+  ignore env;
+  if not (is_integer tx.tt && is_integer ty.tt) then
+    error pos "arithmetic on %s and %s" (ctype_to_string tx.tt) (ctype_to_string ty.tt);
+  let t = usual_arith tx.tt ty.tt in
+  { te = Tbinop (op, cast_to pos t tx, cast_to pos t ty); tt = t }
+
+and elab_comparison env pos op x y : texpr =
+  let tx = elab_expr env x and ty = elab_expr env y in
+  match (tx.tt, ty.tt) with
+  | Pointer _, Pointer _ -> { te = Tbinop (op, tx, ty); tt = Bool }
+  | Pointer _, _ -> { te = Tbinop (op, tx, cast_to pos tx.tt ty); tt = Bool }
+  | _, Pointer _ -> { te = Tbinop (op, cast_to pos ty.tt tx, ty); tt = Bool }
+  | _ ->
+    if not (is_integer tx.tt && is_integer ty.tt) then error pos "comparison of non-scalars";
+    let t = usual_arith tx.tt ty.tt in
+    { te = Tbinop (op, cast_to pos t tx, cast_to pos t ty); tt = Bool }
+
+(* A C condition: any scalar, tested against zero. *)
+and elab_cond env (e : Ast.expr) : texpr =
+  let pos = e.pos in
+  match e.desc with
+  | Unop (Ulnot, x) ->
+    let b = elab_cond env x in
+    { te = Tunop (Ulnot, b); tt = Bool }
+  | Binop ((Bland | Blor) as op, x, y) ->
+    { te = Tbinop (op, elab_cond env x, elab_cond env y); tt = Bool }
+  | Binop ((Beq | Bne | Blt | Ble | Bgt | Bge) as op, x, y) -> elab_comparison env pos op x y
+  | _ ->
+    let tx = elab_expr env e in
+    if not (is_scalar tx.tt) then error pos "condition of type %s" (ctype_to_string tx.tt);
+    { te = Ttobool tx; tt = Bool }
+
+and elab_lvalue env (e : Ast.expr) : tlval =
+  let pos = e.pos in
+  match e.desc with
+  | Ident name -> (
+    match lookup_local env name with
+    | Some (renamed, t) -> Lvar (renamed, t)
+    | None -> (
+      match SMap.find_opt name env.genv.globals with
+      | Some t -> Lglobal (name, t)
+      | None -> error pos "undeclared identifier %s" name))
+  | Deref x -> (
+    let tx = elab_expr env x in
+    match tx.tt with
+    | Pointer Void -> error pos "dereference of void pointer"
+    | Pointer t -> Lmem (tx, t)
+    | t -> error pos "dereference of %s" (ctype_to_string t))
+  | Arrow (x, fname) -> (
+    let tx = elab_expr env x in
+    match tx.tt with
+    | Pointer t ->
+      let sname = struct_of pos env.genv.lenv t in
+      let fty = ctype_of_cty (Layout.field_type env.genv.lenv sname fname) in
+      Lfield (Lmem (tx, StructRef sname), sname, fname, fty)
+    | t -> error pos "-> on %s" (ctype_to_string t))
+  | Field (x, fname) ->
+    let base = elab_lvalue env x in
+    let sname = struct_of pos env.genv.lenv (lval_type base) in
+    let fty = ctype_of_cty (Layout.field_type env.genv.lenv sname fname) in
+    Lfield (base, sname, fname, fty)
+  | Index (x, i) -> (
+    let tx = elab_expr env x in
+    let ti = promote_e pos (elab_expr env i) in
+    match tx.tt with
+    | Pointer Void -> error pos "indexing a void pointer"
+    | Pointer t -> Lmem ({ te = Tptradd (tx, ti); tt = tx.tt }, t)
+    | t -> error pos "indexing %s" (ctype_to_string t))
+  | _ -> error pos "expression is not an lvalue"
+
+(* ------------------------------------------------------------------ *)
+(* Statement elaboration. *)
+
+let rec elab_stmt env (s : Ast.stmt) : tstmt =
+  let pos = s.spos in
+  match s.sdesc with
+  | Sskip -> Tskip
+  | Sexpr { desc = Assign (lhs, { desc = Call (fname, args); pos = cpos }); _ } ->
+    let lv = elab_lvalue env lhs in
+    elab_call env cpos (Some lv) fname args
+  | Sexpr { desc = Assign (lhs, rhs); _ } ->
+    let lv = elab_lvalue env lhs in
+    let rv = elab_expr env rhs in
+    let target = lval_type lv in
+    (match target with
+    | StructRef _ ->
+      if not (ctype_equal rv.tt target) then error pos "struct assignment type mismatch";
+      Tassign (lv, rv)
+    | _ -> Tassign (lv, cast_to pos target rv))
+  | Sexpr { desc = Call (fname, args); pos = cpos } -> elab_call env cpos None fname args
+  | Sexpr e -> error e.pos "expression statement has no effect"
+  | Sdecl (t, name, init) ->
+    if ctype_equal t Void then error pos "void variable";
+    let renamed = declare_local env pos name t in
+    (match init with
+    | None -> Tskip
+    | Some { desc = Call (fname, args); pos = cpos } ->
+      elab_call env cpos (Some (Lvar (renamed, t))) fname args
+    | Some e ->
+      let rv = elab_expr env e in
+      Tassign (Lvar (renamed, t), cast_to pos t rv))
+  | Sblock stmts ->
+    push_scope env;
+    let out = seq_of_list (List.map (elab_stmt env) stmts) in
+    pop_scope env;
+    out
+  | Sif (c, a, b) -> Tif (elab_cond env c, elab_stmt env a, elab_stmt env b)
+  | Swhile (c, body) -> Twhile (elab_cond env c, elab_stmt env body)
+  | Sdo (body, c) ->
+    (* do B while (c)  ≡  B; while (c) B *)
+    let b1 = elab_stmt env body in
+    let b2 = elab_stmt env body in
+    Tseq (b1, Twhile (elab_cond env c, b2))
+  | Sfor (init, cond, step, body) ->
+    push_scope env;
+    let init_s = match init with Some s -> elab_stmt env s | None -> Tskip in
+    let cond_e =
+      match cond with Some c -> elab_cond env c | None -> { te = Ttobool { te = Tconst (B.one, int_t); tt = int_t }; tt = Bool }
+    in
+    let step_s = match step with Some s -> elab_stmt env s | None -> Tskip in
+    let body_s = elab_stmt env body in
+    pop_scope env;
+    (* continue inside a for loop must run the step: we rely on the
+       restriction that the subset forbids continue inside for bodies. *)
+    check_no_continue pos body_s;
+    Tseq (init_s, Twhile (cond_e, Tseq (body_s, step_s)))
+  | Sbreak -> Tbreak
+  | Scontinue -> Tcontinue
+  | Sreturn None ->
+    if not (ctype_equal env.ret Void) then error pos "return without value";
+    Treturn None
+  | Sreturn (Some e) ->
+    if ctype_equal env.ret Void then error pos "return with value in void function";
+    let rv = elab_expr env e in
+    Treturn (Some (cast_to pos env.ret rv))
+
+and check_no_continue pos s =
+  match s with
+  | Tcontinue -> error pos "continue inside for body is not in the supported subset"
+  | Tseq (a, b) ->
+    check_no_continue pos a;
+    check_no_continue pos b
+  | Tif (_, a, b) ->
+    check_no_continue pos a;
+    check_no_continue pos b
+  | Twhile _ -> () (* continue inside nested while binds to that loop *)
+  | _ -> ()
+
+and elab_call env pos dest fname args =
+  match SMap.find_opt fname env.genv.funcs with
+  | None -> error pos "call to undeclared function %s" fname
+  | Some fsig ->
+    if List.length args <> List.length fsig.sig_params then
+      error pos "%s expects %d arguments" fname (List.length fsig.sig_params);
+    let targs =
+      List.map2
+        (fun (_, pt) a -> cast_to pos pt (elab_expr env a))
+        fsig.sig_params args
+    in
+    (match (dest, fsig.sig_ret) with
+    | Some _, Void -> error pos "assigning result of void function %s" fname
+    | Some lv, rt ->
+      if not (ctype_equal (lval_type lv) rt) then begin
+        (* insert a conversion through a temporary *)
+        env.fresh <- env.fresh + 1;
+        let tmp = Printf.sprintf "ret__%d" env.fresh in
+        env.locals <- (tmp, rt) :: env.locals;
+        let tmp_lv = Lvar (tmp, rt) in
+        let load = { te = Tload tmp_lv; tt = rt } in
+        Tseq (Tcall (Some tmp_lv, fname, targs), Tassign (lv, cast_to pos (lval_type lv) load))
+      end
+      else Tcall (Some lv, fname, targs)
+    | None, _ -> Tcall (dest, fname, targs))
+
+(* ------------------------------------------------------------------ *)
+(* Program elaboration. *)
+
+let elab_func genv (f : Ast.func) : tfunc =
+  let params = List.map (fun (t, n) -> (n, t)) f.fparams in
+  List.iter
+    (fun (n, t) -> if ctype_equal t Void then error f.fpos "void parameter %s" n)
+    params;
+  let env =
+    { genv; scopes = [ SMap.of_list (List.map (fun (n, t) -> (n, (n, t))) params) ];
+      locals = []; fresh = 0; ret = f.fret }
+  in
+  push_scope env;
+  let body = seq_of_list (List.map (elab_stmt env) f.fbody) in
+  {
+    tf_name = f.fname;
+    tf_ret = f.fret;
+    tf_params = params;
+    tf_locals = List.rev env.locals;
+    tf_body = body;
+  }
+
+let elab_program (prog : Ast.program) : tprog =
+  (* Pass 1: struct layouts, global types, function signatures. *)
+  let lenv =
+    List.fold_left
+      (fun lenv d ->
+        match d with
+        | Dstruct sd ->
+          let fields =
+            List.map (fun (t, n) -> (n, cty_of_ctype sd.stpos t)) sd.stfields
+          in
+          if Layout.has_struct lenv sd.stname then
+            error sd.stpos "redefinition of struct %s" sd.stname;
+          Layout.declare_struct lenv sd.stname fields
+        | Dglobal _ | Dfunc _ -> lenv)
+      Layout.empty prog
+  in
+  let globals =
+    List.fold_left
+      (fun m d ->
+        match d with
+        | Dglobal g ->
+          if ctype_equal g.gtype Void then error g.gpos "void global";
+          if g.ginit <> None then
+            error g.gpos "global initialisers are not in the supported subset";
+          SMap.add g.gname g.gtype m
+        | _ -> m)
+      SMap.empty prog
+  in
+  let funcs =
+    List.fold_left
+      (fun m d ->
+        match d with
+        | Dfunc f ->
+          if SMap.mem f.fname m then error f.fpos "redefinition of %s" f.fname;
+          SMap.add f.fname
+            { sig_ret = f.fret; sig_params = List.map (fun (t, n) -> (n, t)) f.fparams }
+            m
+        | _ -> m)
+      SMap.empty prog
+  in
+  let genv = { lenv; globals; funcs } in
+  (* Pass 2: function bodies. *)
+  let tfuncs =
+    List.filter_map (function Dfunc f -> Some (elab_func genv f) | _ -> None) prog
+  in
+  { tp_lenv = lenv; tp_globals = SMap.bindings globals; tp_funcs = tfuncs }
+
+let parse_and_check (src : string) : tprog = elab_program (Parser.parse_program src)

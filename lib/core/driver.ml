@@ -1,0 +1,298 @@
+module Ty = Ac_lang.Ty
+module E = Ac_lang.Expr
+module M = Ac_monad.M
+module Ir = Ac_simpl.Ir
+module Rules = Ac_kernel.Rules
+module Thm = Ac_kernel.Thm
+module J = Ac_kernel.Judgment
+
+(* The AutoCorres driver: runs the full pipeline of Fig 1 over a C program
+   and returns every intermediate representation together with the
+   refinement theorems connecting them.
+
+   Per-function options select word abstraction and heap abstraction
+   individually (paper Sec 3.2: "we allow the user to select whether to use
+   word abstraction or not on a per-function basis"; Sec 4.6: "allow the
+   user to indicate which functions should be abstracted and which should
+   remain in the low-level memory model"). *)
+
+type func_options = {
+  word_abs : bool;
+  heap_abs : bool;
+}
+
+let default_func_options = { word_abs = true; heap_abs = true }
+
+type options = {
+  defaults : func_options;
+  overrides : (string * func_options) list;
+  strategy : Wa.strategy;
+  (* Run the certified clean-up rewrites (guard discharge, inlining,
+     return-flow straightening).  Off only for the ablation study. *)
+  polish : bool;
+}
+
+let default_options =
+  { defaults = default_func_options; overrides = []; strategy = Wa.default_strategy;
+    polish = true }
+
+let options_for options fname =
+  match List.assoc_opt fname options.overrides with
+  | Some o -> o
+  | None -> options.defaults
+
+(* Everything the pipeline produced for one function. *)
+type func_result = {
+  fr_name : string;
+  fr_simpl : Ir.func;
+  fr_l1 : M.func;
+  fr_l1_thm : Thm.t;
+  fr_l2 : M.func;
+  fr_l2_thm : Thm.t;
+  fr_hl : M.func option; (* None when heap abstraction was off or inapplicable *)
+  fr_hl_thm : Thm.t option; (* the abs_h_stmt step *)
+  fr_hl_thms : Thm.t list; (* all heap-abstraction steps *)
+  fr_wa : M.func option;
+  fr_wa_thm : Thm.t option; (* the abs_w_stmt step *)
+  fr_wa_thms : Thm.t list;
+  fr_chain : Thm.t option; (* the end-to-end Fn_refines theorem *)
+  fr_final : M.func;
+  fr_skipped : (string * string) list; (* phase, reason *)
+}
+
+type result = {
+  source : string;
+  simpl : Ir.program;
+  l1_prog : M.program;
+  final_prog : M.program; (* the program a verification engineer works on *)
+  funcs : func_result list;
+  ctx : Rules.ctx;
+  heap_types : Ty.cty list;
+}
+
+let find_result res name = List.find_opt (fun r -> String.equal r.fr_name name) res.funcs
+
+let ( ||> ) x f = f x
+
+let run ?(options = default_options) (source : string) : result =
+  let simpl = Ac_simpl.C2simpl.parse source in
+  let lenv = simpl.Ir.lenv in
+  (* Which functions get which treatment. *)
+  let lifted =
+    List.filter_map
+      (fun (f : Ir.func) ->
+        if (options_for options f.Ir.name).heap_abs then Some f.Ir.name else None)
+      simpl.Ir.funcs
+  in
+  let base_ctx = { (Rules.empty_ctx lenv) with Rules.lifted } in
+  (* L1 for every function. *)
+  let l1_results =
+    List.map
+      (fun (f : Ir.func) ->
+        let l1f, thm = L1.convert_func base_ctx f in
+        (f, l1f, thm))
+      simpl.Ir.funcs
+  in
+  let l1_prog : M.program =
+    {
+      M.lenv;
+      globals = simpl.Ir.globals;
+      funcs = List.map (fun (_, f, _) -> f) l1_results;
+      heap_types = [];
+    }
+  in
+  (* L2.  The nothrow analysis is a fixpoint across functions: once a
+     callee's exception wrapper is eliminated, callers can eliminate theirs
+     too, so iterate until the nothrow set stabilises. *)
+  let l2_round nothrows =
+    let ctx = { base_ctx with Rules.nothrows } in
+    List.map
+      (fun (sf, l1f, l1_thm) ->
+        let l2f, l2_thm = L2.convert_func ~polish:options.polish ctx l1f in
+        (sf, l1f, l1_thm, l2f, l2_thm))
+      l1_results
+  in
+  let rec l2_fix nothrows round =
+    let results = l2_round nothrows in
+    let nothrows' =
+      List.filter_map
+        (fun (_, _, _, (l2f : M.func), _) ->
+          if Rules.nothrow_in nothrows l2f.M.body then Some l2f.M.name else None)
+        results
+    in
+    if round > List.length l1_results || List.length nothrows' = List.length nothrows then
+      (results, nothrows')
+    else l2_fix nothrows' (round + 1)
+  in
+  let l2_results, nothrows = l2_fix [] 0 in
+  (* Word-abstraction signatures, fixed up front so recursion and mutual
+     calls are consistent; functions whose abstraction fails are demoted to
+     identity signatures and the rest re-run (fixpoint). *)
+  let fsigs_for enabled_names =
+    List.map
+      (fun (_, _, _, (l2f : M.func), _) ->
+        let enabled = List.mem l2f.M.name enabled_names in
+        (l2f.M.name, Wa.func_sig ~enabled l2f))
+      l2_results
+  in
+  let initially_enabled =
+    List.filter_map
+      (fun (_, _, _, (l2f : M.func), _) ->
+        if (options_for options l2f.M.name).word_abs then Some l2f.M.name else None)
+      l2_results
+  in
+  let ctx = { base_ctx with Rules.fsigs = fsigs_for initially_enabled; nothrows } in
+  (* HL per function, with graceful fallback to the byte-level model. *)
+  let hl_results =
+    List.map
+      (fun (sf, l1f, l1_thm, l2f, l2_thm) ->
+        let name = (l2f : M.func).M.name in
+        let opts = options_for options name in
+        let skipped = ref [] in
+        let hl =
+          if not opts.heap_abs then None
+          else begin
+            match Hl.convert_func ~polish:options.polish ctx l2f with
+            | hf, thm -> Some (hf, thm)
+            | exception Hl.Not_liftable reason ->
+              skipped := ("heap_abstraction", reason) :: !skipped;
+              None
+            | exception Thm.Kernel_error reason ->
+              skipped := ("heap_abstraction", reason) :: !skipped;
+              None
+          end
+        in
+        (sf, l1f, l1_thm, l2f, l2_thm, hl, skipped))
+      l2_results
+  in
+  (* WA with the demotion fixpoint. *)
+  let try_wa wa_ctx after_hl =
+    match Wa.convert_func ~strategy:options.strategy ~polish:options.polish wa_ctx after_hl with
+    | wf, thm -> Result.Ok (wf, thm)
+    | exception Wa.Not_abstractable reason -> Result.Error reason
+    | exception Thm.Kernel_error reason -> Result.Error reason
+  in
+  let rec wa_fix enabled =
+    let wa_ctx = { ctx with Rules.fsigs = fsigs_for enabled } in
+    let attempts =
+      List.map
+        (fun (_, _, _, (l2f : M.func), _, hl, _) ->
+          let name = l2f.M.name in
+          if not (List.mem name enabled) then (name, None)
+          else begin
+            let after_hl = match hl with Some (hf, _) -> hf | None -> l2f in
+            match try_wa wa_ctx after_hl with
+            | Result.Ok r -> (name, Some (Result.Ok r))
+            | Result.Error e -> (name, Some (Result.Error e))
+          end)
+        hl_results
+    in
+    let failures =
+      List.filter_map
+        (fun (n, r) -> match r with Some (Result.Error _) -> Some n | _ -> None)
+        attempts
+    in
+    if failures = [] then (wa_ctx, attempts)
+    else wa_fix (List.filter (fun n -> not (List.mem n failures)) enabled)
+  in
+  let wa_ctx, wa_attempts = wa_fix initially_enabled in
+  let ctx = wa_ctx in
+  let funcs =
+    List.map
+      (fun (sf, l1f, l1_thm, l2f, l2_thm, hl, skipped) ->
+        let name = (l2f : M.func).M.name in
+        let opts = options_for options name in
+        let wa =
+          match List.assoc name wa_attempts with
+          | Some (Result.Ok r) -> Some r
+          | Some (Result.Error e) ->
+            skipped := ("word_abstraction", e) :: !skipped;
+            None
+          | None ->
+            if opts.word_abs && not (List.mem name (List.map fst ctx.Rules.fsigs)) then
+              skipped := ("word_abstraction", "demoted") :: !skipped;
+            None
+        in
+        (* Report demotion even when this function itself never failed. *)
+        (if opts.word_abs && wa = None && not (List.mem_assoc "word_abstraction" !skipped)
+         then skipped := ("word_abstraction", "demoted after a callee failed") :: !skipped);
+        let after_hl = match hl with Some (hf, _) -> hf | None -> l2f in
+        let final = match wa with Some (wf, _) -> wf | None -> after_hl in
+        let hl_thms = match hl with Some (_, ts) -> ts | None -> [] in
+        let wa_thms = match wa with Some (_, ts) -> ts | None -> [] in
+        (* The end-to-end refinement theorem: Corres_l1, the L2
+           equivalence, heap abstraction, word abstraction — the paper's
+           "chain of proofs linking the original C-Simpl input to the
+           final AutoCorres output". *)
+        let chain =
+          let wa_chain_ctx =
+            { ctx with Rules.wvars = Wa.collect_wvars ctx.Rules.fsigs after_hl }
+          in
+          Thm.by_opt wa_chain_ctx (Rules.Fn_chain name)
+            ((l1_thm :: l2_thm :: hl_thms) @ wa_thms)
+        in
+        {
+          fr_name = name;
+          fr_simpl = sf;
+          fr_l1 = l1f;
+          fr_l1_thm = l1_thm;
+          fr_l2 = l2f;
+          fr_l2_thm = l2_thm;
+          fr_hl = Option.map fst hl;
+          fr_hl_thm = (match hl with Some (_, t :: _) -> Some t | _ -> None);
+          fr_hl_thms = hl_thms;
+          fr_wa = Option.map fst wa;
+          fr_wa_thm = (match wa with Some (_, t :: _) -> Some t | _ -> None);
+          fr_wa_thms = wa_thms;
+          fr_chain = chain;
+          fr_final = final;
+          fr_skipped = List.rev !skipped;
+        })
+      hl_results
+  in
+  let heap_types =
+    funcs
+    ||> List.concat_map (fun fr ->
+            match fr.fr_hl with Some hf -> Hl.heap_types_of_func hf | None -> [])
+    ||> List.fold_left
+          (fun acc c -> if List.exists (Ty.cty_equal c) acc then acc else c :: acc)
+          []
+    ||> List.rev
+  in
+  let final_prog : M.program =
+    {
+      M.lenv;
+      globals = simpl.Ir.globals;
+      funcs = List.map (fun fr -> fr.fr_final) funcs;
+      heap_types;
+    }
+  in
+  { source; simpl; l1_prog; final_prog; funcs; ctx; heap_types }
+
+(* Re-validate every derivation the pipeline produced (the independent
+   checker pass). *)
+let check_all (res : result) : (unit, string) Result.t =
+  let rec check_thms = function
+    | [] -> Result.ok ()
+    | (ctx, t) :: rest -> (
+      match Thm.check ctx t with
+      | Result.Ok () -> check_thms rest
+      | Result.Error e -> Result.error e)
+  in
+  let all_thms =
+    List.concat_map
+      (fun fr ->
+        (* The word-abstraction derivation was built under the function's
+           variable registration; recompute it (deterministically) for the
+           re-check. *)
+        let wa_ctx =
+          let base = match fr.fr_hl with Some hf -> hf | None -> fr.fr_l2 in
+          { res.ctx with Rules.wvars = Wa.collect_wvars res.ctx.Rules.fsigs base }
+        in
+        [ (res.ctx, fr.fr_l1_thm); (res.ctx, fr.fr_l2_thm) ]
+        @ List.map (fun t -> (res.ctx, t)) fr.fr_hl_thms
+        @ List.map (fun t -> (wa_ctx, t)) fr.fr_wa_thms
+        @ match fr.fr_chain with Some t -> [ (wa_ctx, t) ] | None -> [])
+      res.funcs
+  in
+  check_thms all_thms

@@ -1,0 +1,78 @@
+(** The AutoCorres driver: the library's main entry point.
+
+    [run] executes the full pipeline of the paper's Fig 1 over a C source
+    string — parsing, conservative Simpl translation, L1 monadic
+    conversion, L2 control-flow simplification and local-variable lifting,
+    heap abstraction (Sec 4) and word abstraction (Sec 3) — and returns
+    every intermediate representation together with kernel theorems
+    connecting them, culminating in one end-to-end refinement theorem per
+    function. *)
+
+module Ty = Ac_lang.Ty
+module M = Ac_monad.M
+module Ir = Ac_simpl.Ir
+module Rules = Ac_kernel.Rules
+module Thm = Ac_kernel.Thm
+
+(** Per-function abstraction switches (paper Secs 3.2 and 4.6). *)
+type func_options = {
+  word_abs : bool;  (** abstract machine words to ideal ℕ/ℤ *)
+  heap_abs : bool;  (** lift the byte heap to typed split heaps *)
+}
+
+val default_func_options : func_options
+
+type options = {
+  defaults : func_options;
+  overrides : (string * func_options) list;  (** per-function exceptions *)
+  strategy : Wa.strategy;  (** word-abstraction rule-set extensions (Sec 3.3) *)
+  polish : bool;
+      (** run the certified clean-up rewrites; disable only for ablation *)
+}
+
+val default_options : options
+
+(** Everything the pipeline produced for one function. *)
+type func_result = {
+  fr_name : string;
+  fr_simpl : Ir.func;  (** the C parser's Simpl translation *)
+  fr_l1 : M.func;  (** after monadic conversion *)
+  fr_l1_thm : Thm.t;  (** [Corres_l1] for the L1 image *)
+  fr_l2 : M.func;  (** after flow simplification + local lifting *)
+  fr_l2_thm : Thm.t;  (** L1 ≡ L2 equivalence *)
+  fr_hl : M.func option;  (** after heap abstraction, when selected *)
+  fr_hl_thm : Thm.t option;  (** the [Abs_h_stmt] step *)
+  fr_hl_thms : Thm.t list;
+  fr_wa : M.func option;  (** after word abstraction, when selected *)
+  fr_wa_thm : Thm.t option;  (** the [Abs_w_stmt] step *)
+  fr_wa_thms : Thm.t list;
+  fr_chain : Thm.t option;
+      (** the end-to-end [Fn_refines] theorem: the final output refines the
+          Simpl input through every phase *)
+  fr_final : M.func;  (** what the verification engineer reasons about *)
+  fr_skipped : (string * string) list;
+      (** phases that fell back (phase, reason), e.g. type-unsafe code that
+          could not be heap-lifted *)
+}
+
+type result = {
+  source : string;
+  simpl : Ir.program;
+  l1_prog : M.program;
+  final_prog : M.program;
+  funcs : func_result list;
+  ctx : Rules.ctx;  (** the kernel context the derivations live in *)
+  heap_types : Ty.cty list;  (** the split heaps of the abstract state *)
+}
+
+val options_for : options -> string -> func_options
+val find_result : result -> string -> func_result option
+
+(** Run the pipeline on a C source string.
+    @raise Ac_cfront.Typecheck.Type_error or {!Ac_cfront.Parser.Parse_error}
+    on inputs outside the supported subset. *)
+val run : ?options:options -> string -> result
+
+(** Independently re-validate every derivation the pipeline produced
+    (including the per-function end-to-end chains). *)
+val check_all : result -> (unit, string) Result.t

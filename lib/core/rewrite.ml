@@ -1,0 +1,135 @@
+module Ty = Ac_lang.Ty
+module E = Ac_lang.Expr
+module M = Ac_monad.M
+module Ir = Ac_simpl.Ir
+module Rules = Ac_kernel.Rules
+module Thm = Ac_kernel.Thm
+module J = Ac_kernel.Judgment
+
+(* The certified rewrite engine.
+
+   Applies the kernel's equivalence rules bottom-up to a fixed point,
+   composing the steps with transitivity and congruence, so the result is a
+   single [Equiv (simplified, original)] theorem.  This engine drives the
+   paper's L2 clean-up steps: plain translation artefacts, guard
+   de-duplication and discharging, and exception-flow simplification. *)
+
+let abs_of (thm : Thm.t) : M.t =
+  match Thm.concl thm with
+  | J.Equiv (a, _) -> a
+  | _ -> invalid_arg "Rewrite.abs_of"
+
+(* Equiv(b, m) ∘ Equiv(a, b) = Equiv(a, m). *)
+let trans ctx (newer : Thm.t) (older : Thm.t) : Thm.t =
+  Thm.by ctx Rules.Eq_trans [ newer; older ]
+
+(* The head-rewrite table: candidate rules in priority order; the first one
+   whose side conditions hold wins. *)
+let head_rules (m : M.t) : Rules.rule list =
+  let cond_rules =
+    match m with
+    | M.Cond (E.Const (Ac_lang.Value.Vbool true), a, b) -> [ Rules.Rw_cond_true (a, b) ]
+    | M.Cond (E.Const (Ac_lang.Value.Vbool false), a, b) -> [ Rules.Rw_cond_false (a, b) ]
+    | M.Cond (c, a, b) when M.equal a b -> [ Rules.Rw_cond_same (c, a) ]
+    | M.Cond (c, ((M.Return _ | M.Gets _) as x), ((M.Return _ | M.Gets _) as y)) ->
+      [ Rules.Rw_cond_return (c, x, y) ]
+    | _ -> []
+  in
+  let bind_rules =
+    match m with
+    | M.Bind (M.Throw e, p, b) -> [ Rules.Rw_dead_after_throw (e, p, b) ]
+    | M.Bind (M.Fail, p, b) -> [ Rules.Rw_dead_after_fail (p, b) ]
+    | M.Bind ((M.Return e as a), p, b) -> [ Rules.Rw_return_bind (a, p, b) ]
+    | M.Bind ((M.Gets e as a), p, b) when not (E.reads_state e) ->
+      [ Rules.Rw_gets_bind (a, p, b) ]
+    | _ -> []
+  in
+  let tail_rules =
+    match m with
+    | M.Bind (a, ((M.Pvar _ | M.Ptuple _) as p), M.Return e)
+      when E.equal e (M.pat_expr p) ->
+      [ Rules.Rw_bind_return (a, p) ]
+    | _ -> []
+  in
+  let assoc_rules =
+    match m with
+    | M.Bind (M.Bind (a, p, b), q, c) -> [ Rules.Rw_bind_assoc (a, p, b, q, c) ]
+    | _ -> []
+  in
+  let prune_rules =
+    match m with
+    | M.Bind (M.While ((M.Ptuple ips as ip), c, body, init), (M.Ptuple _ as qp), k) ->
+      List.mapi (fun i _ -> Rules.Rw_prune_loop (i, ip, c, body, init, qp, k)) ips
+    | _ -> []
+  in
+  let other =
+    match m with
+    | M.Gets e -> [ Rules.Rw_gets_pure e ]
+    | M.Guard (k, E.Const (Ac_lang.Value.Vbool true)) -> [ Rules.Rw_guard_true k ]
+    | M.Try (a, p, h) -> [ Rules.Rw_try_nothrow (a, p, h) ]
+    | _ -> []
+  in
+  cond_rules @ bind_rules @ tail_rules @ prune_rules @ assoc_rules @ other
+
+(* Inline only cheap expressions to avoid size blow-up (standard
+   let-inlining heuristic); the kernel rule itself is indifferent. *)
+let cheap e =
+  match e with
+  | E.Var _ | E.Const _ | E.Global _ | E.Tuple _ -> true
+  | _ -> E.size e <= 8
+
+let want_head_rewrite (m : M.t) =
+  match m with
+  | M.Bind (M.Return e, _, _) when not (cheap e) -> false
+  | M.Bind (M.Gets e, M.Pvar (x, _), b) when not (cheap e) ->
+    (* still inline single-use bindings *)
+    let uses = ref 0 in
+    M.iter_exprs
+      (fun expr ->
+        List.iter (fun v -> if String.equal v x then incr uses) (E.free_vars expr))
+      b;
+    !uses <= 1
+  | _ -> true
+
+let rec try_head (ctx : Rules.ctx) (m : M.t) : Thm.t option =
+  if not (want_head_rewrite m) then None
+  else
+    List.fold_left
+      (fun acc rule -> match acc with Some _ -> acc | None -> Thm.by_opt ctx rule [])
+      None (head_rules m)
+
+(* One bottom-up pass: normalise children via congruence, then rewrite the
+   head to a fixed point. *)
+let rec pass (ctx : Rules.ctx) (m : M.t) : Thm.t =
+  let congr =
+    match m with
+    | M.Bind (a, p, b) -> Thm.by ctx (Rules.Eq_bind p) [ pass ctx a; pass ctx b ]
+    | M.Try (a, p, b) -> Thm.by ctx (Rules.Eq_try p) [ pass ctx a; pass ctx b ]
+    | M.Cond (c, a, b) -> Thm.by ctx (Rules.Eq_cond c) [ pass ctx a; pass ctx b ]
+    | M.While (p, c, body, init) ->
+      Thm.by ctx (Rules.Eq_while (p, c, init)) [ pass ctx body ]
+    | _ -> Thm.by ctx (Rules.Eq_refl m) []
+  in
+  head_fix ctx congr
+
+and head_fix ctx (thm : Thm.t) : Thm.t =
+  match try_head ctx (abs_of thm) with
+  | Some step -> head_fix ctx (trans ctx step thm)
+  | None -> thm
+
+(* Normalise to a global fixed point (with the expression simplifier run
+   between passes), bounded for safety. *)
+let normalize ?(max_passes = 12) (ctx : Rules.ctx) (m : M.t) : Thm.t =
+  let rec go n thm =
+    if n >= max_passes then thm
+    else begin
+      let before = abs_of thm in
+      let simped = trans ctx (Thm.by ctx (Rules.Rw_simp before) []) thm in
+      let discharged =
+        trans ctx (Thm.by ctx (Rules.Rw_discharge (abs_of simped)) []) simped
+      in
+      let next = trans ctx (pass ctx (abs_of discharged)) discharged in
+      if M.equal (abs_of next) before then next else go (n + 1) next
+    end
+  in
+  go 0 (Thm.by ctx (Rules.Eq_refl m) [])

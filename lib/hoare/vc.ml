@@ -1,0 +1,527 @@
+module B = Ac_bignum
+module W = Ac_word
+module Ty = Ac_lang.Ty
+module E = Ac_lang.Expr
+module Value = Ac_lang.Value
+module Layout = Ac_lang.Layout
+module M = Ac_monad.M
+module T = Ac_prover.Term
+module SMap = Map.Make (String)
+
+(* Weakest-precondition verification-condition generation over abstracted
+   monadic programs.
+
+   The symbolic state is exactly the state the heap-abstraction phase
+   presents: one array per lifted type (split per struct field, i.e. the
+   Burstall-Bornat model Mehta and Nipkow verified against), one validity
+   array per type, and the global variables.  Guards are proof obligations
+   (total correctness); loops are cut at user-supplied invariants with
+   optional termination measures. *)
+
+exception Unsupported of string
+
+let unsupported fmt = Format.kasprintf (fun m -> raise (Unsupported m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic state. *)
+
+type sym_state = { arrays : T.t SMap.t (* array/scalar state components *) }
+
+let heap_name (c : Ty.cty) = "heap_" ^ Ty.cty_mangle c
+let valid_name (c : Ty.cty) = "valid_" ^ Ty.cty_mangle c
+let field_heap_name sname fname = Printf.sprintf "heap_%s_%s" sname fname
+let global_name g = "g_" ^ g
+
+let state_get st name =
+  match SMap.find_opt name st.arrays with
+  | Some t -> t
+  | None -> unsupported "state component %s" name
+
+let state_set st name v = { arrays = SMap.add name v st.arrays }
+
+(* The state components of a program: used to build the initial state and
+   to havoc at loop heads. *)
+let state_components (prog : M.program) : (string * T.sort) list =
+  let heaps =
+    List.concat_map
+      (fun (c : Ty.cty) ->
+        match c with
+        | Ty.Cstruct n ->
+          (valid_name c, T.Sarr T.Sbool)
+          :: List.map
+               (fun (f : Layout.field) ->
+                 (field_heap_name n f.Layout.fname, T.Sarr T.Sint))
+               (Layout.fields_of prog.M.lenv n)
+        | _ -> [ (heap_name c, T.Sarr T.Sint); (valid_name c, T.Sarr T.Sbool) ])
+      prog.M.heap_types
+  in
+  let globals =
+    List.map
+      (fun (g, t) ->
+        ( global_name g,
+          match t with
+          | Ty.Tbool -> T.Sbool
+          | _ -> T.Sint ))
+      prog.M.globals
+  in
+  heaps @ globals
+
+let initial_state (prog : M.program) : sym_state =
+  {
+    arrays =
+      List.fold_left
+        (fun m (n, s) -> SMap.add n (T.Var (n, s)) m)
+        SMap.empty (state_components prog);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Values: tuple spines of terms (loop iterators are tuples). *)
+
+type tv = Tone of T.t | Ttup of tv list
+
+let rec tv_to_term = function
+  | Tone t -> t
+  | Ttup [ x ] -> tv_to_term x
+  | Ttup _ -> unsupported "tuple value in scalar position"
+
+let unit_tv = Ttup []
+
+(* ------------------------------------------------------------------ *)
+(* Expression translation. *)
+
+type env = {
+  vars : tv SMap.t; (* program variables *)
+  lenv : Layout.env;
+}
+
+let pow2 n = T.Int (B.pow2 n)
+let umax w = T.Int (B.pred (B.pow2 (W.bits w)))
+
+(* The signed reinterpretation of an unsigned representative. *)
+let sint_of w (t : T.t) =
+  T.ite_t
+    (T.lt_t t (pow2 (W.bits w - 1)))
+    t
+    (T.sub_t t (pow2 (W.bits w)))
+
+let rec tr_expr (env : env) (st : sym_state) (e : E.t) : tv =
+  let scalar e = tv_to_term (tr_expr env st e) in
+  match e with
+  | E.Const v -> tr_value v
+  | E.Var (x, _) -> (
+    match SMap.find_opt x env.vars with
+    | Some t -> t
+    | None -> unsupported "unbound variable %s" x)
+  | E.Global (g, _) -> Tone (state_get st (global_name g))
+  | E.Unop (E.Neg, x) -> Tone (T.App (T.Neg, [ scalar x ]))
+  | E.Unop (E.Not, x) -> Tone (T.not_t (scalar x))
+  | E.Unop (E.Bnot, _) -> unsupported "bitwise complement in VC"
+  | E.Binop (op, a, b) -> Tone (tr_binop env st op a b)
+  | E.Ite (c, a, b) -> Tone (T.ite_t (scalar c) (scalar a) (scalar b))
+  | E.Cast (Ty.Tword (_, w), x) ->
+    (* re-concretisation: reduce to the unsigned representative *)
+    Tone (T.App (T.Mod, [ scalar x; pow2 (W.bits w) ]))
+  | E.Cast ((Ty.Tint | Ty.Tnat), x) -> Tone (scalar x)
+  | E.Cast (Ty.Tptr _, x) -> Tone (scalar x)
+  | E.Cast (t, _) -> unsupported "cast to %s in VC" (Ty.to_string t)
+  | E.OfWord (Ty.Tnat, x) -> Tone (scalar x) (* words are their unsigned value *)
+  | E.OfWord (Ty.Tint, x) -> (
+    match word_width x with
+    | Some w -> Tone (sint_of w (scalar x))
+    | None -> unsupported "sint of unknown width")
+  | E.OfWord _ -> unsupported "of_word in VC"
+  | E.TypedRead (c, p) -> (
+    match c with
+    | Ty.Cstruct _ -> unsupported "whole-struct read in VC"
+    | _ -> Tone (T.select_t (state_get st (heap_name c)) (scalar p)))
+  | E.StructGet (sname, fname, E.TypedRead (Ty.Cstruct s, p)) when String.equal s sname ->
+    Tone (T.select_t (state_get st (field_heap_name sname fname)) (scalar p))
+  | E.StructGet _ -> unsupported "struct access outside the split-heap pattern"
+  | E.IsValid (c, p) -> Tone (T.select_t (state_get st (valid_name c)) (scalar p))
+  | E.PtrAligned _ | E.PtrSpan _ -> unsupported "byte-level guard in VC"
+  | E.HeapRead _ -> unsupported "byte-level heap read in VC"
+  | E.PtrAdd (c, p, n) ->
+    let size = Layout.size_of env.lenv c in
+    let idx =
+      match word_sign n with
+      | Some (Ty.Signed, w) -> sint_of w (scalar n)
+      | _ -> scalar n
+    in
+    Tone (T.add_t (scalar p) (T.mul_t (T.int_of size) idx))
+  | E.FieldAddr _ -> unsupported "field address in VC (use the split heaps)"
+  | E.StructSet _ -> unsupported "struct update outside a heap write"
+  | E.Tuple es -> Ttup (List.map (tr_expr env st) es)
+  | E.Proj (i, x) -> (
+    match tr_expr env st x with
+    | Ttup vs when i < List.length vs -> List.nth vs i
+    | _ -> unsupported "projection of non-tuple")
+
+and tr_value (v : Value.t) : tv =
+  match v with
+  | Value.Vunit -> unit_tv
+  | Value.Vbool b -> Tone (T.Bool b)
+  | Value.Vint n -> Tone (T.Int n)
+  | Value.Vnat n -> Tone (T.Int n)
+  | Value.Vword (_, w) -> Tone (T.Int (W.unat w))
+  | Value.Vptr (a, _) -> Tone (T.Int a)
+  | Value.Vtuple vs -> Ttup (List.map tr_value vs)
+  | Value.Vstruct _ -> unsupported "struct literal in VC"
+
+and word_width (e : E.t) : Ty.width option =
+  match word_sign e with Some (_, w) -> Some w | None -> None
+
+and word_sign (e : E.t) : (Ty.sign * Ty.width) option =
+  match e with
+  | E.Const (Value.Vword (s, w)) -> Some (s, W.width_of w)
+  | E.Var (_, Ty.Tword (s, w)) | E.Global (_, Ty.Tword (s, w)) -> Some (s, w)
+  | E.Cast (Ty.Tword (s, w), _) -> Some (s, w)
+  | E.Binop (_, a, b) -> (
+    match word_sign a with Some x -> Some x | None -> word_sign b)
+  | E.Ite (_, a, b) -> ( match word_sign a with Some x -> Some x | None -> word_sign b)
+  | E.TypedRead (Ty.Cword (s, w), _) | E.HeapRead (Ty.Cword (s, w), _) -> Some (s, w)
+  | _ -> None
+
+and tr_binop env st (op : E.binop) (a : E.t) (b : E.t) : T.t =
+  let sa = tv_to_term (tr_expr env st a) and sb = tv_to_term (tr_expr env st b) in
+  let is_word = word_sign a <> None || word_sign b <> None in
+  let is_nat =
+    (* ideal naturals: monus semantics for subtraction *)
+    let rec nat_hint (e : E.t) =
+      match e with
+      | E.Const (Value.Vnat _) -> true
+      | E.Var (_, Ty.Tnat) | E.Global (_, Ty.Tnat) -> true
+      | E.OfWord (Ty.Tnat, _) -> true
+      | E.Binop (_, x, y) -> nat_hint x || nat_hint y
+      | E.Ite (_, x, y) -> nat_hint x || nat_hint y
+      | E.Cast (Ty.Tnat, _) -> true
+      | _ -> false
+    in
+    nat_hint a
+  in
+  let wrap ?(offset = false) t =
+    (* Words are represented by their unsigned value in [0, 2^w); reduction
+       is by mod.  For subtraction the dividend can be negative, and the
+       prover's mod is truncated, so shift by 2^w first (exact because both
+       operands are in range). *)
+    match (is_word, word_sign a, word_sign b) with
+    | true, Some (_, w), _ | true, _, Some (_, w) ->
+      let t = if offset then T.add_t t (pow2 (W.bits w)) else t in
+      T.App (T.Mod, [ t; pow2 (W.bits w) ])
+    | _ -> t
+  in
+  let signed_cmp mk =
+    match (word_sign a, word_sign b) with
+    | (Some (Ty.Signed, w), _ | _, Some (Ty.Signed, w)) when is_word ->
+      mk (sint_of w sa) (sint_of w sb)
+    | _ -> mk sa sb
+  in
+  match op with
+  | E.Add -> wrap (T.add_t sa sb)
+  | E.Sub ->
+    if is_word then wrap ~offset:true (T.sub_t sa sb)
+    else if is_nat then T.ite_t (T.le_t sb sa) (T.sub_t sa sb) T.zero
+    else T.sub_t sa sb
+  | E.Mul -> wrap (T.mul_t sa sb)
+  | E.Div -> T.App (T.Div, [ sa; sb ])
+  | E.Rem -> T.App (T.Mod, [ sa; sb ])
+  | E.Eq -> T.eq_t sa sb
+  | E.Ne -> T.not_t (T.eq_t sa sb)
+  | E.Lt -> signed_cmp T.lt_t
+  | E.Le -> signed_cmp T.le_t
+  | E.Gt -> signed_cmp (fun x y -> T.lt_t y x)
+  | E.Ge -> signed_cmp (fun x y -> T.le_t y x)
+  | E.And -> T.and_t sa sb
+  | E.Or -> T.or_t sa sb
+  | E.Imp -> T.imp_t sa sb
+  | E.Shl | E.Shr | E.Band | E.Bor | E.Bxor -> unsupported "bit-level operator in VC"
+
+(* ------------------------------------------------------------------ *)
+(* State updates. *)
+
+let rec apply_smod env (st : sym_state) (sm : M.smod) : sym_state =
+  let scalar e = tv_to_term (tr_expr env st e) in
+  match sm with
+  | M.Typed_write (Ty.Cstruct sname, p, v) ->
+    (* decompose nested field updates rooted at the same pointer *)
+    let pt = scalar p in
+    let rec fields (e : E.t) (acc : (string * T.t) list) =
+      match e with
+      | E.StructSet (s, f, base, x) when String.equal s sname ->
+        fields base ((f, scalar x) :: acc)
+      | E.TypedRead (Ty.Cstruct s, p') when String.equal s sname && E.equal p' p -> acc
+      | _ -> unsupported "struct write outside the split-heap pattern"
+    in
+    List.fold_left
+      (fun st (f, x) ->
+        let hn = field_heap_name sname f in
+        state_set st hn (T.store_t (state_get st hn) pt x))
+      st
+      (fields v [])
+  | M.Typed_write (c, p, v) ->
+    let hn = heap_name c in
+    state_set st hn (T.store_t (state_get st hn) (scalar p) (scalar v))
+  | M.Global_set (g, e) -> state_set st (global_name g) (scalar e)
+  | M.Local_set _ -> unsupported "state-resident local in VC (run L2 first)"
+  | M.Heap_write _ | M.Retype _ -> unsupported "byte-level write in VC"
+
+(* ------------------------------------------------------------------ *)
+(* Loop annotations and function contracts. *)
+
+type invariant = {
+  inv : (string * tv) list -> (string * T.t) list -> sym_state -> T.t;
+      (* iterator bindings (by pattern variable name), ghost bindings,
+         current state *)
+  measure : ((string * tv) list -> (string * T.t) list -> sym_state -> T.t) option;
+      (* nat-valued; must decrease on every iteration *)
+  ghosts : (string * T.sort) list;
+      (* existentially quantified ghost variables of the invariant,
+         witnessed explicitly (ghost code), as in interactive proofs *)
+  ghost_init : (string * tv) list -> sym_state -> (string * T.t) list;
+  ghost_step :
+    (string * tv) list (* iterator before *) ->
+    (string * T.t) list (* ghosts before *) ->
+    sym_state (* state before *) ->
+    (string * tv) list (* iterator after *) ->
+    sym_state (* state after *) ->
+    (string * T.t) list;
+  hints : (string * tv) list -> (string * T.t) list -> sym_state -> T.t list;
+      (* lemma instances assumed while discharging this loop's VCs; they
+         must be instances of validated lemmas (see lib/cases) *)
+}
+
+(* An invariant with no ghosts and no hints. *)
+let simple_invariant ?measure inv =
+  {
+    inv = (fun binds _ st -> inv binds st);
+    measure =
+      (match measure with
+      | Some m -> Some (fun binds _ st -> m binds st)
+      | None -> None);
+    ghosts = [];
+    ghost_init = (fun _ _ -> []);
+    ghost_step = (fun _ _ _ _ _ -> []);
+    hints = (fun _ _ _ -> []);
+  }
+
+type contract = {
+  pre : tv list -> sym_state -> T.t;
+  post : tv list -> tv -> sym_state -> sym_state -> T.t; (* args, result, pre & post states *)
+  modifies : string list; (* state components the callee may change *)
+}
+
+type config = {
+  prog : M.program;
+  invariants : (string * int, invariant) Hashtbl.t; (* function, loop index *)
+  contracts : (string, contract) Hashtbl.t;
+  mutable fresh : int;
+}
+
+let make_config prog = { prog; invariants = Hashtbl.create 8; contracts = Hashtbl.create 8; fresh = 0 }
+
+let add_invariant cfg fname idx inv = Hashtbl.replace cfg.invariants (fname, idx) inv
+let add_contract cfg fname c = Hashtbl.replace cfg.contracts fname c
+
+let fresh_var cfg base sort =
+  cfg.fresh <- cfg.fresh + 1;
+  T.Var (Printf.sprintf "%s!%d" base cfg.fresh, sort)
+
+(* Havoc the mutable state (fresh array variables) for a loop head. *)
+let havoc_state cfg (st : sym_state) : sym_state =
+  { arrays = SMap.mapi (fun name t -> fresh_var cfg name (T.sort_of t)) st.arrays }
+
+let havoc_some cfg names (st : sym_state) : sym_state =
+  {
+    arrays =
+      SMap.mapi
+        (fun name t -> if List.mem name names then fresh_var cfg name (T.sort_of t) else t)
+        st.arrays;
+  }
+
+(* Fresh variables matching a pattern. *)
+let rec fresh_pat cfg (p : M.pat) : tv * (string * tv) list =
+  match p with
+  | M.Pwild -> (Tone (fresh_var cfg "wild" T.Sint), [])
+  | M.Pvar (x, t) ->
+    let sort = match t with Ty.Tbool -> T.Sbool | _ -> T.Sint in
+    let v = Tone (fresh_var cfg x sort) in
+    (v, [ (x, v) ])
+  | M.Ptuple ps ->
+    let vs, binds = List.split (List.map (fresh_pat cfg) ps) in
+    (Ttup vs, List.concat binds)
+
+let rec bind_pat (p : M.pat) (v : tv) (vars : tv SMap.t) : tv SMap.t =
+  match (p, v) with
+  | M.Pwild, _ -> vars
+  | M.Pvar (x, _), v -> SMap.add x v vars
+  | M.Ptuple ps, Ttup vs when List.length ps = List.length vs ->
+    List.fold_left2 (fun m p v -> bind_pat p v m) vars ps vs
+  | M.Ptuple [ p ], v -> bind_pat p v vars
+  | M.Ptuple _, _ -> unsupported "pattern/tuple mismatch in VC"
+
+(* Nat-typed pattern variables are non-negative: collect those facts. *)
+let rec nonneg_facts (p : M.pat) (v : tv) : T.t list =
+  match (p, v) with
+  | M.Pvar (_, (Ty.Tnat | Ty.Tptr _)), Tone t -> [ T.le_t T.zero t ]
+  | M.Ptuple ps, Ttup vs when List.length ps = List.length vs ->
+    List.concat (List.map2 nonneg_facts ps vs)
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* WP.  [wp cfg fname env st m k] returns the VCs of executing [m] from
+   symbolic state [st], where [k v st'] gives the obligations of the
+   continuation.  Obligations are tracked as a conjunction; loop cuts also
+   emit side VCs through [emit]. *)
+
+type vcs = { mutable side : (string * T.t) list; fname : string; mutable loop_counter : int }
+
+let emit vcs label t = vcs.side <- (label, t) :: vcs.side
+
+let rec wp cfg (vcs : vcs) (env : env) (st : sym_state) (m : M.t)
+    (k : tv -> sym_state -> T.t) : T.t =
+  match m with
+  | M.Return e | M.Gets e -> k (tr_expr env st e) st
+  | M.Guard (_, g) ->
+    let g' = tv_to_term (tr_expr env st g) in
+    T.and_t g' (k unit_tv st)
+  | M.Fail -> T.ff
+  | M.Unknown t ->
+    let sort = match t with Ty.Tbool -> T.Sbool | _ -> T.Sint in
+    k (Tone (fresh_var cfg "unknown" sort)) st
+  | M.Modify sms -> k unit_tv (List.fold_left (fun st sm -> apply_smod env st sm) st sms)
+  | M.Throw _ -> unsupported "exceptional control flow in VC (function is not nothrow)"
+  | M.Try _ -> unsupported "try/catch in VC"
+  | M.Bind (a, p, b) ->
+    wp cfg vcs env st a (fun v st' ->
+        let env' = { env with vars = bind_pat p v env.vars } in
+        wp cfg vcs env' st' b k)
+  | M.Cond (c, a, b) ->
+    let c' = tv_to_term (tr_expr env st c) in
+    T.and_t
+      (T.imp_t c' (wp cfg vcs env st a k))
+      (T.imp_t (T.not_t c') (wp cfg vcs env st b k))
+  | M.While (p, cond, body, init) -> wp_loop cfg vcs env st (p, cond, body, init) k
+  | M.Call (f, args) | M.Exec_concrete (f, args) -> (
+    match Hashtbl.find_opt cfg.contracts f with
+    | None -> unsupported "no contract for %s" f
+    | Some c ->
+      let argv = List.map (tr_expr env st) args in
+      let pre_ok = c.pre argv st in
+      let st_post = havoc_some cfg c.modifies st in
+      let result = Tone (fresh_var cfg (f ^ "_ret") T.Sint) in
+      T.and_t pre_ok
+        (T.imp_t (c.post argv result st st_post) (k result st_post)))
+
+and wp_loop cfg vcs env st (p, cond, body, init) k =
+  let fname = vcs.fname in
+  let idx = vcs_next_loop vcs in
+  let inv =
+    match Hashtbl.find_opt cfg.invariants (fname, idx) with
+    | Some i -> i
+    | None -> unsupported "no invariant for loop %d of %s" idx fname
+  in
+  let init_v = tr_expr env st init in
+  let init_binds =
+    match bind_pat p init_v SMap.empty with m -> SMap.bindings m |> List.map (fun (x, v) -> (x, v))
+  in
+  (* 1. invariant holds initially, with explicit ghost witnesses *)
+  let vc_init = inv.inv init_binds (inv.ghost_init init_binds st) st in
+  (* 2. invariant + condition is preserved by the body (and the measure
+        decreases) — under a havoc'd state and fresh ghosts *)
+  let st_h = havoc_state cfg st in
+  let iter_v, iter_binds = fresh_pat cfg p in
+  let ghost_vars = List.map (fun (g, sort) -> (g, fresh_var cfg g sort)) inv.ghosts in
+  let env_h = { env with vars = bind_pat p iter_v env.vars } in
+  let nonneg = T.conj (nonneg_facts p iter_v) in
+  let cond_h = tv_to_term (tr_expr env_h st_h cond) in
+  let hint_facts = inv.hints iter_binds ghost_vars st_h in
+  let measure_before =
+    match inv.measure with
+    | Some m -> Some (m iter_binds ghost_vars st_h)
+    | None -> None
+  in
+  let body_obl =
+    wp cfg vcs env_h st_h body (fun v' st' ->
+        let binds' =
+          match bind_pat p v' SMap.empty with m -> SMap.bindings m
+        in
+        let ghosts' = inv.ghost_step iter_binds ghost_vars st_h binds' st' in
+        let keep = inv.inv binds' ghosts' st' in
+        match (measure_before, inv.measure) with
+        | Some m0, Some m ->
+          T.and_t keep
+            (T.and_t (T.le_t T.zero (m binds' ghosts' st')) (T.lt_t (m binds' ghosts' st') m0))
+        | _ -> keep)
+  in
+  emit vcs
+    (Printf.sprintf "%s: loop %d preserves its invariant" fname idx)
+    (T.imp_t
+       (T.conj ((nonneg :: inv.inv iter_binds ghost_vars st_h :: cond_h :: hint_facts)))
+       body_obl);
+  (* 3. invariant + negated condition implies the continuation *)
+  let st_x = havoc_state cfg st in
+  let exit_v, exit_binds = fresh_pat cfg p in
+  let ghost_vars_x = List.map (fun (g, sort) -> (g, fresh_var cfg g sort)) inv.ghosts in
+  let env_x = { env with vars = bind_pat p exit_v env.vars } in
+  let nonneg_x = T.conj (nonneg_facts p exit_v) in
+  let cond_x = tv_to_term (tr_expr env_x st_x cond) in
+  let hint_facts_x = inv.hints exit_binds ghost_vars_x st_x in
+  emit vcs
+    (Printf.sprintf "%s: loop %d exit establishes the postcondition" fname idx)
+    (T.imp_t
+       (T.conj
+          ((nonneg_x :: inv.inv exit_binds ghost_vars_x st_x :: T.not_t cond_x :: hint_facts_x)))
+       (k exit_v st_x));
+  vc_init
+
+and vcs_next_loop vcs =
+  (* loops are numbered in generation order within one [func_vcs] run *)
+  let v = vcs.loop_counter in
+  vcs.loop_counter <- v + 1;
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Top level: VCs for a Hoare triple about a function. *)
+
+type triple = {
+  t_pre : tv list -> sym_state -> T.t;
+  t_post : tv list -> tv -> sym_state -> sym_state -> T.t;
+}
+
+let func_vcs ?(hints : T.t list = []) (cfg : config) (fname : string) (triple : triple) :
+    (string * T.t) list =
+  match M.find_func cfg.prog fname with
+  | None -> unsupported "unknown function %s" fname
+  | Some f ->
+    let st0 = initial_state cfg.prog in
+    let args =
+      List.map
+        (fun (x, t) ->
+          let sort = match (t : Ty.t) with Ty.Tbool -> T.Sbool | _ -> T.Sint in
+          Tone (T.Var ("arg_" ^ x, sort)))
+        f.M.params
+    in
+    let arg_facts =
+      List.concat
+        (List.map2
+           (fun (_, t) v ->
+             match ((t : Ty.t), v) with
+             | (Ty.Tnat | Ty.Tptr _), Tone tm -> [ T.le_t T.zero tm ]
+             | Ty.Tword (_, w), Tone tm ->
+               (* machine-word arguments denote their unsigned representative *)
+               [ T.le_t T.zero tm; T.lt_t tm (pow2 (W.bits w)) ]
+             | _ -> [])
+           f.M.params args)
+    in
+    let vars =
+      List.fold_left2 (fun m (x, _) v -> SMap.add x v m) SMap.empty f.M.params args
+    in
+    let env = { vars; lenv = cfg.prog.M.lenv } in
+    let vcs = { side = []; fname; loop_counter = 0 } in
+    let main =
+      wp cfg vcs env st0 f.M.body (fun rv st' -> triple.t_post args rv st0 st')
+    in
+    let pre = T.conj ((triple.t_pre args st0 :: arg_facts) @ hints) in
+    (fname ^ ": main obligation", T.imp_t pre main)
+    :: List.rev_map
+         (fun (l, t) -> (l, T.imp_t (T.conj (arg_facts @ hints)) t))
+         vcs.side

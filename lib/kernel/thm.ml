@@ -1,0 +1,63 @@
+(* LCF-style theorems.
+
+   [t] is abstract outside this module (see the interface): the only way to
+   obtain one is [by], which runs the kernel's inference function.  A
+   theorem therefore carries, by construction, a valid derivation of its
+   conclusion from the rule base — exactly the discipline Isabelle enforces
+   for the paper's abstraction proofs.  [check] independently re-walks the
+   stored derivation, re-running every inference; it exists so that external
+   audits do not need to trust the phase code at all. *)
+
+type t = {
+  concl : Judgment.judgment;
+  rule : Rules.rule;
+  prems : t list;
+}
+
+exception Kernel_error of string
+
+let concl t = t.concl
+let rule_name t = Rules.rule_name t.rule
+let premises t = t.prems
+
+let by (ctx : Rules.ctx) (rule : Rules.rule) (prems : t list) : t =
+  match Rules.infer ctx rule (List.map (fun p -> p.concl) prems) with
+  | Result.Ok concl -> { concl; rule; prems }
+  | Result.Error msg ->
+    raise (Kernel_error (Printf.sprintf "%s: %s" (Rules.rule_name rule) msg))
+
+let by_opt ctx rule prems =
+  match Rules.infer ctx rule (List.map (fun p -> p.concl) prems) with
+  | Result.Ok concl -> Some { concl; rule; prems }
+  | Result.Error _ -> None
+
+(* Re-validate an entire derivation bottom-up. *)
+let rec check (ctx : Rules.ctx) (t : t) : (unit, string) result =
+  let rec check_all = function
+    | [] -> Result.ok ()
+    | p :: rest -> (
+      match check ctx p with
+      | Result.Ok () -> check_all rest
+      | Result.Error _ as e -> e)
+  in
+  match check_all t.prems with
+  | Result.Error _ as e -> e
+  | Result.Ok () -> (
+    match Rules.infer ctx t.rule (List.map (fun p -> p.concl) t.prems) with
+    | Result.Ok concl ->
+      if Judgment.judgment_equal concl t.concl then Result.ok ()
+      else Result.error ("conclusion mismatch at rule " ^ Rules.rule_name t.rule)
+    | Result.Error msg -> Result.error (Rules.rule_name t.rule ^ ": " ^ msg))
+
+(* Statistics and display. *)
+let rec size t = 1 + List.fold_left (fun n p -> n + size p) 0 t.prems
+
+let rec pp_derivation ?(depth = 0) ?(max_depth = max_int) fmt t =
+  if depth <= max_depth then begin
+    Format.fprintf fmt "%s%s: %a@." (String.make (2 * depth) ' ') (rule_name t)
+      Judgment.pp_judgment t.concl;
+    List.iter (pp_derivation ~depth:(depth + 1) ~max_depth fmt) t.prems
+  end
+
+let derivation_to_string ?max_depth t =
+  Format.asprintf "%a" (fun fmt -> pp_derivation ?max_depth fmt) t

@@ -1,0 +1,29 @@
+(** LCF-style theorems: values of type [t] can only be produced by [by],
+    which validates every rule application against the kernel's rule base
+    ([Rules.infer]).  The stored derivation can be independently re-checked
+    with [check]. *)
+
+type t
+
+exception Kernel_error of string
+
+(** The judgment this theorem establishes. *)
+val concl : t -> Judgment.judgment
+
+val rule_name : t -> string
+val premises : t -> t list
+
+(** Apply a kernel rule to premise theorems.
+    @raise Kernel_error if the rule's side conditions fail. *)
+val by : Rules.ctx -> Rules.rule -> t list -> t
+
+val by_opt : Rules.ctx -> Rules.rule -> t list -> t option
+
+(** Independently re-validate the entire stored derivation. *)
+val check : Rules.ctx -> t -> (unit, string) result
+
+(** Number of rule applications in the derivation. *)
+val size : t -> int
+
+val pp_derivation : ?depth:int -> ?max_depth:int -> Format.formatter -> t -> unit
+val derivation_to_string : ?max_depth:int -> t -> string

@@ -1,0 +1,50 @@
+(* Byte-level encoding of storable values: the bridge between the byte
+   heap (word32 => word8, paper Sec 4.1) and typed values.  Little-endian,
+   matching the architecture fixed in [Layout]. *)
+
+module B = Ac_bignum
+module W = Ac_word
+
+exception Not_storable of string
+
+(* [encode env v] is the little-endian byte image of [v]; padding bytes in
+   structs are zero. *)
+let rec encode env (v : Value.t) : int list =
+  match v with
+  | Vword (_, w) -> W.to_bytes w
+  | Vptr (a, _) -> W.to_bytes (W.of_bignum (Layout.ptr_width env) a)
+  | Vstruct (n, fs) ->
+    let def = Layout.find_struct env n in
+    let img = Array.make def.ssize 0 in
+    List.iter
+      (fun (f : Layout.field) ->
+        let fv =
+          match List.assoc_opt f.fname fs with
+          | Some fv -> fv
+          | None -> raise (Not_storable ("missing field " ^ f.fname))
+        in
+        List.iteri (fun i byte -> img.(f.foffset + i) <- byte) (encode env fv))
+      def.fields;
+    Array.to_list img
+  | Vunit | Vbool _ | Vint _ | Vnat _ | Vtuple _ ->
+    raise (Not_storable (Value.to_string v))
+
+(* [decode env c read_byte addr] reconstructs a value of C type [c] from the
+   bytes at [addr].  Total: any byte pattern decodes (the heap model has no
+   trap representations). *)
+let rec decode env (c : Ty.cty) (read_byte : B.t -> int) (addr : B.t) : Value.t =
+  let byte i = read_byte (B.add addr (B.of_int i)) in
+  let bytes n = List.init n byte in
+  match c with
+  | Cword (s, w) -> Vword (s, W.of_bytes w (bytes (W.bits w / 8)))
+  | Cptr pointee ->
+    let w = W.of_bytes (Layout.ptr_width env) (bytes (Layout.ptr_bytes env)) in
+    Vptr (W.unat w, pointee)
+  | Cstruct n ->
+    let def = Layout.find_struct env n in
+    Vstruct
+      ( n,
+        List.map
+          (fun (f : Layout.field) ->
+            (f.fname, decode env f.fty read_byte (B.add addr (B.of_int f.foffset))))
+          def.fields )

@@ -1,0 +1,91 @@
+(* Memory layout: sizes, alignments and struct field offsets.
+
+   The paper's model fixes a 32-bit two's-complement architecture; we keep
+   the pointer width in the environment so the model's assumptions are
+   explicit (cf. Sec 6: "our model makes explicit compiler and architecture
+   assumptions"). *)
+
+module W = Ac_word
+module SMap = Map.Make (String)
+
+type field = {
+  fname : string;
+  fty : Ty.cty;
+  foffset : int; (* bytes from the start of the struct *)
+}
+
+type struct_def = {
+  sname : string;
+  fields : field list; (* in declaration order *)
+  ssize : int; (* bytes, padded to alignment *)
+  salign : int;
+}
+
+type env = {
+  ptr_width : W.width;
+  structs : struct_def SMap.t;
+}
+
+exception Unknown_struct of string
+exception Unknown_field of string * string
+
+let empty = { ptr_width = W.W32; structs = SMap.empty }
+
+let ptr_width env = env.ptr_width
+let ptr_bytes env = W.bits env.ptr_width / 8
+
+let find_struct env name =
+  match SMap.find_opt name env.structs with
+  | Some d -> d
+  | None -> raise (Unknown_struct name)
+
+let rec size_of env (c : Ty.cty) =
+  match c with
+  | Cword (_, w) -> W.bits w / 8
+  | Cptr _ -> ptr_bytes env
+  | Cstruct n -> (find_struct env n).ssize
+
+let rec align_of env (c : Ty.cty) =
+  match c with
+  | Cword (_, w) -> W.bits w / 8
+  | Cptr _ -> ptr_bytes env
+  | Cstruct n -> (find_struct env n).salign
+
+let round_up n a = (n + a - 1) / a * a
+
+(* Standard C layout: each field at the next offset aligned for its type;
+   struct alignment is the max field alignment; size padded to alignment. *)
+let declare_struct env name field_tys =
+  if field_tys = [] then invalid_arg "Layout.declare_struct: empty struct";
+  let fields, size, align =
+    List.fold_left
+      (fun (fields, off, align) (fname, fty) ->
+        let a = align_of env fty in
+        let off = round_up off a in
+        ({ fname; fty; foffset = off } :: fields, off + size_of env fty, max align a))
+      ([], 0, 1) field_tys
+  in
+  let fields = List.rev fields in
+  let def = { sname = name; fields; ssize = round_up size align; salign = align } in
+  { env with structs = SMap.add name def env.structs }
+
+let field_def env sname fname =
+  let d = find_struct env sname in
+  match List.find_opt (fun f -> String.equal f.fname fname) d.fields with
+  | Some f -> f
+  | None -> raise (Unknown_field (sname, fname))
+
+let field_offset env sname fname = (field_def env sname fname).foffset
+let field_type env sname fname = (field_def env sname fname).fty
+let fields_of env sname = (find_struct env sname).fields
+let struct_names env = SMap.bindings env.structs |> List.map fst
+let has_struct env name = SMap.mem name env.structs
+
+(* All object types reachable from [c] by following struct fields: a struct
+   heap entails heaps for its field types when the program reads fields
+   directly. *)
+let rec component_types env (c : Ty.cty) =
+  match c with
+  | Cword _ | Cptr _ -> [ c ]
+  | Cstruct n ->
+    c :: List.concat_map (fun f -> component_types env f.fty) (fields_of env n)

@@ -1,0 +1,115 @@
+(* Types of the specification language.
+
+   The language spans both ends of the paper's pipeline: machine types
+   ([Tword]) as produced by the C parser, and ideal types ([Tint], [Tnat]) as
+   produced by word abstraction.  C object types ([cty]) classify what can
+   live in memory and index the typed heaps of the heap-abstraction phase. *)
+
+module W = Ac_word
+
+type sign = W.sign = Signed | Unsigned
+type width = W.width = W8 | W16 | W32 | W64
+
+(* C object types: things with a size that can be stored in the heap. *)
+type cty =
+  | Cword of sign * width
+  | Cptr of cty
+  | Cstruct of string
+
+(* Specification types. *)
+type t =
+  | Tunit
+  | Tbool
+  | Tword of sign * width (* machine integer *)
+  | Tint (* ideal integer, ℤ *)
+  | Tnat (* ideal natural, ℕ *)
+  | Tptr of cty
+  | Tstruct of string
+  | Ttuple of t list
+
+let rec cty_equal a b =
+  match (a, b) with
+  | Cword (s1, w1), Cword (s2, w2) -> s1 = s2 && w1 = w2
+  | Cptr a, Cptr b -> cty_equal a b
+  | Cstruct n, Cstruct m -> String.equal n m
+  | (Cword _ | Cptr _ | Cstruct _), _ -> false
+
+let rec equal a b =
+  match (a, b) with
+  | Tunit, Tunit | Tbool, Tbool | Tint, Tint | Tnat, Tnat -> true
+  | Tword (s1, w1), Tword (s2, w2) -> s1 = s2 && w1 = w2
+  | Tptr a, Tptr b -> cty_equal a b
+  | Tstruct n, Tstruct m -> String.equal n m
+  | Ttuple xs, Ttuple ys -> List.length xs = List.length ys && List.for_all2 equal xs ys
+  | (Tunit | Tbool | Tword _ | Tint | Tnat | Tptr _ | Tstruct _ | Ttuple _), _ -> false
+
+let rec compare_cty a b = Stdlib.compare (cty_key a) (cty_key b)
+
+and cty_key c =
+  match c with
+  | Cword (s, w) -> Printf.sprintf "w:%s%d" (match s with Signed -> "s" | Unsigned -> "u") (W.bits w)
+  | Cptr c -> "p:" ^ cty_key c
+  | Cstruct n -> "t:" ^ n
+
+(* The type a heap object of C type [c] has in specifications. *)
+let of_cty c =
+  match c with
+  | Cword (s, w) -> Tword (s, w)
+  | Cptr c' -> Tptr c'
+  | Cstruct n -> Tstruct n
+
+(* The C object type corresponding to a storable specification type. *)
+let to_cty t =
+  match t with
+  | Tword (s, w) -> Some (Cword (s, w))
+  | Tptr c -> Some (Cptr c)
+  | Tstruct n -> Some (Cstruct n)
+  | Tunit | Tbool | Tint | Tnat | Ttuple _ -> None
+
+let is_word = function Tword _ -> true | _ -> false
+let is_ideal = function Tint | Tnat -> true | _ -> false
+let is_numeric = function Tword _ | Tint | Tnat -> true | _ -> false
+
+(* The ideal type that word abstraction assigns to a machine type:
+   unsigned words become naturals, signed words become integers (Sec 3.2). *)
+let ideal_of_word_sign = function Unsigned -> Tnat | Signed -> Tint
+
+let rec pp_cty fmt c =
+  match c with
+  | Cword (Unsigned, W8) -> Format.pp_print_string fmt "u8"
+  | Cword (Signed, W8) -> Format.pp_print_string fmt "s8"
+  | Cword (Unsigned, W16) -> Format.pp_print_string fmt "u16"
+  | Cword (Signed, W16) -> Format.pp_print_string fmt "s16"
+  | Cword (Unsigned, W32) -> Format.pp_print_string fmt "u32"
+  | Cword (Signed, W32) -> Format.pp_print_string fmt "s32"
+  | Cword (Unsigned, W64) -> Format.pp_print_string fmt "u64"
+  | Cword (Signed, W64) -> Format.pp_print_string fmt "s64"
+  | Cptr c -> Format.fprintf fmt "%a ptr" pp_cty c
+  | Cstruct n -> Format.fprintf fmt "struct %s" n
+
+let rec pp fmt t =
+  match t with
+  | Tunit -> Format.pp_print_string fmt "unit"
+  | Tbool -> Format.pp_print_string fmt "bool"
+  | Tword (Unsigned, w) -> Format.fprintf fmt "word%d" (W.bits w)
+  | Tword (Signed, w) -> Format.fprintf fmt "sword%d" (W.bits w)
+  | Tint -> Format.pp_print_string fmt "int"
+  | Tnat -> Format.pp_print_string fmt "nat"
+  | Tptr c -> Format.fprintf fmt "%a ptr" pp_cty c
+  | Tstruct n -> Format.fprintf fmt "%s_C" n
+  | Ttuple ts ->
+    Format.fprintf fmt "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f " × ") pp)
+      ts
+
+let to_string t = Format.asprintf "%a" pp t
+let cty_to_string c = Format.asprintf "%a" pp_cty c
+
+(* A short identifier-friendly name, used to name the per-type heaps of the
+   heap abstraction phase (heap_w32, is_valid_node_C, ...). *)
+let rec cty_mangle c =
+  match c with
+  | Cword (Unsigned, w) -> Printf.sprintf "w%d" (W.bits w)
+  | Cword (Signed, w) -> Printf.sprintf "sw%d" (W.bits w)
+  | Cptr c -> cty_mangle c ^ "_ptr"
+  | Cstruct n -> n ^ "_C"

@@ -1,0 +1,114 @@
+(* Runtime values of the specification language. *)
+
+module B = Ac_bignum
+module W = Ac_word
+
+type t =
+  | Vunit
+  | Vbool of bool
+  | Vword of W.sign * W.t
+  | Vint of B.t
+  | Vnat of B.t (* invariant: non-negative *)
+  | Vptr of B.t * Ty.cty (* address (unsigned, within ptr width) *)
+  | Vstruct of string * (string * t) list (* fields in declaration order *)
+  | Vtuple of t list
+
+exception Type_mismatch of string
+
+let vnat n = if B.sign n < 0 then raise (Type_mismatch "vnat: negative") else Vnat n
+let vint n = Vint n
+let vword sign w = Vword (sign, w)
+let vptr addr cty = Vptr (addr, cty)
+let null cty = Vptr (B.zero, cty)
+
+let rec ty_of (v : t) : Ty.t =
+  match v with
+  | Vunit -> Tunit
+  | Vbool _ -> Tbool
+  | Vword (s, w) -> Tword (s, W.width_of w)
+  | Vint _ -> Tint
+  | Vnat _ -> Tnat
+  | Vptr (_, c) -> Tptr c
+  | Vstruct (n, _) -> Tstruct n
+  | Vtuple vs -> Ttuple (List.map ty_of vs)
+
+let rec equal a b =
+  match (a, b) with
+  | Vunit, Vunit -> true
+  | Vbool x, Vbool y -> x = y
+  | Vword (_, x), Vword (_, y) -> W.equal x y
+  | Vint x, Vint y | Vnat x, Vnat y -> B.equal x y
+  | Vptr (x, c), Vptr (y, d) -> B.equal x y && Ty.cty_equal c d
+  | Vstruct (n, fs), Vstruct (m, gs) ->
+    String.equal n m
+    && List.length fs = List.length gs
+    && List.for_all2 (fun (f, v) (g, w) -> String.equal f g && equal v w) fs gs
+  | Vtuple xs, Vtuple ys -> List.length xs = List.length ys && List.for_all2 equal xs ys
+  | (Vunit | Vbool _ | Vword _ | Vint _ | Vnat _ | Vptr _ | Vstruct _ | Vtuple _), _ -> false
+
+let as_bool = function Vbool b -> b | _ -> raise (Type_mismatch "expected bool")
+let as_word = function Vword (_, w) -> w | _ -> raise (Type_mismatch "expected word")
+
+let as_ptr = function
+  | Vptr (a, c) -> (a, c)
+  | _ -> raise (Type_mismatch "expected pointer")
+
+let as_int = function Vint n -> n | _ -> raise (Type_mismatch "expected int")
+let as_nat = function Vnat n -> n | _ -> raise (Type_mismatch "expected nat")
+
+(* The underlying ideal number of any numeric value. *)
+let numeric = function
+  | Vword (s, w) -> W.value s w
+  | Vint n | Vnat n -> n
+  | Vptr (a, _) -> a
+  | _ -> raise (Type_mismatch "expected numeric")
+
+let as_struct = function
+  | Vstruct (n, fs) -> (n, fs)
+  | _ -> raise (Type_mismatch "expected struct")
+
+let as_tuple = function Vtuple vs -> vs | v -> [ v ]
+
+let struct_field v fname =
+  let _, fs = as_struct v in
+  match List.assoc_opt fname fs with
+  | Some x -> x
+  | None -> raise (Type_mismatch ("no field " ^ fname))
+
+let struct_update v fname x =
+  let n, fs = as_struct v in
+  if not (List.mem_assoc fname fs) then raise (Type_mismatch ("no field " ^ fname));
+  Vstruct (n, List.map (fun (f, w) -> if String.equal f fname then (f, x) else (f, w)) fs)
+
+(* A deterministic default value of each storable type: what an untagged or
+   freshly-retyped heap cell decodes to before being written. *)
+let rec default env (c : Ty.cty) =
+  match c with
+  | Cword (s, w) -> Vword (s, W.zero w)
+  | Cptr c' -> null c'
+  | Cstruct n ->
+    Vstruct (n, List.map (fun (f : Layout.field) -> (f.fname, default env f.fty)) (Layout.fields_of env n))
+
+let rec pp fmt v =
+  match v with
+  | Vunit -> Format.pp_print_string fmt "()"
+  | Vbool b -> Format.pp_print_bool fmt b
+  | Vword (Unsigned, w) -> Format.pp_print_string fmt (W.to_string_u w)
+  | Vword (Signed, w) -> Format.pp_print_string fmt (W.to_string_s w)
+  | Vint n -> B.pp fmt n
+  | Vnat n -> B.pp fmt n
+  | Vptr (a, c) ->
+    if B.is_zero a then Format.pp_print_string fmt "NULL"
+    else Format.fprintf fmt "(Ptr %s : %a)" (B.to_string a) Ty.pp_cty c
+  | Vstruct (n, fs) ->
+    Format.fprintf fmt "(|%s: %a|)" n
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+         (fun f (fl, v) -> Format.fprintf f "%s=%a" fl pp v))
+      fs
+  | Vtuple vs ->
+    Format.fprintf fmt "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ", ") pp)
+      vs
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,222 @@
+module Ty = Ac_lang.Ty
+module Value = Ac_lang.Value
+module E = Ac_lang.Expr
+module Layout = Ac_lang.Layout
+module Heap = Ac_simpl.Heap
+module State = Ac_simpl.State
+module Ir = Ac_simpl.Ir
+module B = Ac_bignum
+module SMap = Map.Make (String)
+open M
+
+(* Executable semantics for the monadic language.
+
+   The monad's mathematical type is state => (set of results × failed); the
+   programs the pipeline produces are deterministic except for [Unknown], so
+   the interpreter computes one result (plus a Failed outcome standing for
+   the failure flag).  Differential testing of the refinement theorems
+   (kernel judgments) runs concrete and abstract programs side by side.
+
+   States are the same concrete states as Simpl's; the typed split heaps of
+   heap-abstracted programs are *views*: [typed_read]/[is_valid] evaluate
+   [heap_lift] on the byte heap, and [Typed_write] writes through it.  This
+   realises the paper's abstraction function st as an evaluation-time
+   projection, and makes [exec_concrete] executable without guessing a
+   concrete witness. *)
+
+type res = Rnorm of Value.t | Rexc of Value.t
+
+type outcome =
+  | Ok of res * State.t
+  | Failed of string (* the monad's failure flag: guard violation or fail *)
+  | Stuck of string
+  | Out_of_fuel
+
+(* The expression-evaluation view for monadic programs: both concrete and
+   lifted heap operations are available. *)
+let view lenv (s : State.t) : E.view =
+  {
+    E.read_global = State.get_global s;
+    read_heap = (fun c addr -> Heap.read_obj lenv s.State.heap c addr);
+    typed_read =
+      (fun c addr ->
+        match Heap.heap_lift lenv s.State.heap c addr with
+        | Some v -> v
+        | None -> Value.default lenv c);
+    is_valid = (fun c addr -> Heap.lift_valid lenv s.State.heap c addr);
+    lenv;
+  }
+
+let rec bind_pat (p : pat) (v : Value.t) (env : Value.t SMap.t) : Value.t SMap.t =
+  match (p, v) with
+  | Pwild, _ -> env
+  | Pvar (x, _), v -> SMap.add x v env
+  | Ptuple ps, Value.Vtuple vs when List.length ps = List.length vs ->
+    List.fold_left2 (fun env p v -> bind_pat p v env) env ps vs
+  | Ptuple [ p ], v -> bind_pat p v env
+  | Ptuple _, _ -> E.stuck "tuple pattern mismatch against %s" (Value.to_string v)
+
+let apply_smod lenv (s : State.t) (env : Value.t SMap.t) (sm : smod) : State.t =
+  (* At L1 the evaluation environment is the locals map itself. *)
+  let full_env = SMap.union (fun _ v _ -> Some v) env s.State.locals in
+  let eval e = E.eval (view lenv s) full_env e in
+  match sm with
+  | Heap_write (c, p, v) -> (
+    match eval p with
+    | Value.Vptr (addr, _) -> State.with_heap s (Heap.write_obj lenv s.State.heap c addr (eval v))
+    | _ -> E.stuck "heap write through non-pointer")
+  | Typed_write (c, p, v) -> (
+    match eval p with
+    | Value.Vptr (addr, _) ->
+      (* The abstract functional update s[p := v]; mirrored onto the byte
+         heap, which is what st projects from. *)
+      State.with_heap s (Heap.write_obj lenv s.State.heap c addr (eval v))
+    | _ -> E.stuck "typed write through non-pointer")
+  | Global_set (x, e) -> State.set_global s x (eval e)
+  | Local_set (x, e) -> State.set_local s x (eval e)
+  | Retype (c, p) -> (
+    match eval p with
+    | Value.Vptr (addr, _) -> State.with_heap s (Heap.retype lenv s.State.heap c addr)
+    | _ -> E.stuck "retype through non-pointer")
+
+let rec exec (prog : program) (fuel : int) (env : Value.t SMap.t) (s : State.t) (m : M.t) :
+    outcome =
+  if fuel <= 0 then Out_of_fuel
+  else begin
+    let lenv = prog.lenv in
+    (* Lambda-bound variables shadow state-resident locals of the same name;
+       at L1 env is empty and locals provide everything. *)
+    let full_env = SMap.union (fun _ v _ -> Some v) env s.State.locals in
+    let eval e = E.eval (view lenv s) full_env e in
+    match m with
+    | Return e -> ( try Ok (Rnorm (eval e), s) with E.Eval_stuck msg -> Stuck msg)
+    | Gets e -> ( try Ok (Rnorm (eval e), s) with E.Eval_stuck msg -> Stuck msg)
+    | Modify sms -> (
+      try Ok (Rnorm Value.Vunit, List.fold_left (fun s sm -> apply_smod lenv s env sm) s sms)
+      with E.Eval_stuck msg -> Stuck msg)
+    | Guard (k, e) -> (
+      match eval e with
+      | Value.Vbool true -> Ok (Rnorm Value.Vunit, s)
+      | Value.Vbool false -> Failed (Ir.guard_kind_name k)
+      | _ -> Stuck "non-boolean guard"
+      | exception E.Eval_stuck msg -> Stuck msg)
+    | Fail -> Failed "fail"
+    | Throw e -> ( try Ok (Rexc (eval e), s) with E.Eval_stuck msg -> Stuck msg)
+    | Unknown t -> Ok (Rnorm (default_of_ty prog t), s)
+    | Bind (a, p, b) -> (
+      match exec prog fuel env s a with
+      | Ok (Rnorm v, s') -> (
+        match bind_pat p v env with
+        | env' -> exec prog fuel env' s' b
+        | exception E.Eval_stuck msg -> Stuck msg)
+      | other -> other)
+    | Try (a, p, handler) -> (
+      match exec prog fuel env s a with
+      | Ok (Rexc v, s') -> (
+        match bind_pat p v env with
+        | env' -> exec prog fuel env' s' handler
+        | exception E.Eval_stuck msg -> Stuck msg)
+      | other -> other)
+    | Cond (c, a, b) -> (
+      match eval c with
+      | Value.Vbool true -> exec prog fuel env s a
+      | Value.Vbool false -> exec prog fuel env s b
+      | _ -> Stuck "non-boolean condition"
+      | exception E.Eval_stuck msg -> Stuck msg)
+    | While (p, cond, body, init) -> (
+      match eval init with
+      | exception E.Eval_stuck msg -> Stuck msg
+      | i ->
+        let rec loop fuel i s =
+          if fuel <= 0 then Out_of_fuel
+          else begin
+            let env' = bind_pat p i env in
+            let full' = SMap.union (fun _ v _ -> Some v) env' s.State.locals in
+            match E.eval (view lenv s) full' cond with
+            | Value.Vbool false -> Ok (Rnorm i, s)
+            | Value.Vbool true -> (
+              match exec prog (fuel - 1) env' s body with
+              | Ok (Rnorm i', s') -> loop (fuel - 1) i' s'
+              | other -> other)
+            | _ -> Stuck "non-boolean loop condition"
+            | exception E.Eval_stuck msg -> Stuck msg
+          end
+        in
+        loop fuel i s)
+    | Call (fname, args) | Exec_concrete (fname, args) -> (
+      match find_func prog fname with
+      | None -> Stuck ("call to unknown function " ^ fname)
+      | Some f -> (
+        match List.map eval args with
+        | exception E.Eval_stuck msg -> Stuck msg
+        | arg_vals -> exec_func prog (fuel - 1) s f arg_vals))
+  end
+
+and default_of_ty prog (t : Ty.t) : Value.t =
+  match t with
+  | Ty.Tunit -> Value.Vunit
+  | Ty.Tbool -> Value.Vbool false
+  | Ty.Tword (s, w) -> Value.vword s (Ac_word.zero w)
+  | Ty.Tint -> Value.Vint B.zero
+  | Ty.Tnat -> Value.Vnat B.zero
+  | Ty.Tptr c -> Value.null c
+  | Ty.Tstruct n -> Value.default prog.lenv (Ty.Cstruct n)
+  | Ty.Ttuple ts -> Value.Vtuple (List.map (default_of_ty prog) ts)
+
+(* Run a function body under its calling convention; the caller's locals are
+   saved and restored around state-resident callees. *)
+and exec_func prog fuel (s : State.t) (f : func) (args : Value.t list) : outcome =
+  if List.length args <> List.length f.params then
+    Stuck (Printf.sprintf "%s: arity mismatch" f.name)
+  else begin
+    match f.convention with
+    | Lambda_bound -> (
+      let env =
+        List.fold_left2 (fun m (p, _) v -> SMap.add p v m) SMap.empty f.params args
+      in
+      match exec prog fuel env s f.body with
+      | Ok (r, s') -> Ok (r, s')
+      | other -> other)
+    | Locals_in_state -> (
+      (* Parameters bound, declared locals default-initialised (matching the
+         Simpl semantics and the lifting phase's default substitution). *)
+      let with_params =
+        List.fold_left2 (fun m (p, _) v -> SMap.add p v m) SMap.empty f.params args
+      in
+      let callee_locals =
+        List.fold_left
+          (fun m (x, t) -> if SMap.mem x m then m else SMap.add x (default_of_ty prog t) m)
+          with_params f.locals
+      in
+      let saved = s.State.locals in
+      let s0 = { s with State.locals = callee_locals } in
+      match exec prog fuel SMap.empty s0 f.body with
+      | Ok (_, s') ->
+        (* Result: the ret ghost local if the callee has one. *)
+        let rv =
+          match SMap.find_opt Ir.ret_var s'.State.locals with
+          | Some v -> v
+          | None -> Value.Vunit
+        in
+        Ok (Rnorm rv, { s' with State.locals = saved })
+      | other -> other)
+  end
+
+(* Convenience runner mirroring Simpl's [run_func]. *)
+type run_result =
+  | Returns of Value.t * State.t
+  | Throws of Value.t * State.t
+  | Fails of string
+  | Gets_stuck of string
+  | Diverges
+
+let run_func (prog : program) ~fuel (s : State.t) fname (args : Value.t list) : run_result =
+  match find_func prog fname with
+  | None -> Gets_stuck ("unknown function " ^ fname)
+  | Some f -> (
+    match exec_func prog fuel s f args with
+    | Ok (Rnorm v, s') -> Returns (v, s')
+    | Ok (Rexc v, s') -> Throws (v, s')
+    | Failed m -> Fails m
+    | Stuck m -> Gets_stuck m
+    | Out_of_fuel -> Diverges)

@@ -1,0 +1,118 @@
+module B = Ac_bignum
+open Term
+
+(* Congruence closure over ground terms: decides the theory of equality
+   with uninterpreted functions.  Used to close proof branches whose facts
+   include equations between heap reads, pointers and ghost values. *)
+
+type node = {
+  term : Term.t;
+  mutable parent : int; (* union-find *)
+  mutable uses : (int * Term.t) list; (* parent applications *)
+}
+
+type t = {
+  mutable nodes : node array;
+  mutable count : int;
+  index : (Term.t, int) Hashtbl.t;
+  mutable disequalities : (int * int) list;
+  mutable contradiction : bool;
+}
+
+let create () =
+  { nodes = Array.make 64 { term = tt; parent = 0; uses = [] };
+    count = 0;
+    index = Hashtbl.create 64;
+    disequalities = [];
+    contradiction = false }
+
+let rec find cc i =
+  let n = cc.nodes.(i) in
+  if n.parent = i then i
+  else begin
+    let r = find cc n.parent in
+    n.parent <- r;
+    r
+  end
+
+let rec intern cc (t : Term.t) : int =
+  match Hashtbl.find_opt cc.index t with
+  | Some i -> i
+  | None ->
+    let i = cc.count in
+    if i >= Array.length cc.nodes then begin
+      let bigger = Array.make (2 * Array.length cc.nodes) cc.nodes.(0) in
+      Array.blit cc.nodes 0 bigger 0 i;
+      cc.nodes <- bigger
+    end;
+    cc.nodes.(i) <- { term = t; parent = i; uses = [] };
+    cc.count <- i + 1;
+    Hashtbl.replace cc.index t i;
+    (match t with
+    | App (_, args) ->
+      List.iter
+        (fun a ->
+          let j = intern cc a in
+          let r = find cc j in
+          cc.nodes.(r).uses <- (i, t) :: cc.nodes.(r).uses)
+        args
+    | _ -> ());
+    (* two distinct integer constants are disequal *)
+    (match t with
+    | Int _ ->
+      Hashtbl.iter
+        (fun t' j ->
+          match t' with
+          | Int _ when not (Term.equal t t') -> cc.disequalities <- (i, j) :: cc.disequalities
+          | _ -> ())
+        cc.index
+    | _ -> ());
+    i
+
+(* The congruence signature of an application under current classes. *)
+let signature cc (t : Term.t) =
+  match t with
+  | App (f, args) -> Some (f, List.map (fun a -> find cc (intern cc a)) args)
+  | _ -> None
+
+let rec merge cc i j =
+  let ri = find cc i and rj = find cc j in
+  if ri <> rj then begin
+    (* collect users before the union *)
+    let users = cc.nodes.(ri).uses @ cc.nodes.(rj).uses in
+    cc.nodes.(ri).parent <- rj;
+    cc.nodes.(rj).uses <- users;
+    (* re-congruence: any two parent applications with equal signatures *)
+    let with_sigs =
+      List.filter_map
+        (fun (idx, t) -> match signature cc t with Some s -> Some (idx, s) | None -> None)
+        users
+    in
+    List.iter
+      (fun (idx1, s1) ->
+        List.iter
+          (fun (idx2, s2) -> if idx1 <> idx2 && s1 = s2 then merge cc idx1 idx2)
+          with_sigs)
+      with_sigs;
+    (* check disequalities *)
+    if
+      List.exists (fun (a, b) -> find cc a = find cc b) cc.disequalities
+    then cc.contradiction <- true
+  end
+
+let assert_eq cc a b =
+  let i = intern cc a and j = intern cc b in
+  merge cc i j;
+  if List.exists (fun (x, y) -> find cc x = find cc y) cc.disequalities then
+    cc.contradiction <- true
+
+let assert_neq cc a b =
+  let i = intern cc a and j = intern cc b in
+  if find cc i = find cc j then cc.contradiction <- true
+  else cc.disequalities <- (i, j) :: cc.disequalities
+
+let equal_terms cc a b =
+  let i = intern cc a and j = intern cc b in
+  find cc i = find cc j
+
+let inconsistent cc = cc.contradiction

@@ -1,0 +1,209 @@
+module B = Ac_bignum
+open Term
+
+(* Linear integer arithmetic by Fourier-Motzkin elimination with integer
+   tightening (a small slice of the Omega test).  Decides unsatisfiability
+   of conjunctions of constraints of the form  0 <= c0 + Σ ci·xi  and
+   0 = c0 + Σ ci·xi; sound and complete enough for the verification
+   conditions this code base produces (refutation-complete for rationals,
+   with normalised-coefficient tightening catching the common integer
+   cases). *)
+
+(* constraint: is_eq, constant, atom coefficients (atom -> coeff) *)
+type constr = {
+  is_eq : bool;
+  const : B.t;
+  coeffs : (Term.t * B.t) list; (* sorted by Term.compare_t *)
+}
+
+let pp_constr fmt c =
+  Format.fprintf fmt "0 %s %s" (if c.is_eq then "=" else "<=") (B.to_string c.const);
+  List.iter
+    (fun (a, k) -> Format.fprintf fmt " + %s*%s" (B.to_string k) (Term.to_string a))
+    c.coeffs
+
+(* Build from a simplified comparison (as produced by Simp). *)
+let of_term (t : Term.t) : constr option =
+  let to_lin t =
+    let l = Simp.linearize t in
+    (l.Simp.Lin.const, l.Simp.Lin.terms)
+  in
+  match t with
+  | App (Le, [ a; b ]) ->
+    let ca, ta = to_lin a and cb, tb = to_lin b in
+    (* 0 <= b - a *)
+    let l = Simp.Lin.sub { Simp.Lin.const = cb; terms = tb } { Simp.Lin.const = ca; terms = ta } in
+    Some { is_eq = false; const = l.Simp.Lin.const; coeffs = l.Simp.Lin.terms }
+  | App (Lt, [ a; b ]) ->
+    let l = Simp.Lin.sub (Simp.linearize b) (Simp.linearize a) in
+    Some { is_eq = false; const = B.pred l.Simp.Lin.const; coeffs = l.Simp.Lin.terms }
+  | App (Eq, [ a; b ]) when sort_equal (sort_of a) Sint ->
+    let l = Simp.Lin.sub (Simp.linearize b) (Simp.linearize a) in
+    Some { is_eq = true; const = l.Simp.Lin.const; coeffs = l.Simp.Lin.terms }
+  | _ -> None
+
+let negate_term (t : Term.t) : Term.t option =
+  (* ¬(a <= b) = b + 1 <= a  etc.; equalities under negation are handled by
+     the solver's case split. *)
+  match t with
+  | App (Le, [ a; b ]) -> Some (App (Le, [ App (Add, [ b; one ]); a ]))
+  | App (Lt, [ a; b ]) -> Some (App (Le, [ b; a ]))
+  | _ -> None
+
+let coeff_of atom c =
+  match List.find_opt (fun (a, _) -> Term.equal a atom) c.coeffs with
+  | Some (_, k) -> k
+  | None -> B.zero
+
+let drop_atom atom c =
+  { c with coeffs = List.filter (fun (a, _) -> not (Term.equal a atom)) c.coeffs }
+
+let scale_constr k c =
+  { c with
+    const = B.mul k c.const;
+    coeffs = List.map (fun (a, x) -> (a, B.mul k x)) c.coeffs }
+
+let add_constr a b =
+  let l =
+    Simp.Lin.add
+      { Simp.Lin.const = a.const; terms = a.coeffs }
+      { Simp.Lin.const = b.const; terms = b.coeffs }
+  in
+  { is_eq = a.is_eq && b.is_eq; const = l.Simp.Lin.const; coeffs = l.Simp.Lin.terms }
+
+(* Normalise: divide an inequality by the gcd of its coefficients, flooring
+   the constant (integer tightening); detect ground (un)satisfiability. *)
+let tighten c =
+  match c.coeffs with
+  | [] -> Some c
+  | _ ->
+    let g = List.fold_left (fun g (_, k) -> B.gcd g k) B.zero c.coeffs in
+    if B.le g B.one then Some c
+    else if c.is_eq then
+      if B.is_zero (B.rem c.const g) then
+        Some
+          { c with
+            const = B.div c.const g;
+            coeffs = List.map (fun (a, k) -> (a, B.div k g)) c.coeffs }
+      else None (* 0 = c + g·(...) with g ∤ c: unsatisfiable *)
+    else
+      Some
+        { c with
+          const = B.fdiv c.const g;
+          coeffs = List.map (fun (a, k) -> (a, B.div k g)) c.coeffs }
+
+exception Unsat
+
+let check_ground c =
+  if c.coeffs = [] then begin
+    if c.is_eq then begin
+      if not (B.is_zero c.const) then raise Unsat
+    end
+    else if B.lt c.const B.zero then raise Unsat;
+    false (* ground and satisfied: drop *)
+  end
+  else true
+
+(* Eliminate one atom by Fourier-Motzkin / equality substitution. *)
+let eliminate atom (cs : constr list) : constr list =
+  let with_atom, without = List.partition (fun c -> not (B.is_zero (coeff_of atom c))) cs in
+  (* Prefer an equality with ±1 coefficient for exact substitution. *)
+  match
+    List.find_opt
+      (fun c -> c.is_eq && B.equal (B.abs (coeff_of atom c)) B.one)
+      with_atom
+  with
+  | Some eq ->
+    (* Exact substitution using an equality with a unit coefficient:
+       c' = c - (kc/k)·eq eliminates the atom (k = ±1, so kc/k = kc·k). *)
+    let k = coeff_of atom eq in
+    List.filter_map
+      (fun c ->
+        if c == eq then None
+        else begin
+          let kc = coeff_of atom c in
+          if B.is_zero kc then Some c
+          else begin
+            let c' = drop_atom atom (add_constr c (scale_constr (B.neg (B.mul kc k)) eq)) in
+            match tighten c' with
+            | None -> raise Unsat
+            | Some t -> if check_ground t then Some t else None
+          end
+        end)
+      (with_atom @ without)
+  | None ->
+    (* Split equalities into two inequalities first. *)
+    let with_atom =
+      List.concat_map
+        (fun c ->
+          if c.is_eq then
+            [ { c with is_eq = false };
+              { is_eq = false;
+                const = B.neg c.const;
+                coeffs = List.map (fun (a, k) -> (a, B.neg k)) c.coeffs } ]
+          else [ c ])
+        with_atom
+    in
+    let lower, upper =
+      List.partition (fun c -> B.gt (coeff_of atom c) B.zero) with_atom
+    in
+    let combos =
+      List.concat_map
+        (fun lo ->
+          List.map
+            (fun up ->
+              let kl = coeff_of atom lo and ku = B.neg (coeff_of atom up) in
+              (* kl > 0, ku > 0: ku·lo + kl·up cancels the atom *)
+              let c = add_constr (scale_constr ku lo) (scale_constr kl up) in
+              drop_atom atom c)
+            upper)
+        lower
+    in
+    List.filter_map
+      (fun c ->
+        match tighten c with
+        | None -> raise Unsat
+        | Some t -> if check_ground t then Some t else None)
+      (combos @ without)
+
+(* Decide unsatisfiability of a conjunction of (already simplified)
+   arithmetic literals.  Returns true iff definitely unsatisfiable. *)
+let unsat (terms : Term.t list) : bool =
+  match
+    List.fold_left
+      (fun acc t ->
+        match acc with
+        | None -> None
+        | Some cs -> (
+          match of_term t with
+          | Some c -> (
+            match tighten c with
+            | None -> raise Unsat
+            | Some c -> if check_ground c then Some (c :: cs) else Some cs)
+          | None -> Some cs))
+      (Some []) terms
+  with
+  | exception Unsat -> true
+  | None -> false
+  | Some cs -> (
+    (* Eliminate atoms with a unit-coefficient equality first: substitution
+       is exact (integrality-preserving), whereas Fourier-Motzkin is only
+       rationally complete, so doing FM first can lose divisibility facts
+       (e.g. a = 8q + r with bounded r). *)
+    let atoms_of cs =
+      List.sort_uniq Term.compare_t (List.concat_map (fun c -> List.map fst c.coeffs) cs)
+    in
+    let has_unit_eq cs atom =
+      List.exists (fun c -> c.is_eq && B.equal (B.abs (coeff_of atom c)) B.one) cs
+    in
+    let rec subst_round cs =
+      match List.find_opt (has_unit_eq cs) (atoms_of cs) with
+      | Some atom -> subst_round (eliminate atom cs)
+      | None -> cs
+    in
+    match
+      let cs = subst_round cs in
+      List.fold_left (fun cs atom -> eliminate atom cs) cs (atoms_of cs)
+    with
+    | _ -> false
+    | exception Unsat -> true)

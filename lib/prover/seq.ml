@@ -1,0 +1,101 @@
+module B = Ac_bignum
+open Term
+
+(* A small theory of finite sequences (Isabelle's 'a list), enough for the
+   Mehta-Nipkow pointer proofs: nil/cons constructors, append, rev, length,
+   membership, and the heap-list predicate
+
+     islist(next, valid, p, ps)
+
+   relating a pointer chain in the split heap [next] to the ghost sequence
+   [ps], requiring every element valid (the adjustment the paper describes
+   when porting M/N's proof to C, Sec 5.2 (ii)).
+
+   The constructors and defined functions are encoded as [Uf] symbols; the
+   simplifier knows their computation rules, and the lemma library
+   (lib/cases) provides the inductive facts. *)
+
+let nil = App (Uf "nil", [])
+let cons h t = App (Uf "cons", [ h; t ])
+let append a b = App (Uf "append", [ a; b ])
+let rev a = App (Uf "rev", [ a ])
+let len a = App (Uf "len", [ a ])
+let mem x s = App (Uf "mem", [ x; s ])
+let shead s = App (Uf "shead", [ s ])
+let stail s = App (Uf "stail", [ s ])
+let disjoint a b = App (Uf "disjoint", [ a; b ])
+
+(* islist next valid p ps *)
+let islist next valid p ps = App (Uf "islist", [ next; valid; p; ps ])
+
+let rec of_list = function [] -> nil | x :: rest -> cons x (of_list rest)
+
+(* Computation rules, applied by the simplifier on constructor-headed
+   arguments.  Each is the defining equation of the function. *)
+let reduce (t : Term.t) : Term.t option =
+  match t with
+  | App (Uf "append", [ App (Uf "nil", []); s ]) -> Some s
+  | App (Uf "append", [ s; App (Uf "nil", []) ]) -> Some s
+  | App (Uf "append", [ App (Uf "cons", [ h; tl ]); s ]) -> Some (cons h (append tl s))
+  | App (Uf "rev", [ App (Uf "nil", []) ]) -> Some nil
+  | App (Uf "rev", [ App (Uf "cons", [ h; tl ]) ]) -> Some (append (rev tl) (cons h nil))
+  | App (Uf "len", [ App (Uf "nil", []) ]) -> Some zero
+  | App (Uf "len", [ App (Uf "cons", [ _; tl ]) ]) -> Some (add_t (len tl) one)
+  | App (Uf "len", [ App (Uf "append", [ a; b ]) ]) -> Some (add_t (len a) (len b))
+  | App (Uf "mem", [ _; App (Uf "nil", []) ]) -> Some ff
+  | App (Uf "mem", [ x; App (Uf "cons", [ h; tl ]) ]) -> Some (or_t (eq_t x h) (mem x tl))
+  | App (Uf "mem", [ x; App (Uf "append", [ a; b ]) ]) -> Some (or_t (mem x a) (mem x b))
+  | App (Uf "shead", [ App (Uf "cons", [ h; _ ]) ]) -> Some h
+  | App (Uf "stail", [ App (Uf "cons", [ _; tl ]) ]) -> Some tl
+  | App (Uf "islist", [ _; _; p; App (Uf "nil", []) ]) -> Some (eq_t p zero)
+  | App (Uf "islist", [ next; valid; p; App (Uf "cons", [ h; tl ]) ]) ->
+    Some
+      (conj
+         [ eq_t p h;
+           not_t (eq_t p zero);
+           select_t valid p;
+           islist next valid (select_t next p) tl ])
+  (* injectivity/distinctness of constructors *)
+  | App (Eq, [ App (Uf "nil", []); App (Uf "cons", _) ])
+  | App (Eq, [ App (Uf "cons", _); App (Uf "nil", []) ]) ->
+    Some ff
+  | App (Eq, [ App (Uf "cons", [ h1; t1 ]); App (Uf "cons", [ h2; t2 ]) ]) ->
+    Some (and_t (eq_t h1 h2) (eq_t t1 t2))
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Executable semantics, for validating the lemma library by testing. *)
+
+let rec interp (f : string) (args : value list) : value =
+  let as_seq = function Vseq xs -> xs | _ -> raise (Eval_failed "seq expected") in
+  let as_int = function Vint n -> n | _ -> raise (Eval_failed "int expected") in
+  match (f, args) with
+  | "nil", [] -> Vseq []
+  | "cons", [ h; t ] -> Vseq (h :: as_seq t)
+  | "append", [ a; b ] -> Vseq (as_seq a @ as_seq b)
+  | "rev", [ a ] -> Vseq (List.rev (as_seq a))
+  | "len", [ a ] -> Vint (B.of_int (List.length (as_seq a)))
+  | "mem", [ x; s ] -> Vbool (List.exists (veq x) (as_seq s))
+  | "disjoint", [ a; b ] ->
+    Vbool (not (List.exists (fun x -> List.exists (veq x) (as_seq b)) (as_seq a)))
+  | "shead", [ s ] -> (
+    match as_seq s with h :: _ -> h | [] -> Vint B.zero)
+  | "stail", [ s ] -> ( match as_seq s with _ :: t -> Vseq t | [] -> Vseq [])
+  | "islist", [ next; valid; p; ps ] ->
+    let sel arr i =
+      match arr with
+      | Varr (entries, d) -> (
+        match List.assoc_opt i entries with Some v -> v | None -> d)
+      | _ -> raise (Eval_failed "array expected")
+    in
+    let rec go p ps =
+      match ps with
+      | [] -> B.is_zero p
+      | h :: tl ->
+        B.equal p (as_int h)
+        && (not (B.is_zero p))
+        && sel valid p = Vbool true
+        && go (as_int (sel next p)) tl
+    in
+    Vbool (go (as_int p) (as_seq ps))
+  | _ -> raise (Eval_failed ("no interpretation for " ^ f))

@@ -1,0 +1,159 @@
+module B = Ac_bignum
+open Term
+
+(* Normalisation of prover terms:
+
+   - arithmetic is flattened into canonical linear forms (sum of
+     coefficient·atom products plus a constant, atoms sorted), so equal
+     polynomials become syntactically equal;
+   - integer comparisons become [0 <= lin] / [0 = lin];
+   - select-over-store is expanded, stores at equal indices collapse;
+   - boolean constants propagate.
+
+   These mirror the "obvious" Isabelle simp rules the paper relies on once
+   words have become ideal integers. *)
+
+(* A linear form: constant + sum of coeff * atom. *)
+module Lin = struct
+  type t = { const : B.t; terms : (Term.t * B.t) list (* atoms sorted, coeff <> 0 *) }
+
+  let of_const c = { const = c; terms = [] }
+  let of_atom a = { const = B.zero; terms = [ (a, B.one) ] }
+
+  let add a b =
+    let rec merge xs ys =
+      match (xs, ys) with
+      | [], l | l, [] -> l
+      | (xa, ca) :: xs', (ya, cb) :: ys' ->
+        let c = Term.compare_t xa ya in
+        if c = 0 then begin
+          let s = B.add ca cb in
+          if B.is_zero s then merge xs' ys' else (xa, s) :: merge xs' ys'
+        end
+        else if c < 0 then (xa, ca) :: merge xs' ys
+        else (ya, cb) :: merge xs ys'
+    in
+    { const = B.add a.const b.const; terms = merge a.terms b.terms }
+
+  let scale k a =
+    if B.is_zero k then of_const B.zero
+    else { const = B.mul k a.const; terms = List.map (fun (t, c) -> (t, B.mul k c)) a.terms }
+
+  let neg a = scale B.minus_one a
+  let sub a b = add a (neg b)
+  let is_const a = a.terms = []
+
+  (* Rebuild a canonical term. *)
+  let to_term a =
+    let monom (t, c) =
+      if B.equal c B.one then t
+      else if B.equal c B.minus_one then App (Neg, [ t ])
+      else App (Mul, [ Int c; t ])
+    in
+    match a.terms with
+    | [] -> Int a.const
+    | m :: ms ->
+      let sum = List.fold_left (fun acc m -> App (Add, [ acc; monom m ])) (monom m) ms in
+      if B.is_zero a.const then sum else App (Add, [ sum; Int a.const ])
+
+  (* gcd of all coefficients (not the constant). *)
+  let coeff_gcd a =
+    List.fold_left (fun g (_, c) -> B.gcd g c) B.zero a.terms
+end
+
+(* Try to view a term as a linear form; [atomize] handles the base case. *)
+let rec linearize (t : Term.t) : Lin.t =
+  match t with
+  | Int n -> Lin.of_const n
+  | App (Add, [ a; b ]) -> Lin.add (linearize a) (linearize b)
+  | App (Sub, [ a; b ]) -> Lin.sub (linearize a) (linearize b)
+  | App (Neg, [ a ]) -> Lin.neg (linearize a)
+  | App (Mul, [ Int k; a ]) | App (Mul, [ a; Int k ]) -> Lin.scale k (linearize a)
+  | App (Mul, [ a; b ]) -> (
+    (* constant folding through nested products *)
+    let la = linearize a and lb = linearize b in
+    match (Lin.is_const la, Lin.is_const lb) with
+    | true, _ -> Lin.scale la.Lin.const lb
+    | _, true -> Lin.scale lb.Lin.const la
+    | _ -> Lin.of_atom t)
+  | _ -> Lin.of_atom t
+
+let rec simp (t : Term.t) : Term.t =
+  let t = match t with App (f, args) -> App (f, List.map simp args) | _ -> t in
+  match Seq.reduce t with
+  | Some t' -> simp t'
+  | None -> (
+  match t with
+  | App ((Add | Sub | Neg), _) | App (Mul, _) -> (
+    let lin = linearize t in
+    match t with
+    | App (Mul, [ a; b ])
+      when (not (Lin.is_const (linearize a))) && not (Lin.is_const (linearize b)) ->
+      t (* non-linear product: leave as an atom *)
+    | _ -> Lin.to_term lin)
+  | App (Div, [ a; Int k ]) when B.equal k B.one -> a
+  | App (Div, [ Int a; Int k ]) when not (B.is_zero k) -> Int (B.div a k)
+  | App (Mod, [ Int a; Int k ]) when not (B.is_zero k) -> Int (B.rem a k)
+  | App (Le, [ a; b ]) -> (
+    let d = Lin.sub (linearize b) (linearize a) in
+    if Lin.is_const d then Bool (B.ge d.Lin.const B.zero)
+    else begin
+      (* divide by the coefficient gcd, rounding the constant soundly *)
+      let g = Lin.coeff_gcd d in
+      let d =
+        if B.gt g B.one then
+          { Lin.const = B.fdiv d.Lin.const g;
+            terms = List.map (fun (t, c) -> (t, B.div c g)) d.Lin.terms }
+        else d
+      in
+      App (Le, [ zero; Lin.to_term d ])
+    end)
+  | App (Lt, [ a; b ]) ->
+    (* integer: a < b = a + 1 <= b *)
+    simp (App (Le, [ App (Add, [ a; one ]); b ]))
+  | App (Eq, [ a; b ]) when sort_equal (sort_of a) Sint && sort_equal (sort_of b) Sint -> (
+    let d = Lin.sub (linearize b) (linearize a) in
+    if Lin.is_const d then Bool (B.is_zero d.Lin.const)
+    else begin
+      (* orient: first coefficient positive *)
+      let d =
+        match d.Lin.terms with
+        | (_, c) :: _ when B.sign c < 0 -> Lin.neg d
+        | _ -> d
+      in
+      App (Eq, [ zero; Lin.to_term d ])
+    end)
+  | App (Eq, [ a; b ]) when equal a b -> tt
+  | App (Eq, [ Bool x; Bool y ]) -> Bool (x = y)
+  | App (Eq, [ a; Bool true ]) | App (Eq, [ Bool true; a ]) -> a
+  | App (Eq, [ a; Bool false ]) | App (Eq, [ Bool false; a ]) -> not_t a
+  | App (Not, [ a ]) -> not_t a
+  | App (And, [ a; b ]) -> and_t a b
+  | App (Or, [ a; b ]) -> or_t a b
+  | App (Imp, [ a; b ]) -> imp_t a b
+  | App (Ite, [ Bool true; a; _ ]) -> a
+  | App (Ite, [ Bool false; _; b ]) -> b
+  | App (Ite, [ _; a; b ]) when equal a b -> a
+  | App (Select, [ App (Store, [ arr; i; v ]); j ]) ->
+    if equal i j then v
+    else begin
+      let iej = simp (App (Eq, [ i; j ])) in
+      match iej with
+      | Bool true -> v
+      | Bool false -> simp (App (Select, [ arr; j ]))
+      | _ -> ite_t iej v (simp (App (Select, [ arr; j ])))
+    end
+  | App (Store, [ App (Store, [ arr; i; _ ]); j; v ]) when equal i j ->
+    App (Store, [ arr; i; v ])
+  | t -> t)
+
+(* Simplify to a fixed point (bounded). *)
+let normalize ?(max_rounds = 6) (t : Term.t) : Term.t =
+  let rec go n t =
+    if n >= max_rounds then t
+    else begin
+      let t' = simp t in
+      if equal t' t then t else go (n + 1) t'
+    end
+  in
+  go 0 t

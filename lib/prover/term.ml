@@ -1,0 +1,293 @@
+module B = Ac_bignum
+
+(* The prover's term language.
+
+   Verification conditions over the abstracted programs live here: ideal
+   integers (naturals carry explicit non-negativity facts), booleans, and
+   the split heaps as select/store arrays indexed by addresses-as-integers.
+   This is deliberately the vocabulary of Mehta and Nipkow's high-level
+   proofs [18]: the heap-abstraction phase is what makes C code fit it. *)
+
+type sort =
+  | Sint (* ideal integers; also pointers (addresses) *)
+  | Sbool
+  | Sarr of sort (* integer-indexed arrays: split heaps, validity maps *)
+  | Sseq (* finite sequences (ghost lists) *)
+
+let rec sort_equal a b =
+  match (a, b) with
+  | Sint, Sint | Sbool, Sbool | Sseq, Sseq -> true
+  | Sarr x, Sarr y -> sort_equal x y
+  | (Sint | Sbool | Sarr _ | Sseq), _ -> false
+
+let rec pp_sort fmt = function
+  | Sint -> Format.pp_print_string fmt "int"
+  | Sbool -> Format.pp_print_string fmt "bool"
+  | Sarr s -> Format.fprintf fmt "(array %a)" pp_sort s
+  | Sseq -> Format.pp_print_string fmt "seq"
+
+(* Sorts of the sequence-theory function symbols (see Seq). *)
+let uf_sort = function
+  | "islist" | "mem" | "disjoint" -> Sbool
+  | "nil" | "cons" | "append" | "rev" | "stail" -> Sseq
+  | _ -> Sint
+
+type sym =
+  | Add
+  | Sub
+  | Neg
+  | Mul
+  | Div (* truncated, matching the spec language *)
+  | Mod
+  | Le
+  | Lt
+  | Eq (* polymorphic *)
+  | Not
+  | And
+  | Or
+  | Imp
+  | Ite (* polymorphic *)
+  | Select (* array read *)
+  | Store (* array write *)
+  | Uf of string (* uninterpreted / user-defined function *)
+
+let sym_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Neg -> "neg"
+  | Mul -> "*"
+  | Div -> "div"
+  | Mod -> "mod"
+  | Le -> "<="
+  | Lt -> "<"
+  | Eq -> "="
+  | Not -> "not"
+  | And -> "and"
+  | Or -> "or"
+  | Imp -> "=>"
+  | Ite -> "ite"
+  | Select -> "select"
+  | Store -> "store"
+  | Uf f -> f
+
+type t =
+  | Int of B.t
+  | Bool of bool
+  | Var of string * sort
+  | App of sym * t list
+
+let tt = Bool true
+let ff = Bool false
+let zero = Int B.zero
+let one = Int B.one
+let int_of n = Int (B.of_int n)
+
+(* ------------------------------------------------------------------ *)
+(* Structure. *)
+
+let rec equal a b =
+  match (a, b) with
+  | Int x, Int y -> B.equal x y
+  | Bool x, Bool y -> x = y
+  | Var (x, s), Var (y, u) -> String.equal x y && sort_equal s u
+  | App (f, xs), App (g, ys) ->
+    f = g && List.length xs = List.length ys && List.for_all2 equal xs ys
+  | (Int _ | Bool _ | Var _ | App _), _ -> false
+
+let rec compare_t a b =
+  match (a, b) with
+  | Int x, Int y -> B.compare x y
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Var (x, _), Var (y, _) -> String.compare x y
+  | App (f, xs), App (g, ys) ->
+    let c = Stdlib.compare f g in
+    if c <> 0 then c
+    else begin
+      let c = Stdlib.compare (List.length xs) (List.length ys) in
+      if c <> 0 then c
+      else
+        List.fold_left2 (fun acc x y -> if acc <> 0 then acc else compare_t x y) 0 xs ys
+    end
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Bool _, _ -> -1
+  | _, Bool _ -> 1
+  | Var _, _ -> -1
+  | _, Var _ -> 1
+
+let children = function App (_, xs) -> xs | _ -> []
+
+let rec fold f acc t = List.fold_left (fold f) (f acc t) (children t)
+
+let size t = fold (fun n _ -> n + 1) 0 t
+
+let free_vars t =
+  let module SSet = Set.Make (String) in
+  fold (fun acc t -> match t with Var (x, _) -> SSet.add x acc | _ -> acc) SSet.empty t
+  |> SSet.elements
+
+let var_sorts t =
+  fold
+    (fun acc t ->
+      match t with
+      | Var (x, s) -> if List.mem_assoc x acc then acc else (x, s) :: acc
+      | _ -> acc)
+    [] t
+
+let rec subst (bindings : (string * t) list) t =
+  match t with
+  | Var (x, _) -> ( match List.assoc_opt x bindings with Some v -> v | None -> t)
+  | App (f, xs) -> App (f, List.map (subst bindings) xs)
+  | Int _ | Bool _ -> t
+
+(* ------------------------------------------------------------------ *)
+(* Constructors with light simplification. *)
+
+let not_t = function
+  | Bool b -> Bool (not b)
+  | App (Not, [ x ]) -> x
+  | x -> App (Not, [ x ])
+
+let and_t a b =
+  match (a, b) with
+  | Bool true, x | x, Bool true -> x
+  | Bool false, _ | _, Bool false -> ff
+  | _ -> App (And, [ a; b ])
+
+let or_t a b =
+  match (a, b) with
+  | Bool false, x | x, Bool false -> x
+  | Bool true, _ | _, Bool true -> tt
+  | _ -> App (Or, [ a; b ])
+
+let imp_t a b =
+  match (a, b) with
+  | Bool true, x -> x
+  | Bool false, _ | _, Bool true -> tt
+  | _ -> App (Imp, [ a; b ])
+
+let conj = function [] -> tt | x :: xs -> List.fold_left and_t x xs
+let disj = function [] -> ff | x :: xs -> List.fold_left or_t x xs
+
+let eq_t a b = if equal a b then tt else App (Eq, [ a; b ])
+let le_t a b = App (Le, [ a; b ])
+let lt_t a b = App (Lt, [ a; b ])
+let add_t a b = App (Add, [ a; b ])
+let sub_t a b = App (Sub, [ a; b ])
+let mul_t a b = App (Mul, [ a; b ])
+let ite_t c a b = match c with Bool true -> a | Bool false -> b | _ -> App (Ite, [ c; a; b ])
+let select_t a i = App (Select, [ a; i ])
+let store_t a i v = App (Store, [ a; i; v ])
+
+(* ------------------------------------------------------------------ *)
+(* Sort inference (best effort; terms are constructed well-sorted). *)
+
+let rec sort_of (t : t) : sort =
+  match t with
+  | Int _ -> Sint
+  | Bool _ -> Sbool
+  | Var (_, s) -> s
+  | App (f, args) -> (
+    match f with
+    | Add | Sub | Neg | Mul | Div | Mod -> Sint
+    | Le | Lt | Eq | Not | And | Or | Imp -> Sbool
+    | Ite -> ( match args with [ _; a; _ ] -> sort_of a | _ -> Sint)
+    | Select -> (
+      match args with
+      | [ a; _ ] -> ( match sort_of a with Sarr s -> s | _ -> Sint)
+      | _ -> Sint)
+    | Store -> ( match args with a :: _ -> sort_of a | _ -> Sarr Sint)
+    | Uf f -> uf_sort f)
+
+(* ------------------------------------------------------------------ *)
+(* Printing. *)
+
+let rec pp fmt (t : t) =
+  match t with
+  | Int n -> B.pp fmt n
+  | Bool b -> Format.pp_print_bool fmt b
+  | Var (x, _) -> Format.pp_print_string fmt x
+  | App (f, args) ->
+    Format.fprintf fmt "@[<hov 1>(%s%a)@]" (sym_name f)
+      (fun fmt -> List.iter (fun a -> Format.fprintf fmt "@ %a" pp a))
+      args
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* ------------------------------------------------------------------ *)
+(* Ground evaluation under an assignment, for counter-model checking.
+   Arrays are association lists with a default. *)
+
+type value =
+  | Vint of B.t
+  | Vbool of bool
+  | Varr of (B.t * value) list * value
+  | Vseq of value list
+
+exception Eval_failed of string
+
+let rec veq a b =
+  match (a, b) with
+  | Vint x, Vint y -> B.equal x y
+  | Vbool x, Vbool y -> x = y
+  | Varr (xs, dx), Varr (ys, dy) ->
+    (* compare on the union of defined indices *)
+    let keys = List.sort_uniq B.compare (List.map fst xs @ List.map fst ys) in
+    veq dx dy
+    && List.for_all
+         (fun k ->
+           let look l = match List.assoc_opt k l with Some v -> v | None -> dx in
+           let looky l = match List.assoc_opt k l with Some v -> v | None -> dy in
+           veq (look xs) (looky ys))
+         keys
+  | Vseq xs, Vseq ys -> List.length xs = List.length ys && List.for_all2 veq xs ys
+  | (Vint _ | Vbool _ | Varr _ | Vseq _), _ -> false
+
+let rec eval ?(interp : (string -> value list -> value) option) (env : (string * value) list)
+    (t : t) : value =
+  let eval env t = eval ?interp env t in
+  let int_v t = match eval env t with Vint n -> n | _ -> raise (Eval_failed "int expected") in
+  let bool_v t =
+    match eval env t with Vbool b -> b | _ -> raise (Eval_failed "bool expected")
+  in
+  match t with
+  | Int n -> Vint n
+  | Bool b -> Vbool b
+  | Var (x, _) -> (
+    match List.assoc_opt x env with
+    | Some v -> v
+    | None -> raise (Eval_failed ("unbound " ^ x)))
+  | App (f, args) -> (
+    match (f, args) with
+    | Add, [ a; b ] -> Vint (B.add (int_v a) (int_v b))
+    | Sub, [ a; b ] -> Vint (B.sub (int_v a) (int_v b))
+    | Neg, [ a ] -> Vint (B.neg (int_v a))
+    | Mul, [ a; b ] -> Vint (B.mul (int_v a) (int_v b))
+    | Div, [ a; b ] ->
+      let d = int_v b in
+      Vint (if B.is_zero d then B.zero else B.div (int_v a) d)
+    | Mod, [ a; b ] ->
+      let d = int_v b in
+      Vint (if B.is_zero d then int_v a else B.rem (int_v a) d)
+    | Le, [ a; b ] -> Vbool (B.le (int_v a) (int_v b))
+    | Lt, [ a; b ] -> Vbool (B.lt (int_v a) (int_v b))
+    | Eq, [ a; b ] -> Vbool (veq (eval env a) (eval env b))
+    | Not, [ a ] -> Vbool (not (bool_v a))
+    | And, [ a; b ] -> Vbool (bool_v a && bool_v b)
+    | Or, [ a; b ] -> Vbool (bool_v a || bool_v b)
+    | Imp, [ a; b ] -> Vbool ((not (bool_v a)) || bool_v b)
+    | Ite, [ c; a; b ] -> if bool_v c then eval env a else eval env b
+    | Select, [ a; i ] -> (
+      match eval env a with
+      | Varr (entries, d) -> (
+        match List.assoc_opt (int_v i) entries with Some v -> v | None -> d)
+      | _ -> raise (Eval_failed "array expected"))
+    | Store, [ a; i; v ] -> (
+      match eval env a with
+      | Varr (entries, d) -> Varr ((int_v i, eval env v) :: entries, d)
+      | _ -> raise (Eval_failed "array expected"))
+    | Uf f, _ -> (
+      match interp with
+      | Some i -> i f (List.map (eval env) args)
+      | None -> raise (Eval_failed ("uninterpreted " ^ f)))
+    | _ -> raise (Eval_failed ("arity: " ^ sym_name f)))

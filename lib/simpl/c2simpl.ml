@@ -1,0 +1,375 @@
+module Ty = Ac_lang.Ty
+module Layout = Ac_lang.Layout
+module Value = Ac_lang.Value
+module E = Ac_lang.Expr
+module B = Ac_bignum
+module W = Ac_word
+module Ast = Ac_cfront.Ast
+module Tir = Ac_cfront.Tir
+open Ir
+
+(* Translation of typed C into Simpl: the back half of the trusted "C
+   parser" stage (paper Fig 1, dashed arrow).
+
+   The translation is deliberately literal and conservative: every source
+   construct that may exhibit undefined behaviour gets an explicit inline
+   guard (signed overflow, division by zero, shift bounds, pointer validity,
+   falling off the end of a non-void function), and abrupt control flow is
+   encoded via the ghost variable [global_exn_var] and THROW/TRY-CATCH,
+   exactly as in the paper's Fig 2. *)
+
+exception Unsupported of string
+
+type guard = guard_kind * E.t
+
+(* Guards arising from a subexpression evaluated only under condition [c]
+   (the right operand of &&, ||, ?:) are weakened to implications, which is
+   how a conservative translation keeps short-circuit semantics sound. *)
+let under_condition c (gs : guard list) : guard list =
+  List.map (fun (k, g) -> (k, E.imp_e c g)) gs
+
+let rec ty_of_ctype (t : Tir.ctype) : Ty.t =
+  match t with
+  | Ast.Integer (s, w) -> Ty.Tword (s, w)
+  | Ast.Bool -> Ty.Tbool
+  | Ast.Pointer Ast.Void -> Ty.Tptr (Ty.Cword (Unsigned, W8))
+  | Ast.Pointer t' -> (
+    match cty_of_ctype t' with
+    | Some c -> Ty.Tptr c
+    | None -> raise (Unsupported "pointer to void-like type"))
+  | Ast.StructRef n -> Ty.Tstruct n
+  | Ast.Void -> Ty.Tunit
+
+and cty_of_ctype (t : Tir.ctype) : Ty.cty option =
+  match t with
+  | Ast.Integer (s, w) -> Some (Ty.Cword (s, w))
+  | Ast.Bool -> Some (Ty.Cword (Unsigned, W8))
+  | Ast.Pointer Ast.Void -> Some (Ty.Cptr (Ty.Cword (Unsigned, W8)))
+  | Ast.Pointer t' -> (
+    match cty_of_ctype t' with Some c -> Some (Ty.Cptr c) | None -> None)
+  | Ast.StructRef n -> Some (Ty.Cstruct n)
+  | Ast.Void -> None
+
+let cty_exn t =
+  match cty_of_ctype t with
+  | Some c -> c
+  | None -> raise (Unsupported ("no object type for " ^ Ast.ctype_to_string t))
+
+(* Bounds of a signed type as ideal-integer constants. *)
+let int_min_e w = E.big_int_e (W.min_value Signed w)
+let int_max_e w = E.big_int_e (W.max_value Signed w)
+
+(* The signed-overflow guard the C parser emits around signed arithmetic:
+   INT_MIN <= ideal <= INT_MAX, with the ideal result expressed via sint. *)
+let signed_range_guard (ideal : E.t) (w : Ty.width) : guard =
+  ( Signed_overflow,
+    E.and_e (E.Binop (E.Le, int_min_e w, ideal)) (E.Binop (E.Le, ideal, int_max_e w)) )
+
+let sint e = E.OfWord (Ty.Tint, e)
+let unat e = E.OfWord (Ty.Tnat, e)
+
+let binop_of : Ast.binop -> E.binop = function
+  | Badd -> E.Add
+  | Bsub -> E.Sub
+  | Bmul -> E.Mul
+  | Bdiv -> E.Div
+  | Bmod -> E.Rem
+  | Bshl -> E.Shl
+  | Bshr -> E.Shr
+  | Bband -> E.Band
+  | Bbor -> E.Bor
+  | Bbxor -> E.Bxor
+  | Beq -> E.Eq
+  | Bne -> E.Ne
+  | Blt -> E.Lt
+  | Ble -> E.Le
+  | Bgt -> E.Gt
+  | Bge -> E.Ge
+  | Bland -> E.And
+  | Blor -> E.Or
+
+(* Per-function translation context. *)
+type ctx = {
+  lenv : Layout.env;
+  venv : Ty.t Map.Make(String).t; (* local name -> type *)
+  mutable extra_locals : (string * Ty.t) list;
+  mutable tmp_counter : int;
+}
+
+module SMap = Map.Make (String)
+
+let fresh_tmp ctx ty =
+  ctx.tmp_counter <- ctx.tmp_counter + 1;
+  let name = Printf.sprintf "tmp__%d" ctx.tmp_counter in
+  ctx.extra_locals <- (name, ty) :: ctx.extra_locals;
+  name
+
+(* ------------------------------------------------------------------ *)
+(* Expressions: produce (guards, expression). *)
+
+let rec tr_expr ctx (e : Tir.texpr) : guard list * E.t =
+  match e.te with
+  | Tconst (v, t) -> (
+    match t with
+    | Ast.Integer (s, w) -> ([], E.Const (Value.vword s (W.of_bignum w v)))
+    | Ast.Bool -> ([], E.Const (Value.vword Unsigned (W.of_bignum W8 v)))
+    | _ -> raise (Unsupported "non-integer constant"))
+  | Tnull t -> (
+    match ty_of_ctype t with
+    | Ty.Tptr c -> ([], E.null_e c)
+    | _ -> raise (Unsupported "null of non-pointer type"))
+  | Tvar x -> ([], E.Var (x, var_type ctx x))
+  | Tglobal x -> ([], E.Global (x, var_type ctx x))
+  | Tunop (Ast.Uneg, x) -> (
+    let gs, x' = tr_expr ctx x in
+    match x.tt with
+    | Ast.Integer (Signed, w) ->
+      (gs @ [ signed_range_guard (E.Unop (E.Neg, sint x')) w ], E.Unop (E.Neg, x'))
+    | Ast.Integer (Unsigned, _) -> (gs, E.Unop (E.Neg, x'))
+    | _ -> raise (Unsupported "negation of non-integer"))
+  | Tunop (Ast.Ubnot, x) ->
+    let gs, x' = tr_expr ctx x in
+    (gs, E.Unop (E.Bnot, x'))
+  | Tunop (Ast.Ulnot, x) ->
+    let gs, x' = tr_expr ctx x in
+    (gs, E.not_e x')
+  | Tbinop ((Ast.Bland | Ast.Blor) as op, x, y) ->
+    let gx, x' = tr_expr ctx x in
+    let gy, y' = tr_expr ctx y in
+    let cond = if op = Ast.Bland then x' else E.not_e x' in
+    if op = Ast.Bland then (gx @ under_condition cond gy, E.and_e x' y')
+    else (gx @ under_condition cond gy, E.or_e x' y')
+  | Tbinop (op, x, y) -> tr_arith ctx op x y
+  | Tcast (t, x) -> (
+    let gs, x' = tr_expr ctx x in
+    match (t, x.tt) with
+    | Ast.Bool, _ -> (gs, E.Cast (Ty.Tword (Unsigned, W8), x'))
+    | Ast.Integer (s, w), _ -> (gs, E.Cast (Ty.Tword (s, w), x'))
+    | Ast.Pointer _, _ -> (
+      match ty_of_ctype t with
+      | Ty.Tptr c -> (gs, E.Cast (Ty.Tptr c, x'))
+      | _ -> raise (Unsupported "cast to void pointer-like type"))
+    | _ -> raise (Unsupported ("cast to " ^ Ast.ctype_to_string t)))
+  | Tload lv -> tr_load ctx lv
+  | Taddr lv -> (
+    let gs, addr = lval_addr ctx lv in
+    (gs, addr))
+  | Tptradd (p, n) -> (
+    let gp, p' = tr_expr ctx p in
+    let gn, n' = tr_expr ctx n in
+    match ty_of_ctype p.tt with
+    | Ty.Tptr c -> (gp @ gn, E.PtrAdd (c, p', n'))
+    | _ -> raise (Unsupported "pointer arithmetic on non-pointer"))
+  | Ttobool x -> (
+    let gs, x' = tr_expr ctx x in
+    match ty_of_ctype x.tt with
+    | Ty.Tword (s, w) -> (gs, E.Binop (E.Ne, x', E.word_e s w 0))
+    | Ty.Tptr c -> (gs, E.Binop (E.Ne, x', E.null_e c))
+    | Ty.Tbool -> (gs, x')
+    | _ -> raise (Unsupported "condition on non-scalar"))
+  | Tofbool b ->
+    let gs, b' = tr_expr ctx b in
+    (gs, E.Ite (b', E.word_e Signed W32 1, E.word_e Signed W32 0))
+  | Tcond (c, x, y) ->
+    let gc, c' = tr_expr ctx c in
+    let gx, x' = tr_expr ctx x in
+    let gy, y' = tr_expr ctx y in
+    (gc @ under_condition c' gx @ under_condition (E.not_e c') gy, E.Ite (c', x', y'))
+
+and var_type ctx x =
+  match SMap.find_opt x ctx.venv with
+  | Some t -> t
+  | None -> raise (Unsupported ("unknown variable " ^ x))
+
+and tr_arith ctx op x y : guard list * E.t =
+  let gx, x' = tr_expr ctx x in
+  let gy, y' = tr_expr ctx y in
+  let gs = gx @ gy in
+  let e = E.Binop (binop_of op, x', y') in
+  match (op, x.tt) with
+  | (Ast.Badd | Ast.Bsub | Ast.Bmul), Ast.Integer (Signed, w) ->
+    let ideal = E.Binop (binop_of op, sint x', sint y') in
+    (gs @ [ signed_range_guard ideal w ], e)
+  | (Ast.Badd | Ast.Bsub | Ast.Bmul), _ -> (gs, e)
+  | (Ast.Bdiv | Ast.Bmod), Ast.Integer (Signed, w) ->
+    let nonzero = (Div_by_zero, E.Binop (E.Ne, y', E.word_e Signed w 0)) in
+    let ideal = E.Binop (E.Div, sint x', sint y') in
+    (* INT_MIN div -1 is the only in-type overflow; the range guard rules
+       it out.  The guard is vacuous for Bmod but emitted for Bdiv. *)
+    let range = signed_range_guard ideal w in
+    (gs @ (nonzero :: (if op = Ast.Bdiv then [ range ] else [])), e)
+  | (Ast.Bdiv | Ast.Bmod), Ast.Integer (Unsigned, w) ->
+    (gs @ [ (Div_by_zero, E.Binop (E.Ne, y', E.word_e Unsigned w 0)) ], e)
+  | (Ast.Bshl | Ast.Bshr), Ast.Integer (sx, w) ->
+    let bits = E.big_nat_e (B.of_int (W.bits w)) in
+    let amount_ok =
+      match y.tt with
+      | Ast.Integer (Unsigned, _) -> E.Binop (E.Lt, unat y', bits)
+      | _ ->
+        E.and_e
+          (E.Binop (E.Le, E.int_e 0, sint y'))
+          (E.Binop (E.Lt, sint y', E.big_int_e (B.of_int (W.bits w))))
+    in
+    let value_ok =
+      (* shifting a negative signed value is UB for << *)
+      if sx = Ty.Signed && op = Ast.Bshl then
+        E.and_e amount_ok (E.Binop (E.Le, E.int_e 0, sint x'))
+      else amount_ok
+    in
+    (gs @ [ (Shift_bounds, value_ok) ], e)
+  | (Ast.Bband | Ast.Bbor | Ast.Bbxor), _ -> (gs, e)
+  | (Ast.Beq | Ast.Bne | Ast.Blt | Ast.Ble | Ast.Bgt | Ast.Bge), _ -> (gs, e)
+  | (Ast.Bland | Ast.Blor), _ -> assert false
+  | _, t -> raise (Unsupported ("arithmetic on " ^ Ast.ctype_to_string t))
+
+(* The C-level validity guard for dereferencing a τ pointer: alignment plus
+   0 ∉ {p ..+ size τ} (paper Sec 4.1). *)
+and deref_guard (c : Ty.cty) (p : E.t) : guard =
+  (Ptr_valid, E.and_e (E.PtrAligned (c, p)) (E.PtrSpan (c, p)))
+
+(* Address of a memory lvalue: (guards, address expression, object type).
+   Also reports the *root* pointer and its type, whose validity guards
+   dereferences (a field access p->f is guarded via the struct pointer p). *)
+and lval_mem_addr ctx (lv : Tir.tlval) : guard list * E.t * Ty.cty * (E.t * Ty.cty) =
+  match lv with
+  | Tir.Lmem (p, t) ->
+    let gp, p' = tr_expr ctx p in
+    let c = cty_exn t in
+    (gp, p', c, (p', c))
+  | Tir.Lfield (base, sname, fname, fty) ->
+    let gb, base_addr, _bc, root = lval_mem_addr ctx base in
+    let fc = cty_exn fty in
+    ignore fc;
+    (gb, E.FieldAddr (sname, fname, base_addr), Layout.field_type ctx.lenv sname fname, root)
+  | Tir.Lvar _ | Tir.Lglobal _ ->
+    raise (Unsupported "address of register lvalue")
+
+(* Loading an lvalue. *)
+and tr_load ctx (lv : Tir.tlval) : guard list * E.t =
+  match lv with
+  | Tir.Lvar (x, _) -> ([], E.Var (x, var_type ctx x))
+  | Tir.Lglobal (x, t) -> ([], E.Global (x, ty_of_ctype t))
+  | Tir.Lfield (base, sname, fname, _) when is_register_lval base ->
+    let gs, b = tr_load ctx base in
+    (gs, E.StructGet (sname, fname, b))
+  | Tir.Lmem _ | Tir.Lfield _ ->
+    let gs, addr, c, (root, root_c) = lval_mem_addr ctx lv in
+    (gs @ [ deref_guard root_c root ], E.HeapRead (c, addr))
+
+and is_register_lval = function
+  | Tir.Lvar _ | Tir.Lglobal _ -> true
+  | Tir.Lfield (base, _, _, _) -> is_register_lval base
+  | Tir.Lmem _ -> false
+
+(* Address expression for AddrOf: no dereference, hence no validity guard. *)
+and lval_addr ctx (lv : Tir.tlval) : guard list * E.t =
+  let gs, addr, _, _ = lval_mem_addr ctx lv in
+  (gs, addr)
+
+(* ------------------------------------------------------------------ *)
+(* Statements. *)
+
+let rec tr_stmt ctx (ret_ty : Ty.t) (s : Tir.tstmt) : stmt =
+  match s with
+  | Tir.Tskip -> Skip
+  | Tir.Tseq (a, b) -> Seq (tr_stmt ctx ret_ty a, tr_stmt ctx ret_ty b)
+  | Tir.Tassign (lv, rhs) ->
+    let g_rhs, rhs' = tr_expr ctx rhs in
+    let stmt, g_lhs = tr_assign ctx lv rhs' in
+    seq_of_list (guards_to_stmts (g_rhs @ g_lhs) @ [ stmt ])
+  | Tir.Tcall (dest, fname, args) -> (
+    let g_args, args' =
+      List.fold_left
+        (fun (gs, acc) a ->
+          let g, a' = tr_expr ctx a in
+          (gs @ g, a' :: acc))
+        ([], []) args
+    in
+    let args' = List.rev args' in
+    let pre = guards_to_stmts g_args in
+    match dest with
+    | None -> seq_of_list (pre @ [ Call (None, fname, args') ])
+    | Some (Tir.Lvar (x, _)) -> seq_of_list (pre @ [ Call (Some x, fname, args') ])
+    | Some lv ->
+      (* call into a temporary, then a normal assignment *)
+      let t = ty_of_ctype (Tir.lval_type lv) in
+      let tmp = fresh_tmp ctx t in
+      let stmt, g_lhs = tr_assign ctx lv (E.Var (tmp, t)) in
+      seq_of_list (pre @ [ Call (Some tmp, fname, args') ] @ guards_to_stmts g_lhs @ [ stmt ]))
+  | Tir.Tif (c, a, b) ->
+    let gc, c' = tr_expr ctx c in
+    seq_of_list (guards_to_stmts gc @ [ Cond (c', tr_stmt ctx ret_ty a, tr_stmt ctx ret_ty b) ])
+  | Tir.Twhile (c, body) ->
+    let gc, c' = tr_expr ctx c in
+    let body' = tr_stmt ctx ret_ty body in
+    (* Catch continue at the body level, break at the loop level; re-raise
+       anything else (i.e. return).  Condition guards run before the loop
+       and after each iteration. *)
+    let catch_continue = Cond (exn_is Xcontinue, Skip, Throw) in
+    let loop_body = Seq (Try (body', catch_continue), seq_of_list (guards_to_stmts gc)) in
+    let catch_break = Cond (exn_is Xbreak, Skip, Throw) in
+    seq_of_list (guards_to_stmts gc @ [ Try (While (c', loop_body), catch_break) ])
+  | Tir.Tbreak -> Seq (Local_set (exn_var, E.word_e Unsigned W32 (exit_code Xbreak)), Throw)
+  | Tir.Tcontinue -> Seq (Local_set (exn_var, E.word_e Unsigned W32 (exit_code Xcontinue)), Throw)
+  | Tir.Treturn None ->
+    Seq (Local_set (exn_var, E.word_e Unsigned W32 (exit_code Xreturn)), Throw)
+  | Tir.Treturn (Some e) ->
+    ignore ret_ty;
+    let gs, e' = tr_expr ctx e in
+    seq_of_list
+      (guards_to_stmts gs
+      @ [
+          Local_set (ret_var, e');
+          Local_set (exn_var, E.word_e Unsigned W32 (exit_code Xreturn));
+          Throw;
+        ])
+
+(* Assignment to an lvalue: returns the statement plus lvalue guards. *)
+and tr_assign ctx (lv : Tir.tlval) (rhs : E.t) : stmt * guard list =
+  match lv with
+  | Tir.Lvar (x, _) -> (Local_set (x, rhs), [])
+  | Tir.Lglobal (x, _) -> (Global_set (x, rhs), [])
+  | Tir.Lfield (base, sname, fname, _) when is_register_lval base ->
+    let _, base_e = tr_load ctx base in
+    tr_assign ctx base (E.StructSet (sname, fname, base_e, rhs))
+  | Tir.Lmem _ | Tir.Lfield _ ->
+    let gs, addr, c, (root, root_c) = lval_mem_addr ctx lv in
+    (Heap_write (c, addr, rhs), gs @ [ deref_guard root_c root ])
+
+(* ------------------------------------------------------------------ *)
+(* Functions and programs. *)
+
+let tr_func lenv (f : Tir.tfunc) : func =
+  let params = List.map (fun (n, t) -> (n, ty_of_ctype t)) f.tf_params in
+  let declared = List.map (fun (n, t) -> (n, ty_of_ctype t)) f.tf_locals in
+  let ret_ty = ty_of_ctype f.tf_ret in
+  let venv =
+    List.fold_left (fun m (n, t) -> SMap.add n t m) SMap.empty (params @ declared)
+  in
+  let venv = SMap.add ret_var ret_ty (SMap.add exn_var exn_ty venv) in
+  let ctx = { lenv; venv; extra_locals = []; tmp_counter = 0 } in
+  let body = tr_stmt ctx ret_ty f.tf_body in
+  (* Fig 2 shape: TRY body [;; GUARD DontReach] CATCH SKIP END *)
+  let fall_off =
+    if Ty.equal ret_ty Ty.Tunit then [] else [ Guard (Dont_reach, E.false_e) ]
+  in
+  let wrapped = Try (seq_of_list ((body :: fall_off)), Skip) in
+  let ghost = [ (ret_var, ret_ty); (exn_var, exn_ty) ] in
+  let ghost = if Ty.equal ret_ty Ty.Tunit then [ (exn_var, exn_ty) ] else ghost in
+  {
+    name = f.tf_name;
+    params;
+    locals = declared @ List.rev ctx.extra_locals @ ghost;
+    ret_ty;
+    body = wrapped;
+  }
+
+let tr_program (p : Tir.tprog) : program =
+  {
+    lenv = p.tp_lenv;
+    globals = List.map (fun (n, t) -> (n, ty_of_ctype t)) p.tp_globals;
+    funcs = List.map (tr_func p.tp_lenv) p.tp_funcs;
+  }
+
+(* One-stop front end: C source to Simpl program. *)
+let parse (src : string) : program = tr_program (Ac_cfront.Typecheck.parse_and_check src)

@@ -1,0 +1,138 @@
+module Ty = Ac_lang.Ty
+module E = Ac_lang.Expr
+
+(* The Simpl intermediate language (Schirmer), as emitted by the C parser.
+
+   Deliberately verbose and literal (paper Sec 2): abrupt termination
+   (return/break/continue) goes through a ghost variable [global_exn_var]
+   plus THROW/TRY-CATCH, and every potential undefined behaviour is guarded
+   explicitly.  This is the trusted input to the AutoCorres pipeline. *)
+
+type guard_kind =
+  | Div_by_zero
+  | Signed_overflow
+  | Shift_bounds
+  | Ptr_valid
+  | Array_bounds
+  | Dont_reach (* control falls off the end of a non-void function *)
+  | Unsigned_overflow (* introduced by word abstraction, never by the parser *)
+
+let guard_kind_name = function
+  | Div_by_zero -> "Div0"
+  | Signed_overflow -> "SignedOverflow"
+  | Shift_bounds -> "ShiftBounds"
+  | Ptr_valid -> "PtrValid"
+  | Array_bounds -> "ArrayBounds"
+  | Dont_reach -> "DontReach"
+  | Unsigned_overflow -> "UnsignedOverflow"
+
+(* Exit reasons recorded in the ghost variable, encoded as small words so
+   that handlers can branch on them with ordinary expressions. *)
+type exit_kind = Xreturn | Xbreak | Xcontinue
+
+let exit_code = function Xreturn -> 0 | Xbreak -> 1 | Xcontinue -> 2
+let exit_name = function Xreturn -> "Return" | Xbreak -> "Break" | Xcontinue -> "Continue"
+
+(* The ghost/pseudo locals used by the translation. *)
+let exn_var = "global_exn_var"
+let ret_var = "ret"
+
+let exn_ty : Ty.t = Ty.Tword (Unsigned, W32)
+
+(* Expression testing the recorded exit reason. *)
+let exn_is kind =
+  E.Binop (E.Eq, E.Var (exn_var, exn_ty), E.word_e Ty.Unsigned Ty.W32 (exit_code kind))
+
+type stmt =
+  | Skip
+  | Seq of stmt * stmt
+  | Local_set of string * E.t (* ´x :== e *)
+  | Global_set of string * E.t
+  | Heap_write of Ty.cty * E.t * E.t (* object write at pointer *)
+  | Retype of Ty.cty * E.t (* ghost type-tag update at pointer *)
+  | Cond of E.t * stmt * stmt
+  | While of E.t * stmt
+  | Guard of guard_kind * E.t
+  | Throw
+  | Try of stmt * stmt (* TRY body CATCH handler END *)
+  | Call of string option * string * E.t list (* dest local, callee, args *)
+
+type func = {
+  name : string;
+  params : (string * Ty.t) list;
+  locals : (string * Ty.t) list; (* includes ret/exn ghosts *)
+  ret_ty : Ty.t; (* Tunit for void *)
+  body : stmt;
+}
+
+type program = {
+  lenv : Ac_lang.Layout.env;
+  globals : (string * Ty.t) list;
+  funcs : func list;
+}
+
+let find_func prog name = List.find_opt (fun f -> String.equal f.name name) prog.funcs
+
+let rec seq_of_list = function
+  | [] -> Skip
+  | [ s ] -> s
+  | s :: rest -> Seq (s, seq_of_list rest)
+
+let guards_to_stmts gs = List.map (fun (k, e) -> Guard (k, e)) gs
+
+(* Number of AST nodes in a statement, counting embedded expressions: the
+   term-size metric of Table 5 for parser output. *)
+let rec size = function
+  | Skip | Throw -> 1
+  | Seq (a, b) | Try (a, b) -> 1 + size a + size b
+  | Local_set (_, e) | Global_set (_, e) | Guard (_, e) | Retype (_, e) -> 1 + E.size e
+  | Heap_write (_, p, v) -> 1 + E.size p + E.size v
+  | Cond (c, a, b) -> 1 + E.size c + size a + size b
+  | While (c, b) -> 1 + E.size c + size b
+  | Call (_, _, args) -> 1 + List.fold_left (fun n e -> n + E.size e) 0 args
+
+let func_size f = size f.body
+
+let rec iter_stmts f s =
+  f s;
+  match s with
+  | Seq (a, b) | Try (a, b) ->
+    iter_stmts f a;
+    iter_stmts f b
+  | Cond (_, a, b) ->
+    iter_stmts f a;
+    iter_stmts f b
+  | While (_, b) -> iter_stmts f b
+  | Skip | Throw | Local_set _ | Global_set _ | Heap_write _ | Retype _ | Guard _ | Call _ -> ()
+
+(* Every C object type read or written through the heap by [s], the input to
+   the heap-abstraction phase's state construction (paper Sec 4.4). *)
+let heap_types_of_stmt s =
+  let acc = ref [] in
+  let add c = if not (List.exists (Ty.cty_equal c) !acc) then acc := c :: !acc in
+  let rec scan_expr (e : E.t) =
+    (match e with
+    | E.HeapRead (c, _) | E.TypedRead (c, _) | E.IsValid (c, _)
+    | E.PtrAligned (c, _) | E.PtrSpan (c, _) ->
+      add c
+    | E.FieldAddr (sname, _, _) -> add (Ty.Cstruct sname)
+    | _ -> ());
+    List.iter scan_expr (E.children e)
+  in
+  iter_stmts
+    (fun s ->
+      match s with
+      | Heap_write (c, p, v) ->
+        add c;
+        scan_expr p;
+        scan_expr v
+      | Retype (c, p) ->
+        add c;
+        scan_expr p
+      | Local_set (_, e) | Global_set (_, e) | Guard (_, e) -> scan_expr e
+      | Cond (c, _, _) -> scan_expr c
+      | While (c, _) -> scan_expr c
+      | Call (_, _, args) -> List.iter scan_expr args
+      | Skip | Throw | Seq _ | Try _ -> ())
+    s;
+  List.rev !acc

@@ -1,0 +1,142 @@
+module Ty = Ac_lang.Ty
+module Value = Ac_lang.Value
+module Expr = Ac_lang.Expr
+module B = Ac_bignum
+module SMap = Map.Make (String)
+open Ir
+
+(* Big-step operational semantics for Simpl.
+
+   Outcomes distinguish normal termination, abrupt termination (THROW, with
+   the reason recorded in the ghost variable), guard faults (undefined
+   behaviour the guards rule out), stuck evaluation (type errors — never
+   reachable from typechecked input) and fuel exhaustion (used by the
+   differential tester to bound loops/recursion). *)
+
+type outcome =
+  | Normal of State.t
+  | Abrupt of State.t
+  | Fault of guard_kind
+  | Stuck of string
+  | Out_of_fuel
+
+exception Exec_error of string
+
+(* Declared locals are default-initialised at function entry: a deterministic
+   semantics for uninitialised reads, shared with the monadic levels so the
+   local-lifting phase's default-substitution is exact. *)
+let default_of_ty lenv (t : Ty.t) : Value.t =
+  let module B = Ac_bignum in
+  match t with
+  | Ty.Tunit -> Value.Vunit
+  | Ty.Tbool -> Value.Vbool false
+  | Ty.Tword (s, w) -> Value.vword s (Ac_word.zero w)
+  | Ty.Tint -> Value.Vint B.zero
+  | Ty.Tnat -> Value.Vnat B.zero
+  | Ty.Tptr c -> Value.null c
+  | Ty.Tstruct n -> Value.default lenv (Ty.Cstruct n)
+  | Ty.Ttuple _ -> Expr.stuck "tuple-typed local"
+
+let frame_locals lenv (f : func) (args : Value.t list) =
+  let with_params =
+    List.fold_left2 (fun m (p, _) v -> SMap.add p v m) SMap.empty f.params args
+  in
+  List.fold_left
+    (fun m (x, t) -> if SMap.mem x m then m else SMap.add x (default_of_ty lenv t) m)
+    with_params f.locals
+
+let rec exec (prog : program) (fuel : int) (s : State.t) (stmt : stmt) : outcome =
+  if fuel <= 0 then Out_of_fuel
+  else begin
+    let eval e = State.eval prog.lenv s e in
+    match stmt with
+    | Skip -> Normal s
+    | Seq (a, b) -> (
+      match exec prog fuel s a with
+      | Normal s' -> exec prog fuel s' b
+      | other -> other)
+    | Local_set (x, e) -> (
+      match eval e with
+      | v -> Normal (State.set_local s x v)
+      | exception Expr.Eval_stuck m -> Stuck m)
+    | Global_set (x, e) -> (
+      match eval e with
+      | v -> Normal (State.set_global s x v)
+      | exception Expr.Eval_stuck m -> Stuck m)
+    | Heap_write (c, p, e) -> (
+      match (eval p, eval e) with
+      | Value.Vptr (addr, _), v ->
+        Normal (State.with_heap s (Heap.write_obj prog.lenv s.heap c addr v))
+      | _ -> Stuck "heap write through non-pointer"
+      | exception Expr.Eval_stuck m -> Stuck m)
+    | Retype (c, p) -> (
+      match eval p with
+      | Value.Vptr (addr, _) -> Normal (State.with_heap s (Heap.retype prog.lenv s.heap c addr))
+      | _ -> Stuck "retype through non-pointer"
+      | exception Expr.Eval_stuck m -> Stuck m)
+    | Cond (c, a, b) -> (
+      match eval c with
+      | Value.Vbool true -> exec prog fuel s a
+      | Value.Vbool false -> exec prog fuel s b
+      | _ -> Stuck "non-boolean condition"
+      | exception Expr.Eval_stuck m -> Stuck m)
+    | While (c, body) -> (
+      match eval c with
+      | Value.Vbool false -> Normal s
+      | Value.Vbool true -> (
+        match exec prog (fuel - 1) s body with
+        | Normal s' -> exec prog (fuel - 1) s' stmt
+        | other -> other)
+      | _ -> Stuck "non-boolean loop condition"
+      | exception Expr.Eval_stuck m -> Stuck m)
+    | Guard (kind, e) -> (
+      match eval e with
+      | Value.Vbool true -> Normal s
+      | Value.Vbool false -> Fault kind
+      | _ -> Stuck "non-boolean guard"
+      | exception Expr.Eval_stuck m -> Stuck m)
+    | Throw -> Abrupt s
+    | Try (body, handler) -> (
+      match exec prog fuel s body with
+      | Abrupt s' -> exec prog fuel s' handler
+      | other -> other)
+    | Call (dest, fname, args) -> (
+      match find_func prog fname with
+      | None -> Stuck ("call to unknown function " ^ fname)
+      | Some f -> (
+        match List.map eval args with
+        | exception Expr.Eval_stuck m -> Stuck m
+        | arg_vals -> (
+          let s_callee = { s with State.locals = frame_locals prog.lenv f arg_vals } in
+          match exec prog (fuel - 1) s_callee f.body with
+          | Normal s' | Abrupt s' -> (
+            let s_return = { s' with State.locals = s.State.locals } in
+            match dest with
+            | None -> Normal s_return
+            | Some d -> (
+              match SMap.find_opt ret_var s'.State.locals with
+              | Some v -> Normal (State.set_local s_return d v)
+              | None -> Stuck (fname ^ " returned no value")))
+          | other -> other)))
+  end
+
+(* Run a function on given argument values; the result is the returned value
+   (if any) plus the final state. *)
+type run_result =
+  | Returns of Value.t option * State.t
+  | Faults of guard_kind
+  | Gets_stuck of string
+  | Diverges
+
+let run_func (prog : program) ~fuel (s : State.t) fname (args : Value.t list) : run_result =
+  match find_func prog fname with
+  | None -> Gets_stuck ("unknown function " ^ fname)
+  | Some f -> (
+    let s0 = { s with State.locals = frame_locals prog.lenv f args } in
+    match exec prog fuel s0 f.body with
+    | Normal s' | Abrupt s' ->
+      let rv = SMap.find_opt ret_var s'.State.locals in
+      Returns (rv, { s' with State.locals = s.State.locals })
+    | Fault k -> Faults k
+    | Stuck m -> Gets_stuck m
+    | Out_of_fuel -> Diverges)

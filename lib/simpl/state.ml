@@ -1,0 +1,53 @@
+module Ty = Ac_lang.Ty
+module Layout = Ac_lang.Layout
+module Value = Ac_lang.Value
+module Expr = Ac_lang.Expr
+module B = Ac_bignum
+module SMap = Map.Make (String)
+
+(* Concrete program states at the Simpl and L1 levels: local variables (one
+   frame), global variables, and the tagged byte heap. *)
+
+type t = {
+  locals : Value.t SMap.t;
+  globals : Value.t SMap.t;
+  heap : Heap.t;
+}
+
+let empty = { locals = SMap.empty; globals = SMap.empty; heap = Heap.empty }
+
+let get_local s x =
+  match SMap.find_opt x s.locals with
+  | Some v -> v
+  | None -> Expr.stuck "unbound local %s" x
+
+let set_local s x v = { s with locals = SMap.add x v s.locals }
+
+let get_global s x =
+  match SMap.find_opt x s.globals with
+  | Some v -> v
+  | None -> Expr.stuck "unbound global %s" x
+
+let set_global s x v = { s with globals = SMap.add x v s.globals }
+
+let with_heap s h = { s with heap = h }
+
+(* Expression-evaluation view at the concrete level: locals are *not* part
+   of the view (they are bound in the evaluation environment); the typed
+   heaps do not exist yet. *)
+let view lenv s : Expr.view =
+  {
+    Expr.read_global = get_global s;
+    read_heap = (fun c addr -> Heap.read_obj lenv s.heap c addr);
+    typed_read = (fun _ _ -> Expr.stuck "typed heap read at concrete level");
+    is_valid = (fun _ _ -> Expr.stuck "is_valid at concrete level");
+    lenv;
+  }
+
+(* Evaluate an expression in state [s]: locals come from [s.locals]. *)
+let eval lenv s e = Expr.eval (view lenv s) s.locals e
+
+let equal a b =
+  SMap.equal Value.equal a.locals b.locals
+  && SMap.equal Value.equal a.globals b.globals
+  && Heap.equal a.heap b.heap

@@ -1,0 +1,96 @@
+module Ir = Ac_simpl.Ir
+module M = Ac_monad.M
+module Driver = Autocorres.Driver
+
+(* Table 5's metrics over a pipeline run:
+
+   - lines of code of the C source (non-blank, non-comment);
+   - number of functions;
+   - CPU time of the parsing stage and of the AutoCorres stages;
+   - lines of specification of the C-parser output (pretty-printed Simpl)
+     and of the AutoCorres output (pretty-printed monadic definitions);
+   - average term size (AST node count) of both. *)
+
+type row = {
+  name : string;
+  loc : int;
+  functions : int;
+  parse_time : float; (* seconds *)
+  autocorres_time : float;
+  parser_spec_lines : int;
+  ac_spec_lines : int;
+  parser_term_size : int; (* average per function *)
+  ac_term_size : int;
+}
+
+let measure ?options ~name (source : string) : row * Driver.result =
+  let t0 = Sys.time () in
+  let simpl = Ac_simpl.C2simpl.parse source in
+  let parse_time = Sys.time () -. t0 in
+  let t1 = Sys.time () in
+  let res = Driver.run ?options source in
+  let autocorres_time = Sys.time () -. t1 in
+  let funcs = simpl.Ir.funcs in
+  let n = max 1 (List.length funcs) in
+  let parser_spec_lines =
+    List.fold_left (fun acc f -> acc + Ac_simpl.Print.lines_of_spec f) 0 funcs
+  in
+  let parser_term_size = List.fold_left (fun acc f -> acc + Ir.func_size f) 0 funcs / n in
+  let ac_spec_lines =
+    List.fold_left
+      (fun acc fr -> acc + Ac_monad.Mprint.lines_of_spec fr.Driver.fr_final)
+      0 res.Driver.funcs
+  in
+  let ac_term_size =
+    List.fold_left (fun acc fr -> acc + M.func_size fr.Driver.fr_final) 0 res.Driver.funcs / n
+  in
+  ( {
+      name;
+      loc = Ac_cfront.Tir.source_loc source;
+      functions = List.length funcs;
+      parse_time;
+      autocorres_time;
+      parser_spec_lines;
+      ac_spec_lines;
+      parser_term_size;
+      ac_term_size;
+    },
+    res )
+
+(* ------------------------------------------------------------------ *)
+(* Plain-text table rendering (for the bench harness). *)
+
+let render_table ~(header : string list) (rows : string list list) : string =
+  let cols = List.length header in
+  let widths = Array.make cols 0 in
+  List.iteri (fun i h -> widths.(i) <- String.length h) header;
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell) row)
+    rows;
+  let pad i s = s ^ String.make (widths.(i) - String.length s) ' ' in
+  let line row = "  " ^ String.concat "   " (List.mapi pad row) in
+  let sep = "  " ^ String.concat "-+-" (Array.to_list (Array.map (fun w -> String.make w '-') widths)) in
+  String.concat "\n" ((line header :: sep :: List.map line rows) @ [ "" ])
+
+let pct_smaller a b =
+  if a = 0 then 0. else 100. *. (1. -. (float_of_int b /. float_of_int a))
+
+let row_to_strings (r : row) : string list =
+  [
+    r.name;
+    string_of_int r.loc;
+    string_of_int r.functions;
+    Printf.sprintf "%.2f" r.parse_time;
+    Printf.sprintf "%.2f" r.autocorres_time;
+    string_of_int r.parser_spec_lines;
+    string_of_int r.ac_spec_lines;
+    string_of_int r.parser_term_size;
+    string_of_int r.ac_term_size;
+    Printf.sprintf "%.0f%%" (pct_smaller r.parser_spec_lines r.ac_spec_lines);
+    Printf.sprintf "%.0f%%" (pct_smaller r.parser_term_size r.ac_term_size);
+  ]
+
+let table5_header =
+  [ "Program"; "LoC"; "Fns"; "Parse(s)"; "AC(s)"; "SpecLn(P)"; "SpecLn(AC)";
+    "Term(P)"; "Term(AC)"; "SpecLn↓"; "Term↓" ]

@@ -1,0 +1,19 @@
+module T = Ac_prover.Term
+module B = Ac_bignum
+module Solver = Ac_prover.Solver
+let () =
+  (* minimal: x in [1, 2^32), m = (x - 1 + 2^32) mod 2^32 |- m = x - 1 *)
+  let x = T.Var ("x", T.Sint) in
+  let m = T.App (T.Mod, [ T.add_t (T.sub_t x T.one) (T.Int (B.pow2 32)); T.Int (B.pow2 32) ]) in
+  let hyps = [ T.le_t T.one x; T.lt_t x (T.Int (B.pow2 32)) ] in
+  (match Solver.prove ~hyps (T.eq_t m (T.sub_t x T.one)) with
+   | Solver.Proved, st -> Printf.printf "proved (%d branches)\n" st.Solver.branches
+   | Solver.Unknown _, st -> Printf.printf "unknown (%d branches)\n" st.Solver.branches
+   | Solver.Refuted _, _ -> print_endline "refuted");
+  (* smaller modulus to rule out bignum-size issues *)
+  let m8 = T.App (T.Mod, [ T.add_t (T.sub_t x T.one) (T.int_of 8); T.int_of 8 ]) in
+  let hyps8 = [ T.le_t T.one x; T.lt_t x (T.int_of 8) ] in
+  (match Solver.prove ~hyps:hyps8 (T.eq_t m8 (T.sub_t x T.one)) with
+   | Solver.Proved, st -> Printf.printf "m8 proved (%d branches)\n" st.Solver.branches
+   | Solver.Unknown _, st -> Printf.printf "m8 unknown (%d branches)\n" st.Solver.branches
+   | _ -> print_endline "m8 refuted")

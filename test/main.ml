@@ -1,0 +1,18 @@
+(* Aggregated alcotest runner: each [Test_*] module exports a [suite]. *)
+
+let () =
+  Alcotest.run "autocorres"
+    [
+      ("bignum", Test_bignum.suite);
+      ("word", Test_word.suite);
+      ("cfront", Test_cfront.suite);
+      ("simpl", Test_simpl.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("prover", Test_prover.suite);
+      ("hoare", Test_hoare.suite);
+      ("cases", Test_cases.suite);
+      ("kernel", Test_kernel.suite);
+      ("monad", Test_monad.suite);
+      ("corpus", Test_corpus.suite);
+      ("props", Test_props.suite);
+    ]

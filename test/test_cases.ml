@@ -1,0 +1,220 @@
+(* The paper's case studies (Sec 5): the ported Mehta-Nipkow proofs and the
+   supporting lemma library, plus the Sec 4.6 mixed-model memset. *)
+
+module B = Ac_bignum
+module T = Ac_prover.Term
+module Solver = Ac_prover.Solver
+module Value = Ac_lang.Value
+module Ty = Ac_lang.Ty
+open Ac_cases
+
+let tests =
+  [
+    ( "the list lemma library validates (List definitions, Table 6)",
+      fun () ->
+        match Listlib.validate_all ~trials:800 () with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e );
+    ( "each lemma rejects a deliberately false variant",
+      fun () ->
+        (* sanity check of the validator itself: corrupt islist_unfold's
+           conclusion and expect a falsification *)
+        let l = Listlib.find "islist_unfold" in
+        let bogus =
+          {
+            l with
+            Listlib.name = "bogus";
+            statement =
+              T.imp_t
+                (T.and_t
+                   (Ac_prover.Seq.islist Listlib.h Listlib.v Listlib.p Listlib.ps)
+                   (T.not_t (T.eq_t Listlib.p T.zero)))
+                (T.eq_t Listlib.ps Ac_prover.Seq.nil);
+          }
+        in
+        match Listlib.validate ~trials:2000 bogus with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "validator accepted a false lemma" );
+    ( "in-place list reversal: the full M/N port is discharged (Sec 5.2)",
+      fun () ->
+        let r = Reverse_proof.run ~check_lemmas:false () in
+        List.iter
+          (fun (label, o) ->
+            if not (Solver.is_proved o) then Alcotest.failf "%s not proved" label)
+          r.Reverse_proof.vcs;
+        Alcotest.(check int) "three obligations" 3 (List.length r.Reverse_proof.vcs) );
+    ( "schorr-waite: bounded exhaustive validation (Sec 5.3)",
+      fun () ->
+        let r = Schorr_waite_proof.run ~exhaustive_nodes:2 ~random_samples:120 () in
+        (match r.Schorr_waite_proof.failures with
+        | [] -> ()
+        | f :: _ -> Alcotest.fail f);
+        Alcotest.(check bool) "hundreds of graphs" true
+          (r.Schorr_waite_proof.graphs_checked > 300) );
+    ( "schorr-waite catches broken implementations",
+      fun () ->
+        (* The same harness must reject a mutant that forgets to restore
+           the right pointer (t->r = q dropped from the pop branch). *)
+        let replace ~sub ~by s =
+          match Astring.String.find_sub ~sub s with
+          | Some i ->
+            String.sub s 0 i ^ by ^ String.sub s (i + String.length sub) (String.length s - i - String.length sub)
+          | None -> Alcotest.fail "mutation site not found"
+        in
+        let broken =
+          replace ~sub:"q = t; t = p; p = p->r; t->r = q;"
+            ~by:"q = t; t = p; p = p->r;" Csources.schorr_waite_c
+        in
+        Alcotest.(check bool) "mutant detected" true
+          (let res = Autocorres.Driver.run broken in
+           let any_failure = ref false in
+           (* run a focused subset of graphs against the mutant *)
+           for k = 1 to 2 do
+             let links = Array.make (k + 1) (0, 0) in
+             let rec assign i =
+               if i > k then begin
+                 for root = 1 to k do
+                   match Schorr_waite_proof.check_one res k links root with
+                   | Ok () -> ()
+                   | Error _ -> any_failure := true
+                 done
+               end
+               else
+                 for l = 0 to k do
+                   for r = 0 to k do
+                     links.(i) <- (l, r);
+                     assign (i + 1)
+                   done
+                 done
+             in
+             assign 1
+           done;
+           !any_failure) );
+    ( "memset stays byte-level and its lifted caller uses exec_concrete (Sec 4.6)",
+      fun () ->
+        let options =
+          {
+            Autocorres.Driver.default_options with
+            overrides = [ ("my_memset", { Autocorres.Driver.word_abs = false; heap_abs = false }) ];
+          }
+        in
+        let res = Autocorres.Driver.run ~options Csources.memset_mixed_c in
+        let fr = Option.get (Autocorres.Driver.find_result res "zero_cell") in
+        let out = Ac_monad.Mprint.func_to_string fr.Autocorres.Driver.fr_final in
+        Alcotest.(check bool) "exec_concrete call" true
+          (Astring.String.is_infix ~affix:"exec_concrete" out);
+        (* the abstract triple of Sec 4.6: after the call, s[p] = 0 *)
+        let lenv = res.Autocorres.Driver.final_prog.Ac_monad.M.lenv in
+        let u32 = Ty.Cword (Ty.Unsigned, Ty.W32) in
+        let addr, h = Ac_simpl.Heap.alloc lenv Ac_simpl.Heap.empty u32 in
+        let h = Ac_simpl.Heap.write_obj lenv h u32 addr (Value.vword Ty.Unsigned (Ac_word.of_int Ac_word.W32 0xDEADBEEF)) in
+        let state = Ac_simpl.State.with_heap Ac_simpl.State.empty h in
+        match
+          Ac_monad.Interp.run_func res.Autocorres.Driver.final_prog ~fuel:10_000 state
+            "zero_cell" [ Value.vptr addr u32 ]
+        with
+        | Ac_monad.Interp.Returns (v, _) ->
+          Alcotest.(check string) "memset zeroed the cell" "0" (Value.to_string v)
+        | _ -> Alcotest.fail "zero_cell did not execute" );
+    ( "binary search (Sec 3.2's context) abstracts and runs correctly",
+      fun () ->
+        let res = Autocorres.Driver.run Csources.binary_search_c in
+        (match Autocorres.Driver.check_all res with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+        (* build a sorted array [10; 20; 30; 40; 50] in the heap *)
+        let lenv = res.Autocorres.Driver.final_prog.Ac_monad.M.lenv in
+        let u32 = Ty.Cword (Ty.Unsigned, Ty.W32) in
+        let base = B.of_int 0x1000 in
+        let heap = ref (Ac_simpl.Heap.retype lenv Ac_simpl.Heap.empty u32 base) in
+        List.iteri
+          (fun i v ->
+            let addr = B.add base (B.of_int (4 * i)) in
+            heap := Ac_simpl.Heap.retype lenv !heap u32 addr;
+            heap :=
+              Ac_simpl.Heap.write_obj lenv !heap u32 addr
+                (Value.vword Ty.Unsigned (Ac_word.of_int Ac_word.W32 v)))
+          [ 10; 20; 30; 40; 50 ];
+        let state = Ac_simpl.State.with_heap Ac_simpl.State.empty !heap in
+        let search key =
+          match
+            Ac_monad.Interp.run_func res.Autocorres.Driver.final_prog ~fuel:10_000 state
+              "binary_search"
+              [ Value.vptr base u32; Value.vnat (B.of_int 5); Value.vnat (B.of_int key) ]
+          with
+          | Ac_monad.Interp.Returns (v, _) -> Value.to_string v
+          | Ac_monad.Interp.Fails m -> "fails:" ^ m
+          | _ -> "error"
+        in
+        Alcotest.(check string) "find 30" "2" (search 30);
+        Alcotest.(check string) "find 10" "0" (search 10);
+        Alcotest.(check string) "find 50" "4" (search 50);
+        Alcotest.(check string) "missing 35" "-1" (search 35) );
+    ( "every paper source in Csources.all makes it through the pipeline",
+      fun () ->
+        List.iter
+          (fun (name, src) ->
+            let options =
+              if name = "memset" || name = "memset_mixed" then
+                { Autocorres.Driver.default_options with
+                  overrides =
+                    [ ("my_memset", { Autocorres.Driver.word_abs = false; heap_abs = false }) ] }
+              else Autocorres.Driver.default_options
+            in
+            let res = Autocorres.Driver.run ~options src in
+            match Autocorres.Driver.check_all res with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "%s: %s" name e)
+          Csources.all );
+    ( "negative control: a weakened reversal invariant fails to verify",
+      fun () ->
+        (* drop the disjointness conjunct: preservation must no longer be
+           provable (the frame lemma's hypothesis becomes unavailable) *)
+        let open Ac_prover in
+        let res = Autocorres.Driver.run Csources.reverse_c in
+        let cfg = Ac_hoare.Vc.make_config res.Autocorres.Driver.final_prog in
+        let weak =
+          {
+            Reverse_proof.invariant with
+            Ac_hoare.Vc.inv =
+              (fun binds gs st ->
+                let list = Ac_hoare.Vc.tv_to_term (List.assoc "list" binds) in
+                let rv = Ac_hoare.Vc.tv_to_term (List.assoc "rev" binds) in
+                let ps = List.assoc "ps" gs and qs = List.assoc "qs" gs in
+                T.conj
+                  [
+                    Seq.islist (Reverse_proof.next_heap st) (Reverse_proof.validity st) list ps;
+                    Seq.islist (Reverse_proof.next_heap st) (Reverse_proof.validity st) rv qs;
+                    (* disjointness omitted *)
+                    T.eq_t (Seq.rev Reverse_proof.ps0)
+                      (Seq.append (Seq.rev ps) qs);
+                  ]);
+          }
+        in
+        Ac_hoare.Vc.add_invariant cfg "reverse" 0 weak;
+        let vcs = Ac_hoare.Vc.func_vcs cfg "reverse" Reverse_proof.triple in
+        let all_proved =
+          List.for_all (fun (_, vc) -> Solver.is_proved (fst (Solver.prove vc))) vcs
+        in
+        Alcotest.(check bool) "weakened invariant rejected" false all_proved );
+    ( "negative control: the prover does not claim unprovable heap goals",
+      fun () ->
+        let open Ac_prover in
+        let h = T.Var ("h", T.Sarr T.Sint) in
+        let p = T.Var ("p", T.Sint) and q = T.Var ("q", T.Sint) in
+        (* without p <> q this is false *)
+        let goal =
+          T.eq_t (T.select_t (T.store_t h p T.one) q) (T.select_t h q)
+        in
+        match fst (Solver.prove goal) with
+        | Solver.Proved -> Alcotest.fail "claimed an invalid goal"
+        | _ -> () );
+    ( "multi-declarator declarations parse (Fig 8 source verbatim)",
+      fun () ->
+        ignore (Autocorres.Driver.run Csources.schorr_waite_c);
+        ignore
+          (Autocorres.Driver.run
+             "int f() { int a = 1, b = 2, c; c = a + b; return c; }") );
+  ]
+
+let suite = List.map (fun (n, f) -> Alcotest.test_case n `Quick f) tests

@@ -1,0 +1,179 @@
+(* Tests for the C front end: lexer, parser, typechecker/elaborator. *)
+
+module B = Ac_bignum
+open Ac_cfront
+
+let parse = Parser.parse_program
+let check_tc src = Typecheck.parse_and_check src
+
+let expect_type_error src =
+  match check_tc src with
+  | exception Typecheck.Type_error _ -> ()
+  | exception Parser.Parse_error _ -> ()
+  | _ -> Alcotest.fail ("expected rejection: " ^ src)
+
+let max_c =
+  "int max(int a, int b) {\n  if (a < b)\n    return b;\n  return a;\n}\n"
+
+let swap_c =
+  "void swap(unsigned *a, unsigned *b) {\n  unsigned t = *a;\n  *a = *b;\n  *b = t;\n}\n"
+
+let reverse_c =
+  "struct node { struct node *next; unsigned data; };\n\
+   struct node *reverse(struct node *list) {\n\
+  \  struct node *rev = NULL;\n\
+  \  while (list) {\n\
+  \    struct node *next = list->next;\n\
+  \    list->next = rev; rev = list; list = next;\n\
+  \  }\n\
+  \  return rev;\n\
+   }\n"
+
+let lexer_tests =
+  [
+    ( "tokenizes max",
+      fun () ->
+        let toks = Lexer.tokenize max_c in
+        Alcotest.(check bool) "nonempty" true (List.length toks > 10) );
+    ( "integer literals",
+      fun () ->
+        let toks = Lexer.tokenize "0x10 42u 7ull 5LL" in
+        let lits =
+          List.filter_map
+            (fun (t : Lexer.loc_token) ->
+              match t.tok with Lexer.INT_LIT (v, u, ll) -> Some (B.to_string v, u, ll) | _ -> None)
+            toks
+        in
+        Alcotest.(check (list (triple string bool bool)))
+          "values"
+          [ ("16", false, false); ("42", true, false); ("7", true, true); ("5", false, true) ]
+          lits );
+    ( "comments and preprocessor lines are skipped",
+      fun () ->
+        let toks = Lexer.tokenize "#include <x.h>\n// c1\n/* c2\nc3 */ int x;" in
+        Alcotest.(check int) "3 tokens + eof" 4 (List.length toks) );
+    ( "lex error reported with position",
+      fun () ->
+        match Lexer.tokenize "int @;" with
+        | exception Lexer.Lex_error (_, pos) -> Alcotest.(check int) "line" 1 pos.line
+        | _ -> Alcotest.fail "expected lex error" );
+  ]
+
+let parser_tests =
+  [
+    ( "parses the paper's examples",
+      fun () ->
+        List.iter
+          (fun src -> ignore (parse src))
+          [ max_c; swap_c; reverse_c ] );
+    ( "declarations and full operator set",
+      fun () ->
+        ignore
+          (parse
+             "int f(int x) { int y = x * 2 + 1; y <<= 2; y |= x & 7; y ^= ~x; \
+              return y % 3 == 0 ? y / 3 : -y; }") );
+    ( "for loops, do-while, break/continue",
+      fun () ->
+        ignore
+          (parse
+             "int g(int n) { int s = 0; for (int i = 0; i < n; i = i + 1) { if (i == 3) \
+              continue; s += i; } do { s--; } while (s > 10); while (1) { break; } return s; }")
+    );
+    ( "struct declarations and member access",
+      fun () ->
+        ignore
+          (parse
+             "struct pair { int fst; int snd; };\n\
+              int sum(struct pair *p) { return p->fst + (*p).snd; }") );
+    ( "sizeof and casts",
+      fun () ->
+        ignore
+          (parse
+             "unsigned h(unsigned char c) { return sizeof(int) + sizeof c + (unsigned) c; }")
+    );
+    ( "parse error carries position",
+      fun () ->
+        match parse "int f() { return 1 + ; }" with
+        | exception Parser.Parse_error (_, pos) -> Alcotest.(check int) "line 1" 1 pos.line
+        | _ -> Alcotest.fail "expected parse error" );
+    ( "array indexing via pointers",
+      fun () -> ignore (parse "int get(int *a, unsigned i) { return a[i]; }") );
+  ]
+
+let typecheck_tests =
+  [
+    ( "accepts the paper's examples",
+      fun () ->
+        List.iter (fun src -> ignore (check_tc src)) [ max_c; swap_c; reverse_c ] );
+    ( "usual arithmetic conversions: int + unsigned = unsigned",
+      fun () ->
+        let prog = check_tc "unsigned f(int a, unsigned b) { return a + b; }" in
+        let f = List.hd prog.Tir.tp_funcs in
+        match f.tf_body with
+        | Tir.Treturn (Some e) ->
+          Alcotest.(check string) "type" "unsigned int" (Ast.ctype_to_string e.tt)
+        | _ -> Alcotest.fail "unexpected shape" );
+    ( "integer promotion: char + char = int",
+      fun () ->
+        let prog = check_tc "int f(char a, char b) { return a + b; }" in
+        let f = List.hd prog.Tir.tp_funcs in
+        match f.tf_body with
+        | Tir.Treturn (Some e) -> Alcotest.(check string) "type" "int" (Ast.ctype_to_string e.tt)
+        | _ -> Alcotest.fail "unexpected shape" );
+    ( "long long arithmetic is 64-bit",
+      fun () ->
+        let prog = check_tc "long long f(long long a, int b) { return a * b; }" in
+        let f = List.hd prog.Tir.tp_funcs in
+        match f.tf_body with
+        | Tir.Treturn (Some e) ->
+          Alcotest.(check string) "type" "long long" (Ast.ctype_to_string e.tt)
+        | _ -> Alcotest.fail "unexpected shape" );
+    ( "locals shadowing is alpha-renamed",
+      fun () ->
+        let prog =
+          check_tc "int f(int x) { int y = x; { int y = 2; x = y; } return y; }"
+        in
+        let f = List.hd prog.Tir.tp_funcs in
+        Alcotest.(check int) "two locals" 2 (List.length f.tf_locals);
+        let names = List.map fst f.tf_locals in
+        Alcotest.(check bool) "distinct" true (List.nth names 0 <> List.nth names 1) );
+    ( "rejects address of a local (paper's subset)",
+      fun () -> expect_type_error "int f() { int x = 1; int *p = &x; return *p; }" );
+    ( "rejects calls nested in expressions",
+      fun () ->
+        expect_type_error "int g(int x) { return x; } int f() { return g(1) + 2; }" );
+    ( "rejects undeclared identifiers and functions",
+      fun () ->
+        expect_type_error "int f() { return y; }";
+        expect_type_error "int f() { g(); return 0; }" );
+    ( "rejects pointer/int mixups",
+      fun () ->
+        expect_type_error "int f(int *p) { return p + p; }";
+        expect_type_error "void f(int *p) { int x; x = p; }" );
+    ( "rejects wrong arity calls",
+      fun () -> expect_type_error "int g(int x) { return x; } void f() { g(); }" );
+    ( "void function cannot return a value",
+      fun () -> expect_type_error "void f() { return 1; }" );
+    ( "accepts recursion",
+      fun () ->
+        ignore (check_tc "unsigned fact(unsigned n) { if (n == 0) return 1u; unsigned r; r = fact(n - 1); return n * r; }")
+    );
+    ( "null pointer constant",
+      fun () ->
+        ignore (check_tc "struct n { int v; }; int f(struct n *p) { if (p == NULL) return 0; return p->v; }")
+    );
+    ( "field address",
+      fun () ->
+        ignore
+          (check_tc
+             "struct n { int v; }; int g(int *p) { return *p; } \
+              void f(struct n *p) { int x; x = g(&p->v); }") );
+    ( "source_loc counts non-blank non-comment lines",
+      fun () ->
+        Alcotest.(check int) "loc" 5 (Tir.source_loc max_c);
+        Alcotest.(check int) "loc with comments" 2
+          (Tir.source_loc "/* hi\n  there */\nint x;\n\n// c\nint y;\n") );
+  ]
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f) (lexer_tests @ parser_tests @ typecheck_tests)

@@ -1,0 +1,267 @@
+(* Tests for the WP/VC generator over pipeline output, discharged by the
+   automatic prover: the paper's claim that abstracted programs verify with
+   generic automation (Sec 4.5, Sec 5). *)
+
+module B = Ac_bignum
+module T = Ac_prover.Term
+module Solver = Ac_prover.Solver
+module Vc = Ac_hoare.Vc
+module Driver = Autocorres.Driver
+module M = Ac_monad.M
+
+let prove_all vcs =
+  List.iter
+    (fun (label, vc) ->
+      match fst (Solver.prove vc) with
+      | Solver.Proved -> ()
+      | Solver.Refuted _ -> Alcotest.failf "%s: refuted" label
+      | Solver.Unknown _ -> Alcotest.failf "%s: not discharged" label)
+    vcs
+
+let heap c st = Vc.state_get st (Vc.heap_name c)
+let valid c st = Vc.state_get st (Vc.valid_name c)
+let fheap s f st = Vc.state_get st (Vc.field_heap_name s f)
+let term = Vc.tv_to_term
+let u32 : Ac_lang.Ty.cty = Ac_lang.Ty.Cword (Ac_lang.Ty.Unsigned, Ac_lang.Ty.W32)
+
+let swap_c = "void swap(unsigned *a, unsigned *b) { unsigned t = *a; *a = *b; *b = t; }"
+
+let suzuki_c =
+  "struct node { struct node *next; unsigned data; };\n\
+   unsigned suzuki(struct node *w, struct node *x, struct node *y, struct node *z) {\n\
+  \  w->next = x; x->next = y; y->next = z; x->next = z;\n\
+  \  w->data = 1u; x->data = 2u; y->data = 3u; z->data = 4u;\n\
+  \  return w->next->next->data;\n}\n"
+
+let countdown_c =
+  "unsigned countdown(unsigned s, unsigned n) { while (n > 0u) { s = s + 1u; n = n - 1u; } \
+   return s; }"
+
+let mid_c = "unsigned mid(unsigned l, unsigned r) { unsigned m = (l + r) / 2u; return m; }"
+
+let tests =
+  [
+    ( "swap's Hoare triple is automatic on the lifted heap (Sec 4.2)",
+      fun () ->
+        let options =
+          { Driver.default_options with
+            defaults = { Driver.word_abs = false; heap_abs = true } }
+        in
+        let res = Driver.run ~options swap_c in
+        let cfg = Vc.make_config res.Driver.final_prog in
+        let x0 = T.Var ("x0", T.Sint) and y0 = T.Var ("y0", T.Sint) in
+        let triple =
+          {
+            Vc.t_pre =
+              (fun args st ->
+                match args with
+                | [ a; b ] ->
+                  T.conj
+                    [ T.select_t (valid u32 st) (term a);
+                      T.select_t (valid u32 st) (term b);
+                      T.eq_t (T.select_t (heap u32 st) (term a)) x0;
+                      T.eq_t (T.select_t (heap u32 st) (term b)) y0 ]
+                | _ -> assert false);
+            t_post =
+              (fun args _rv _st0 st ->
+                match args with
+                | [ a; b ] ->
+                  T.and_t
+                    (T.eq_t (T.select_t (heap u32 st) (term a)) y0)
+                    (T.eq_t (T.select_t (heap u32 st) (term b)) x0)
+                | _ -> assert false);
+          }
+        in
+        (* Note: as in the paper, the triple needs no aliasing side
+           conditions beyond validity — but a and b must be distinct for
+           this postcondition, exactly as Sec 4.1 discusses. *)
+        let triple_distinct =
+          {
+            triple with
+            Vc.t_pre =
+              (fun args st ->
+                match args with
+                | [ a; b ] ->
+                  T.and_t (triple.Vc.t_pre args st) (T.not_t (T.eq_t (term a) (term b)))
+                | _ -> assert false);
+          }
+        in
+        prove_all (Vc.func_vcs cfg "swap" triple_distinct) );
+    ( "swap with aliased pointers (a = b) still satisfies the symmetric triple",
+      fun () ->
+        let options =
+          { Driver.default_options with
+            defaults = { Driver.word_abs = false; heap_abs = true } }
+        in
+        let res = Driver.run ~options swap_c in
+        let cfg = Vc.make_config res.Driver.final_prog in
+        let triple =
+          {
+            Vc.t_pre =
+              (fun args st ->
+                match args with
+                | [ a; b ] ->
+                  T.conj
+                    [ T.eq_t (term a) (term b); T.select_t (valid u32 st) (term a) ]
+                | _ -> assert false);
+            Vc.t_post =
+              (fun args _rv st0 st ->
+                match args with
+                | [ a; _ ] ->
+                  T.eq_t
+                    (T.select_t (heap u32 st) (term a))
+                    (T.select_t (heap u32 st0) (term a))
+                | _ -> assert false);
+          }
+        in
+        prove_all (Vc.func_vcs cfg "swap" triple) );
+    ( "suzuki's challenge through the full pipeline is automatic (Sec 4.5)",
+      fun () ->
+        let options =
+          { Driver.default_options with
+            defaults = { Driver.word_abs = false; heap_abs = true } }
+        in
+        let res = Driver.run ~options suzuki_c in
+        let cfg = Vc.make_config res.Driver.final_prog in
+        let nodec : Ac_lang.Ty.cty = Ac_lang.Ty.Cstruct "node" in
+        let triple =
+          {
+            Vc.t_pre =
+              (fun args st ->
+                let ts = List.map term args in
+                let validity = List.map (fun p -> T.select_t (valid nodec st) p) ts in
+                let rec distinct = function
+                  | [] -> []
+                  | p :: rest ->
+                    List.map (fun q -> T.not_t (T.eq_t p q)) rest @ distinct rest
+                in
+                T.conj (validity @ distinct ts));
+            Vc.t_post = (fun _args rv _st0 _st -> T.eq_t (term rv) (T.int_of 4));
+          }
+        in
+        prove_all (Vc.func_vcs cfg "suzuki" triple) );
+    ( "loops verify with invariant and measure (total correctness)",
+      fun () ->
+        let res = Driver.run countdown_c in
+        let cfg = Vc.make_config res.Driver.final_prog in
+        let s0 = T.Var ("arg_s", T.Sint) and n0 = T.Var ("arg_n", T.Sint) in
+        let uint_max = T.Int (B.pred (B.pow2 32)) in
+        (* The invariant carries the no-overflow bound that word
+           abstraction's guard for s + 1 obliges us to prove (Sec 3.3). *)
+        Vc.add_invariant cfg "countdown" 0
+          (Vc.simple_invariant
+             ~measure:(fun binds _st -> Vc.tv_to_term (List.assoc "n" binds))
+             (fun binds _st ->
+                let s = Vc.tv_to_term (List.assoc "s" binds) in
+                let n = Vc.tv_to_term (List.assoc "n" binds) in
+                T.conj
+                  [ T.le_t T.zero s; T.le_t T.zero n;
+                    T.eq_t (T.add_t s n) (T.add_t s0 n0);
+                    T.le_t (T.add_t s0 n0) uint_max ]));
+        let triple =
+          {
+            Vc.t_pre = (fun _ _ -> T.le_t (T.add_t s0 n0) uint_max);
+            Vc.t_post = (fun _ rv _ _ -> T.eq_t (term rv) (T.add_t s0 n0));
+          }
+        in
+        prove_all (Vc.func_vcs cfg "countdown" triple) );
+    ( "midpoint guards are proof obligations discharged from the pre",
+      fun () ->
+        let res = Driver.run mid_c in
+        let cfg = Vc.make_config res.Driver.final_prog in
+        let uint_max = T.Int (B.pred (B.pow2 32)) in
+        let triple =
+          {
+            Vc.t_pre =
+              (fun args _ ->
+                match args with
+                | [ l; r ] ->
+                  T.and_t (T.lt_t (term l) (term r)) (T.le_t (T.add_t (term l) (term r)) uint_max)
+                | _ -> assert false);
+            Vc.t_post =
+              (fun args rv _ _ ->
+                match args with
+                | [ l; r ] -> T.and_t (T.le_t (term l) (term rv)) (T.lt_t (term rv) (term r))
+                | _ -> assert false);
+          }
+        in
+        prove_all (Vc.func_vcs cfg "mid" triple) );
+    ( "word subtraction wraps correctly in VCs (regression)",
+      fun () ->
+        (* dec stays at the word level (WA off): x - 1 wraps at 0 *)
+        let options =
+          { Driver.default_options with
+            defaults = { Driver.word_abs = false; heap_abs = false } }
+        in
+        let res = Driver.run ~options "unsigned dec(unsigned x) { return x - 1u; }" in
+        let cfg = Vc.make_config res.Driver.final_prog in
+        let triple_normal =
+          {
+            Vc.t_pre = (fun args _ -> T.le_t T.one (term (List.hd args)));
+            Vc.t_post =
+              (fun args rv _ _ ->
+                T.eq_t (term rv) (T.sub_t (term (List.hd args)) T.one));
+          }
+        in
+        prove_all (Vc.func_vcs cfg "dec" triple_normal);
+        (* the wraparound case: dec 0 = 2^32 - 1 *)
+        let triple_wrap =
+          {
+            Vc.t_pre = (fun args _ -> T.eq_t (term (List.hd args)) T.zero);
+            Vc.t_post =
+              (fun _ rv _ _ -> T.eq_t (term rv) (T.Int (B.pred (B.pow2 32))));
+          }
+        in
+        prove_all (Vc.func_vcs cfg "dec" triple_wrap);
+        (* and hypotheses about word subtraction must stay consistent:
+           pre x = 0 must NOT prove rv = 0 *)
+        let triple_false =
+          {
+            Vc.t_pre = (fun args _ -> T.eq_t (term (List.hd args)) T.zero);
+            Vc.t_post = (fun _ rv _ _ -> T.eq_t (term rv) T.zero);
+          }
+        in
+        let all_proved =
+          List.for_all
+            (fun (_, vc) -> Ac_prover.Solver.is_proved (fst (Ac_prover.Solver.prove vc)))
+            (Vc.func_vcs cfg "dec" triple_false)
+        in
+        Alcotest.(check bool) "inconsistent hyps not provable" false all_proved );
+    ( "negative dividends do not make div/mod facts inconsistent (regression)",
+      fun () ->
+        let open Ac_prover in
+        let a = T.Var ("a", T.Sint) in
+        (* hyp: m = (a - 5) mod 8 with a unconstrained; goal 0 = 1 must not
+           be provable (the old elaboration asserted q >= 0 and was
+           inconsistent for negative dividends) *)
+        let m = T.App (T.Mod, [ T.sub_t a (T.int_of 5); T.int_of 8 ]) in
+        let bogus =
+          Solver.prove ~hyps:[ T.eq_t (T.Var ("m", T.Sint)) m; T.lt_t a T.zero ]
+            (T.eq_t T.zero T.one)
+        in
+        (match fst bogus with
+        | Solver.Proved -> Alcotest.fail "inconsistent elaboration"
+        | _ -> ());
+        (* truncated semantics: a = -3 -> (a - 5) mod 8 = 0, (a-6) mod 8 = -1 *)
+        Alcotest.(check bool) "exact negative mod" true
+          (Solver.holds
+             ~hyps:[ T.eq_t a (T.int_of (-3)) ]
+             (T.eq_t (T.App (T.Mod, [ T.sub_t a (T.int_of 6); T.int_of 8 ])) (T.int_of (-1)))) );
+    ( "a wrong postcondition is refuted, not proved",
+      fun () ->
+        let res = Driver.run mid_c in
+        let cfg = Vc.make_config res.Driver.final_prog in
+        let triple =
+          {
+            Vc.t_pre = (fun _ _ -> T.tt);
+            Vc.t_post = (fun _ rv _ _ -> T.eq_t (term rv) T.zero);
+          }
+        in
+        let vcs = Vc.func_vcs cfg "mid" triple in
+        let all_proved =
+          List.for_all (fun (_, vc) -> Solver.is_proved (fst (Solver.prove vc))) vcs
+        in
+        Alcotest.(check bool) "not all proved" false all_proved );
+  ]
+
+let suite = List.map (fun (n, f) -> Alcotest.test_case n `Quick f) tests

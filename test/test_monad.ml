@@ -1,0 +1,201 @@
+(* Tests for the monadic IR and its executable semantics: monad laws on the
+   interpreter, exception flow, loops, state threading, and the L1/L2
+   calling conventions. *)
+
+module B = Ac_bignum
+module Ty = Ac_lang.Ty
+module E = Ac_lang.Expr
+module Value = Ac_lang.Value
+module Layout = Ac_lang.Layout
+module M = Ac_monad.M
+module Interp = Ac_monad.Interp
+module State = Ac_simpl.State
+module Ir = Ac_simpl.Ir
+module SMap = Map.Make (String)
+
+let lenv = Layout.empty
+
+let prog body : M.program =
+  {
+    M.lenv;
+    globals = [ ("g", Ty.Tword (Ty.Unsigned, Ty.W32)) ];
+    funcs =
+      [
+        {
+          M.name = "f";
+          params = [];
+          ret_ty = Ty.Tint;
+          body;
+          convention = M.Lambda_bound;
+          heap_model = M.Byte_level;
+          locals = [];
+        };
+      ];
+    heap_types = [];
+  }
+
+let state0 = State.set_global State.empty "g" (Value.vword Ty.Unsigned (Ac_word.of_int Ac_word.W32 7))
+
+let run body = Interp.run_func (prog body) ~fuel:10_000 state0 "f" []
+
+let check_returns msg expected body =
+  match run body with
+  | Interp.Returns (v, _) -> Alcotest.(check string) msg expected (Value.to_string v)
+  | Interp.Fails m -> Alcotest.failf "%s: failed (%s)" msg m
+  | Interp.Throws _ -> Alcotest.failf "%s: threw" msg
+  | Interp.Gets_stuck m -> Alcotest.failf "%s: stuck (%s)" msg m
+  | Interp.Diverges -> Alcotest.failf "%s: diverged" msg
+
+let vx = E.Var ("x", Ty.Tint)
+
+let tests =
+  [
+    ( "return and bind (left identity)",
+      fun () ->
+        check_returns "bind" "42"
+          (M.Bind (M.Return (E.int_e 41), M.Pvar ("x", Ty.Tint),
+                   M.Return (E.Binop (E.Add, vx, E.int_e 1)))) );
+    ( "tuple patterns destructure",
+      fun () ->
+        check_returns "tuple" "3"
+          (M.Bind
+             ( M.Return (E.Tuple [ E.int_e 1; E.int_e 2 ]),
+               M.Ptuple [ M.Pvar ("a", Ty.Tint); M.Pvar ("b", Ty.Tint) ],
+               M.Return (E.Binop (E.Add, E.Var ("a", Ty.Tint), E.Var ("b", Ty.Tint))) )) );
+    ( "gets reads the state, modify writes it",
+      fun () ->
+        check_returns "global" "8"
+          (M.Bind
+             ( M.Modify [ M.Global_set ("g", E.word_e Ty.Unsigned Ty.W32 8) ],
+               M.Pwild,
+               M.Gets (E.OfWord (Ty.Tint, E.Global ("g", Ty.Tword (Ty.Unsigned, Ty.W32)))) )) );
+    ( "guard true continues, guard false is the failure flag",
+      fun () ->
+        check_returns "guard" "1"
+          (M.Bind (M.Guard (Ir.Dont_reach, E.true_e), M.Pwild, M.Return (E.int_e 1)));
+        match run (M.Bind (M.Guard (Ir.Dont_reach, E.false_e), M.Pwild, M.Return (E.int_e 1))) with
+        | Interp.Fails _ -> ()
+        | _ -> Alcotest.fail "expected failure" );
+    ( "throw skips the rest of a bind chain",
+      fun () ->
+        match run (M.Bind (M.Throw (E.int_e 9), M.Pwild, M.Return (E.int_e 1))) with
+        | Interp.Throws (v, _) -> Alcotest.(check string) "payload" "9" (Value.to_string v)
+        | _ -> Alcotest.fail "expected throw" );
+    ( "try catches and binds the payload",
+      fun () ->
+        check_returns "catch" "10"
+          (M.Try
+             ( M.Throw (E.int_e 9),
+               M.Pvar ("x", Ty.Tint),
+               M.Return (E.Binop (E.Add, vx, E.int_e 1)) )) );
+    ( "try passes normal results through",
+      fun () ->
+        check_returns "no catch" "5"
+          (M.Try (M.Return (E.int_e 5), M.Pvar ("x", Ty.Tint), M.Return (E.int_e 0))) );
+    ( "whileLoop threads the iterator",
+      fun () ->
+        (* sum 1..5 with iterator (i, acc) *)
+        let i = E.Var ("i", Ty.Tint) and acc = E.Var ("acc", Ty.Tint) in
+        check_returns "sum" "15"
+          (M.Bind
+             ( M.While
+                 ( M.Ptuple [ M.Pvar ("i", Ty.Tint); M.Pvar ("acc", Ty.Tint) ],
+                   E.Binop (E.Le, i, E.int_e 5),
+                   M.Return (E.Tuple [ E.Binop (E.Add, i, E.int_e 1); E.Binop (E.Add, acc, i) ]),
+                   E.Tuple [ E.int_e 1; E.int_e 0 ] ),
+               M.Ptuple [ M.Pwild; M.Pvar ("acc", Ty.Tint) ],
+               M.Return acc )) );
+    ( "whileLoop with an always-true condition runs out of fuel",
+      fun () ->
+        match
+          run (M.While (M.Pwild, E.true_e, M.Return E.unit_e, E.unit_e))
+        with
+        | Interp.Diverges -> ()
+        | _ -> Alcotest.fail "expected divergence" );
+    ( "a throw inside a loop body aborts the loop",
+      fun () ->
+        match
+          run
+            (M.While
+               ( M.Pvar ("i", Ty.Tint),
+                 E.true_e,
+                 M.Cond
+                   ( E.Binop (E.Ge, E.Var ("i", Ty.Tint), E.int_e 3),
+                     M.Throw (E.Var ("i", Ty.Tint)),
+                     M.Return (E.Binop (E.Add, E.Var ("i", Ty.Tint), E.int_e 1)) ),
+                 E.int_e 0 ))
+        with
+        | Interp.Throws (v, _) -> Alcotest.(check string) "exit value" "3" (Value.to_string v)
+        | _ -> Alcotest.fail "expected throw" );
+    ( "lambda bindings shadow state locals",
+      fun () ->
+        (* at L1 locals live in the state; a lambda-bound x must win *)
+        let p =
+          {
+            (prog M.skip) with
+            M.funcs =
+              [
+                {
+                  M.name = "f";
+                  params = [ ("x", Ty.Tint) ];
+                  ret_ty = Ty.Tint;
+                  body =
+                    M.Bind
+                      (M.Return (E.int_e 99), M.Pvar ("x", Ty.Tint), M.Return vx);
+                  convention = M.Lambda_bound;
+                  heap_model = M.Byte_level;
+                  locals = [];
+                };
+              ];
+          }
+        in
+        match Interp.run_func p ~fuel:100 state0 "f" [ Value.Vint B.zero ] with
+        | Interp.Returns (v, _) -> Alcotest.(check string) "shadow" "99" (Value.to_string v)
+        | _ -> Alcotest.fail "failed" );
+    ( "locals-in-state convention returns the ret ghost",
+      fun () ->
+        let p =
+          {
+            (prog M.skip) with
+            M.funcs =
+              [
+                {
+                  M.name = "f";
+                  params = [];
+                  ret_ty = Ty.Tint;
+                  body = M.Modify [ M.Local_set (Ir.ret_var, E.int_e 123) ];
+                  convention = M.Locals_in_state;
+                  heap_model = M.Byte_level;
+                  locals = [ (Ir.ret_var, Ty.Tint) ];
+                };
+              ];
+          }
+        in
+        match Interp.run_func p ~fuel:100 state0 "f" [] with
+        | Interp.Returns (v, _) -> Alcotest.(check string) "ret" "123" (Value.to_string v)
+        | _ -> Alcotest.fail "failed" );
+    ( "term size counts nodes",
+      fun () ->
+        let m = M.Bind (M.Return (E.int_e 1), M.Pvar ("x", Ty.Tint), M.Return vx) in
+        Alcotest.(check bool) "positive" true (M.size m > 4) );
+    ( "substitution respects binder shadowing",
+      fun () ->
+        let m =
+          M.Bind (M.Return vx, M.Pvar ("x", Ty.Tint), M.Return vx)
+        in
+        let m' = M.subst [ ("x", E.int_e 7) ] m in
+        match m' with
+        | M.Bind (M.Return e1, _, M.Return e2) ->
+          Alcotest.(check bool) "outer substituted" true (E.equal e1 (E.int_e 7));
+          Alcotest.(check bool) "inner shadowed" true (E.equal e2 vx)
+        | _ -> Alcotest.fail "shape" );
+    ( "free_vars sees through binders correctly",
+      fun () ->
+        let m =
+          M.Bind (M.Return (E.Var ("a", Ty.Tint)), M.Pvar ("b", Ty.Tint),
+                  M.Return (E.Binop (E.Add, E.Var ("b", Ty.Tint), E.Var ("c", Ty.Tint))))
+        in
+        Alcotest.(check (list string)) "a and c free" [ "a"; "c" ] (M.free_vars m) );
+  ]
+
+let suite = List.map (fun (n, f) -> Alcotest.test_case n `Quick f) tests

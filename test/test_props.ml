@@ -1,0 +1,210 @@
+(* Property-based soundness tests for the trusted computational pieces:
+   the kernel expression simplifier preserves evaluation, the prover's
+   term simplifier preserves ground evaluation, linear-arithmetic verdicts
+   agree with brute-force search, and the byte codec round-trips. *)
+
+module B = Ac_bignum
+module W = Ac_word
+module Ty = Ac_lang.Ty
+module E = Ac_lang.Expr
+module Value = Ac_lang.Value
+module Layout = Ac_lang.Layout
+module T = Ac_prover.Term
+module SMap = Map.Make (String)
+
+let lenv = Layout.empty
+
+(* ------------------------------------------------------------------ *)
+(* Random pure expressions over a small environment. *)
+
+let env_vars =
+  [ ("i", Ty.Tint); ("j", Ty.Tint); ("n", Ty.Tnat); ("m", Ty.Tnat); ("b", Ty.Tbool) ]
+
+let gen_expr =
+  let open QCheck.Gen in
+  let leaf_int = oneof [ map E.int_e (int_range (-20) 20);
+                         oneofl [ E.Var ("i", Ty.Tint); E.Var ("j", Ty.Tint) ] ] in
+  let leaf_nat = oneof [ map E.nat_e (int_range 0 20);
+                         oneofl [ E.Var ("n", Ty.Tnat); E.Var ("m", Ty.Tnat) ] ] in
+  let rec expr ty n =
+    if n = 0 then (match ty with `I -> leaf_int | `N -> leaf_nat | `B -> bool_leaf)
+    else begin
+      match ty with
+      | `I ->
+        oneof
+          [ leaf_int;
+            map2 (fun a c -> E.Binop (E.Add, a, c)) (expr `I (n - 1)) (expr `I (n - 1));
+            map2 (fun a c -> E.Binop (E.Sub, a, c)) (expr `I (n - 1)) (expr `I (n - 1));
+            map2 (fun a c -> E.Binop (E.Mul, a, c)) (expr `I (n - 1)) (expr `I (n - 1));
+            map (fun a -> E.Unop (E.Neg, a)) (expr `I (n - 1));
+            map3 (fun c a x -> E.Ite (c, a, x)) (expr `B (n - 1)) (expr `I (n - 1))
+              (expr `I (n - 1)) ]
+      | `N ->
+        oneof
+          [ leaf_nat;
+            map2 (fun a c -> E.Binop (E.Add, a, c)) (expr `N (n - 1)) (expr `N (n - 1));
+            map2 (fun a c -> E.Binop (E.Sub, a, c)) (expr `N (n - 1)) (expr `N (n - 1));
+            map3 (fun c a x -> E.Ite (c, a, x)) (expr `B (n - 1)) (expr `N (n - 1))
+              (expr `N (n - 1)) ]
+      | `B ->
+        oneof
+          [ bool_leaf;
+            map2 (fun a c -> E.Binop (E.Lt, a, c)) (expr `I (n - 1)) (expr `I (n - 1));
+            map2 (fun a c -> E.Binop (E.Le, a, c)) (expr `N (n - 1)) (expr `N (n - 1));
+            map2 (fun a c -> E.Binop (E.Eq, a, c)) (expr `I (n - 1)) (expr `I (n - 1));
+            map2 E.and_e (expr `B (n - 1)) (expr `B (n - 1));
+            map2 E.or_e (expr `B (n - 1)) (expr `B (n - 1));
+            map E.not_e (expr `B (n - 1)) ]
+    end
+  and bool_leaf =
+    oneof [ oneofl [ E.true_e; E.false_e ]; return (E.Var ("b", Ty.Tbool)) ]
+  in
+  let* depth = int_range 0 4 in
+  let* k = oneofl [ `I; `N; `B ] in
+  expr k depth
+
+let gen_env =
+  let open QCheck.Gen in
+  let* i = int_range (-30) 30 in
+  let* j = int_range (-30) 30 in
+  let* n = int_range 0 30 in
+  let* m = int_range 0 30 in
+  let* b = bool in
+  return
+    (SMap.of_list
+       [ ("i", Value.Vint (B.of_int i)); ("j", Value.Vint (B.of_int j));
+         ("n", Value.vnat (B.of_int n)); ("m", Value.vnat (B.of_int m));
+         ("b", Value.Vbool b) ])
+
+let arb_expr_env =
+  QCheck.make
+    ~print:(fun (e, _) -> Ac_lang.Pretty.expr_to_string e)
+    QCheck.Gen.(pair gen_expr gen_env)
+
+(* ------------------------------------------------------------------ *)
+(* Random prover terms. *)
+
+let gen_term =
+  let open QCheck.Gen in
+  let leaf =
+    oneof [ map T.int_of (int_range (-20) 20); oneofl [ T.Var ("x", T.Sint); T.Var ("y", T.Sint) ] ]
+  in
+  let rec go n =
+    if n = 0 then leaf
+    else
+      oneof
+        [ leaf;
+          map2 T.add_t (go (n - 1)) (go (n - 1));
+          map2 T.sub_t (go (n - 1)) (go (n - 1));
+          map2 (fun a b -> T.mul_t (T.int_of 3) (T.add_t a b)) (go (n - 1)) (go (n - 1));
+          map (fun a -> T.App (T.Neg, [ a ])) (go (n - 1)) ]
+  in
+  let* depth = int_range 0 4 in
+  go depth
+
+let arb_term_env =
+  QCheck.make
+    ~print:(fun (t, _) -> T.to_string t)
+    QCheck.Gen.(
+      pair gen_term (pair (int_range (-15) 15) (int_range (-15) 15)))
+
+(* ------------------------------------------------------------------ *)
+
+let props =
+  let open QCheck in
+  [
+    Test.make ~name:"kernel esimp preserves evaluation" ~count:800 arb_expr_env
+      (fun (e, env) ->
+        let v1 = try Some (E.eval_pure lenv env e) with E.Eval_stuck _ -> None in
+        let v2 =
+          try Some (E.eval_pure lenv env (Ac_kernel.Esimp.simp lenv e))
+          with E.Eval_stuck _ -> None
+        in
+        match (v1, v2) with
+        | Some a, Some b -> Value.equal a b
+        | None, _ -> QCheck.assume_fail ()
+        | Some _, None -> false);
+    Test.make ~name:"prover simp preserves ground evaluation" ~count:800 arb_term_env
+      (fun (t, (x, y)) ->
+        let env = [ ("x", T.Vint (B.of_int x)); ("y", T.Vint (B.of_int y)) ] in
+        T.veq (T.eval env t) (T.eval env (Ac_prover.Simp.normalize t)));
+    Test.make ~name:"LA unsat verdicts are sound (no small model exists)" ~count:200
+      (QCheck.make
+         QCheck.Gen.(
+           list_size (int_range 1 4)
+             (triple (int_range (-3) 3) (int_range (-3) 3) (int_range (-6) 6))))
+      (fun constraints ->
+        (* each (a, b, c) is the constraint a*x + b*y + c >= 0 *)
+        let x = T.Var ("x", T.Sint) and y = T.Var ("y", T.Sint) in
+        let terms =
+          List.map
+            (fun (a, b, c) ->
+              T.le_t T.zero
+                (T.add_t
+                   (T.add_t (T.mul_t (T.int_of a) x) (T.mul_t (T.int_of b) y))
+                   (T.int_of c)))
+            constraints
+        in
+        if not (Ac_prover.La.unsat (List.map Ac_prover.Simp.normalize terms)) then true
+        else begin
+          (* claimed unsat: verify no model with |x|,|y| <= 25 *)
+          let sat = ref false in
+          for vx = -25 to 25 do
+            for vy = -25 to 25 do
+              if
+                List.for_all
+                  (fun (a, b, c) -> (a * vx) + (b * vy) + c >= 0)
+                  constraints
+              then sat := true
+            done
+          done;
+          not !sat
+        end);
+    Test.make ~name:"solver never proves falsifiable ground facts" ~count:300
+      (QCheck.pair (QCheck.int_range (-50) 50) (QCheck.int_range (-50) 50))
+      (fun (a, b) ->
+        let x = T.Var ("x", T.Sint) in
+        (* claim: x = a -> x = b; valid iff a = b *)
+        let goal = T.imp_t (T.eq_t x (T.int_of a)) (T.eq_t x (T.int_of b)) in
+        let proved = Ac_prover.Solver.holds goal in
+        proved = (a = b));
+    Test.make ~name:"codec round-trips random struct values" ~count:300
+      (QCheck.make
+         QCheck.Gen.(
+           triple (int_range 0 0xFFFF) (int_range 0 0xFFFFFF) (int_range 0 255)))
+      (fun (a, b, c) ->
+        let lenv =
+          Layout.declare_struct Layout.empty "s"
+            [ ("x", Ty.Cword (Ty.Unsigned, Ty.W16)); ("y", Ty.Cword (Ty.Unsigned, Ty.W32));
+              ("z", Ty.Cword (Ty.Unsigned, Ty.W8)) ]
+        in
+        let v =
+          Value.Vstruct
+            ( "s",
+              [ ("x", Value.vword Ty.Unsigned (W.of_int W.W16 a));
+                ("y", Value.vword Ty.Unsigned (W.of_int W.W32 b));
+                ("z", Value.vword Ty.Unsigned (W.of_int W.W8 c)) ] )
+        in
+        let bytes = Ac_lang.Codec.encode lenv v in
+        let read i = List.nth bytes (B.to_int_exn i) in
+        let v' = Ac_lang.Codec.decode lenv (Ty.Cstruct "s") read B.zero in
+        Value.equal v v');
+    Test.make ~name:"struct layout respects alignment" ~count:200
+      (QCheck.make
+         QCheck.Gen.(
+           list_size (int_range 1 5)
+             (oneofl
+                [ Ty.Cword (Ty.Unsigned, Ty.W8); Ty.Cword (Ty.Unsigned, Ty.W16);
+                  Ty.Cword (Ty.Unsigned, Ty.W32); Ty.Cword (Ty.Unsigned, Ty.W64) ])))
+      (fun ctys ->
+        let fields = List.mapi (fun i c -> (Printf.sprintf "f%d" i, c)) ctys in
+        let lenv = Layout.declare_struct Layout.empty "s" fields in
+        List.for_all
+          (fun (fname, c) ->
+            let off = Layout.field_offset lenv "s" fname in
+            off mod Layout.align_of lenv c = 0)
+          fields
+        && Layout.size_of lenv (Ty.Cstruct "s") mod Layout.align_of lenv (Ty.Cstruct "s") = 0);
+  ]
+
+let suite = List.map QCheck_alcotest.to_alcotest props
