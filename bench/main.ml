@@ -22,6 +22,22 @@ let timing_tests () =
          (T.and_t (T.le_t l m) (T.lt_t m r)))
   in
   let reverse_proof () = ignore (Ac_cases.Reverse_proof.run ~check_lemmas:false ()) in
+  let discharge_pass =
+    (* Isolate the abstract-interpretation pass: translate without it, then
+       time certificate inference + kernel-checked discharge on the L2 bodies. *)
+    let module Driver = Autocorres.Driver in
+    let options =
+      { Driver.default_options with
+        defaults = { Driver.default_func_options with Driver.discharge_guards = false } }
+    in
+    let res =
+      Driver.run ~options
+        (Ac_cases.Csources.shift_guarded_c ^ Ac_cases.Csources.div_guarded_c)
+    in
+    let l2s = List.map (fun fr -> fr.Driver.fr_l2) res.Driver.funcs in
+    fun () ->
+      List.iter (fun f -> ignore (Ac_analysis.discharge_func res.Driver.ctx f)) l2s
+  in
   Test.make_grouped ~name:"autocorres"
     [
       Test.make ~name:"table5: parse echronos-like" (Staged.stage (parse echronos));
@@ -34,6 +50,8 @@ let timing_tests () =
       Test.make ~name:"footnote2: auto on the nat midpoint VC"
         (Staged.stage footnote2_nat);
       Test.make ~name:"fig6: reversal proof end-to-end" (Staged.stage reverse_proof);
+      Test.make ~name:"analysis: guard-discharge pass (cert + kernel check)"
+        (Staged.stage discharge_pass);
     ]
 
 let run_timings () =

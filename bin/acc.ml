@@ -3,36 +3,65 @@
      acc translate file.c            abstract a C file, print the output
      acc check file.c                re-check derivations + differential test
      acc stats file.c                Table 5-style pipeline statistics
+     acc lint file.c                 report refutable UB guards (likely bugs)
 
-   Options select the paper's per-function abstraction switches. *)
+   Options select the paper's per-function abstraction switches.
+
+   Exit codes: 0 success (for lint: no findings), 1 lint findings or a
+   failed check, 2 usage errors — unreadable input, parse or type error. *)
 
 open Cmdliner
 module Driver = Autocorres.Driver
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+(* Usage errors: one-line diagnostic on stderr, exit 2. *)
+let usage_error fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt
 
-let options_of ~no_heap ~no_word ~keep_low =
+let read_file path =
+  if not (Sys.file_exists path) then usage_error "acc: %s: no such file" path;
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with
+  | s -> s
+  | exception Sys_error m -> usage_error "acc: %s" m
+
+let options_of ?(no_discharge = false) ~no_heap ~no_word ~keep_low () =
   {
-    Driver.defaults = { Driver.word_abs = not no_word; heap_abs = not no_heap };
+    Driver.defaults =
+      { Driver.default_func_options with
+        Driver.word_abs = not no_word;
+        heap_abs = not no_heap;
+        discharge_guards = not no_discharge };
     overrides =
-      List.map (fun f -> (f, { Driver.word_abs = false; heap_abs = false })) keep_low;
+      List.map
+        (fun f ->
+          ( f,
+            { Driver.default_func_options with
+              Driver.word_abs = false;
+              heap_abs = false;
+              discharge_guards = not no_discharge } ))
+        keep_low;
     strategy = Autocorres.Wa.default_strategy;
     polish = true;
   }
 
 let file_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"C source file")
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"C source file")
 
 let no_heap =
   Arg.(value & flag & info [ "no-heap-abs" ] ~doc:"Disable heap abstraction (Sec 4)")
 
 let no_word =
   Arg.(value & flag & info [ "no-word-abs" ] ~doc:"Disable word abstraction (Sec 3)")
+
+let no_discharge =
+  Arg.(
+    value & flag
+    & info [ "no-discharge" ]
+        ~doc:"Disable the abstract-interpretation guard-discharge pass")
 
 let keep_low =
   Arg.(
@@ -59,22 +88,21 @@ let with_funcs res func_filter f =
       | _ -> f fr)
     res.Driver.funcs
 
-(* Front-end errors carry positions; render them the way compilers do. *)
+(* Front-end errors carry positions; render them the way compilers do, on
+   stderr, and exit 2 (a problem with the input, not a finding). *)
 let run_frontend ~file ~options source =
-  try Ok (Driver.run ~options source) with
+  try Driver.run ~options source with
   | Ac_cfront.Lexer.Lex_error (m, pos) ->
-    Error (Printf.sprintf "%s:%d:%d: lexical error: %s" file pos.Ac_cfront.Ast.line pos.Ac_cfront.Ast.col m)
+    usage_error "%s:%d:%d: lexical error: %s" file pos.Ac_cfront.Ast.line pos.Ac_cfront.Ast.col m
   | Ac_cfront.Parser.Parse_error (m, pos) ->
-    Error (Printf.sprintf "%s:%d:%d: parse error: %s" file pos.Ac_cfront.Ast.line pos.Ac_cfront.Ast.col m)
+    usage_error "%s:%d:%d: parse error: %s" file pos.Ac_cfront.Ast.line pos.Ac_cfront.Ast.col m
   | Ac_cfront.Typecheck.Type_error (m, pos) ->
-    Error (Printf.sprintf "%s:%d:%d: type error: %s" file pos.Ac_cfront.Ast.line pos.Ac_cfront.Ast.col m)
+    usage_error "%s:%d:%d: type error: %s" file pos.Ac_cfront.Ast.line pos.Ac_cfront.Ast.col m
 
-let translate file no_heap no_word keep_low stage func_filter =
+let translate file no_heap no_word no_discharge keep_low stage func_filter =
   let source = read_file file in
-  let options = options_of ~no_heap ~no_word ~keep_low in
-  match run_frontend ~file ~options source with
-  | Error e -> `Error (false, e)
-  | Ok res ->
+  let options = options_of ~no_discharge ~no_heap ~no_word ~keep_low () in
+  let res = run_frontend ~file ~options source in
   with_funcs res func_filter (fun fr ->
       (match stage with
       | `Simpl -> print_endline (Ac_simpl.Print.func_to_string fr.Driver.fr_simpl)
@@ -83,15 +111,12 @@ let translate file no_heap no_word keep_low stage func_filter =
       | `Final -> print_endline (Ac_monad.Mprint.func_to_string fr.Driver.fr_final));
       List.iter
         (fun (phase, why) -> Printf.printf "  (%s skipped: %s)\n" phase why)
-        fr.Driver.fr_skipped);
-  `Ok ()
+        fr.Driver.fr_skipped)
 
-let check file no_heap no_word keep_low cases =
+let check file no_heap no_word no_discharge keep_low cases =
   let source = read_file file in
-  let options = options_of ~no_heap ~no_word ~keep_low in
-  match run_frontend ~file ~options source with
-  | Error e -> `Error (false, e)
-  | Ok res ->
+  let options = options_of ~no_discharge ~no_heap ~no_word ~keep_low () in
+  let res = run_frontend ~file ~options source in
   (match Driver.check_all res with
   | Ok () -> Printf.printf "kernel: all refinement derivations re-validated\n"
   | Error e ->
@@ -103,25 +128,64 @@ let check file no_heap no_word keep_low cases =
     report.Autocorres.Refine_test.cases report.Autocorres.Refine_test.agreed
     report.Autocorres.Refine_test.abstract_failed report.Autocorres.Refine_test.skipped;
   match report.Autocorres.Refine_test.violations with
-  | [] -> `Ok ()
+  | [] -> ()
   | (f, d) :: _ ->
     Printf.printf "VIOLATION in %s: %s\n" f d;
     exit 1
 
 let stats file =
   let source = read_file file in
-  match run_frontend ~file ~options:Driver.default_options source with
-  | Error e -> `Error (false, e)
-  | Ok _ ->
-    let row, _ = Ac_stats.measure ~name:(Filename.basename file) source in
-    print_string
-      (Ac_stats.render_table ~header:Ac_stats.table5_header [ Ac_stats.row_to_strings row ]);
-    `Ok ()
+  let (_ : Driver.result) = run_frontend ~file ~options:Driver.default_options source in
+  let row, _ = Ac_stats.measure ~name:(Filename.basename file) source in
+  print_string
+    (Ac_stats.render_table ~header:Ac_stats.table5_header [ Ac_stats.row_to_strings row ])
+
+(* `acc lint`: replay the guard analysis and report refuted guards (these
+   executions would dereference NULL, divide by zero, ... — likely UB) plus
+   possibly-uninitialised reads, with positions from the front end.  Exit 1
+   when there are findings, 0 otherwise. *)
+let lint file no_heap no_word keep_low =
+  let source = read_file file in
+  let options = options_of ~no_heap ~no_word ~keep_low () in
+  let res = run_frontend ~file ~options source in
+  let lenv = res.Driver.ctx.Ac_kernel.Rules.lenv in
+  let guard_findings =
+    List.concat_map
+      (fun fr -> Ac_analysis.lint_func lenv ~simpl:fr.Driver.fr_simpl fr.Driver.fr_l2)
+      res.Driver.funcs
+  in
+  (* Definite initialisation runs on the typed front-end IR, where
+     uninitialised locals are still visible (downstream they are
+     default-initialised). *)
+  let uninit_findings =
+    let tprog = Ac_cfront.Typecheck.parse_and_check source in
+    List.concat_map Ac_analysis.uninit_findings tprog.Ac_cfront.Tir.tp_funcs
+  in
+  let findings = guard_findings @ uninit_findings in
+  List.iter
+    (fun (f : Ac_analysis.finding) ->
+      let where =
+        match f.Ac_analysis.lf_pos with
+        | Some p -> Printf.sprintf "%s:%d:%d" file p.Ac_cfront.Ast.line p.Ac_cfront.Ast.col
+        | None -> file
+      in
+      let kind =
+        match f.Ac_analysis.lf_kind with
+        | Some k -> Printf.sprintf " [%s]" (Ac_simpl.Ir.guard_kind_name k)
+        | None -> ""
+      in
+      Printf.printf "%s: warning: %s%s (in %s)\n" where f.Ac_analysis.lf_msg kind
+        f.Ac_analysis.lf_func)
+    findings;
+  if findings <> [] then exit 1;
+  Printf.printf "%s: no findings\n" file
 
 let translate_cmd =
   Cmd.v
     (Cmd.info "translate" ~doc:"Abstract a C file and print the result")
-    Term.(ret (const translate $ file_arg $ no_heap $ no_word $ keep_low $ stage $ func_filter))
+    Term.(
+      const translate $ file_arg $ no_heap $ no_word $ no_discharge $ keep_low $ stage
+      $ func_filter)
 
 let check_cmd =
   let cases =
@@ -129,16 +193,22 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Re-validate derivations and differential-test the abstraction")
-    Term.(ret (const check $ file_arg $ no_heap $ no_word $ keep_low $ cases))
+    Term.(const check $ file_arg $ no_heap $ no_word $ no_discharge $ keep_low $ cases)
 
 let stats_cmd =
   Cmd.v
     (Cmd.info "stats" ~doc:"Pipeline statistics (Table 5 metrics)")
-    Term.(ret (const stats $ file_arg))
+    Term.(const stats $ file_arg)
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Report statically refutable UB guards and uninitialised reads")
+    Term.(const lint $ file_arg $ no_heap $ no_word $ keep_low)
 
 let () =
   let info =
     Cmd.info "acc" ~version:"1.0.0"
       ~doc:"Proof-producing abstraction of C code (AutoCorres, PLDI 2014)"
   in
-  exit (Cmd.eval (Cmd.group info [ translate_cmd; check_cmd; stats_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ translate_cmd; check_cmd; stats_cmd; lint_cmd ]))

@@ -19,7 +19,7 @@ let () =
   let options =
     {
       Driver.default_options with
-      overrides = [ ("my_memset", { Driver.word_abs = false; heap_abs = false }) ];
+      overrides = [ ("my_memset", { Driver.default_func_options with Driver.word_abs = false; heap_abs = false }) ];
     }
   in
   let res = Driver.run ~options Ac_cases.Csources.memset_mixed_c in

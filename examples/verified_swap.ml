@@ -26,7 +26,7 @@ let () =
 
   (* Without heap abstraction: the byte-level mess of Fig 3. *)
   let low_options =
-    { Driver.default_options with defaults = { Driver.word_abs = false; heap_abs = false } }
+    { Driver.default_options with defaults = { Driver.default_func_options with Driver.word_abs = false; heap_abs = false } }
   in
   let low = Driver.run ~options:low_options Ac_cases.Csources.swap_c in
   let low_fr = Option.get (Driver.find_result low "swap") in
@@ -35,7 +35,7 @@ let () =
 
   (* With heap abstraction: Fig 5. *)
   let options =
-    { Driver.default_options with defaults = { Driver.word_abs = false; heap_abs = true } }
+    { Driver.default_options with defaults = { Driver.default_func_options with Driver.word_abs = false; heap_abs = true } }
   in
   let res = Driver.run ~options Ac_cases.Csources.swap_c in
   let fr = Option.get (Driver.find_result res "swap") in

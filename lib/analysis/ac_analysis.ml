@@ -1,0 +1,280 @@
+module Ty = Ac_lang.Ty
+module E = Ac_lang.Expr
+module Layout = Ac_lang.Layout
+module B = Ac_bignum
+module M = Ac_monad.M
+module Ir = Ac_simpl.Ir
+module Ast = Ac_cfront.Ast
+module Tir = Ac_cfront.Tir
+module A = Ac_kernel.Absdom
+module Rules = Ac_kernel.Rules
+module Thm = Ac_kernel.Thm
+module J = Ac_kernel.Judgment
+
+(* The untrusted half of the guard-discharge pass (ISSUE: `ac_analysis`).
+
+   [Absdom] (in the kernel) owns the domains, transfer functions and the
+   certificate-checking walk; this library owns everything that needs
+   heuristics and therefore must stay out of the trusted base:
+
+   - the widening fixpoint that solves for loop invariants,
+   - packaging the solved invariants as a certificate and pushing it
+     through the kernel as [Rules.Rule_guard_true],
+   - `acc lint`: replaying the analysis to harvest *refuted* guards
+     (definitely-failing UB checks) and definite-initialisation findings,
+     mapped back to source positions recorded by the C front-end.
+
+   A bug here can only lose precision or produce a certificate the kernel
+   rejects — it cannot produce an unsound theorem. *)
+
+(* ------------------------------------------------------------------ *)
+(* The fixpoint solver.  Joins for a few rounds, then widens; loop bodies
+   walked during iteration report guard verdicts against not-yet-stable
+   environments, so [on_guard] is muted inside [solve] and only the final
+   stabilised walk (performed by [Absdom.walk] after [solve] returns)
+   reports. *)
+
+let max_rounds = 40
+let widen_after = 3
+
+let fixpoint_solver ?(on_guard = fun _ _ _ -> ()) (tbl : (int, A.aenv) Hashtbl.t) : A.solver
+    =
+  let muted = ref false in
+  {
+    A.solve =
+      (fun idx head iterate ->
+        let was = !muted in
+        muted := true;
+        let rec go round cur =
+          if round > max_rounds then A.env_top
+          else begin
+            match iterate cur with
+            | None -> cur
+            | Some nxt ->
+              if A.env_leq nxt cur then cur
+              else if round >= widen_after then go (round + 1) (A.env_widen cur nxt)
+              else go (round + 1) (A.env_join cur nxt)
+          end
+        in
+        let inv = go 0 head in
+        muted := was;
+        Hashtbl.replace tbl idx inv;
+        inv);
+    A.on_guard = (fun k c v -> if not !muted then on_guard k c v);
+  }
+
+(* Replay with already-solved invariants: every guard is visited exactly
+   once, under its final environment. *)
+let replay_solver ~on_guard (tbl : (int, A.aenv) Hashtbl.t) : A.solver =
+  {
+    A.solve =
+      (fun idx _head _iterate ->
+        match Hashtbl.find_opt tbl idx with Some inv -> inv | None -> A.env_top);
+    A.on_guard = on_guard;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Certificates and kernel-checked discharge. *)
+
+let infer_cert (lenv : Layout.env) (m : M.t) : A.cert =
+  let tbl = Hashtbl.create 8 in
+  let sv = fixpoint_solver tbl in
+  let (_ : M.t * A.aout) = A.walk lenv sv 0 A.env_top m in
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Run the analysis on one function and, if any guard is provable, push the
+   certificate through the kernel.  Returns the rewritten function and the
+   [Equiv (new_body, old_body)] theorem, or [None] when nothing changed (or
+   the kernel rejected the certificate — which only costs precision). *)
+let discharge_func (ctx : Rules.ctx) (f : M.func) : (M.func * Thm.t) option =
+  let cert = infer_cert ctx.Rules.lenv f.M.body in
+  match Thm.by_opt ctx (Rules.Rule_guard_true (f.M.body, cert)) [] with
+  | None -> None
+  | Some thm -> (
+    match Thm.concl thm with
+    | J.Equiv (m', m) when not (M.equal m' m) -> Some ({ f with M.body = m' }, thm)
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Lint: refuted guards and definite-initialisation findings. *)
+
+type finding = {
+  lf_func : string;
+  lf_kind : Ir.guard_kind option; (* None: definite-initialisation finding *)
+  lf_pos : Ast.pos option;
+  lf_msg : string;
+}
+
+let guard_message (k : Ir.guard_kind) =
+  match k with
+  | Ir.Div_by_zero -> "division by zero"
+  | Ir.Signed_overflow -> "signed overflow"
+  | Ir.Shift_bounds -> "shift amount out of bounds"
+  | Ir.Ptr_valid -> "invalid (null) pointer dereference"
+  | Ir.Array_bounds -> "array index out of bounds"
+  | Ir.Dont_reach -> "control reaches end of non-void function"
+  | Ir.Unsigned_overflow -> "unsigned overflow"
+
+(* Map the [n]th L2-level guard of kind [k] back to a source position using
+   the positions the front-end recorded per emitted guard.  Exact match on
+   the condition first; the L2 rewrites usually change the expression, so
+   fall back to pairing occurrences of the same kind in order — valid when
+   the pipeline kept them 1:1, refused otherwise. *)
+let position_of (gsrc : (Ir.guard_kind * E.t * Ast.pos) list)
+    (occurrences : (Ir.guard_kind * E.t) list) (k : Ir.guard_kind) (c : E.t) :
+    Ast.pos option =
+  let exact =
+    List.filter_map
+      (fun (k', c', p) -> if k = k' && E.equal c c' then Some p else None)
+      gsrc
+  in
+  match exact with
+  | [ p ] -> Some p
+  | _ ->
+    let of_kind l = List.filter (fun (k', _) -> k = k') l in
+    let src_k = List.filter (fun (k', _, _) -> k = k') gsrc in
+    let occ_k = of_kind occurrences in
+    if List.length src_k = List.length occ_k then begin
+      let rec nth_occ i = function
+        | [] -> None
+        | (_, c') :: rest ->
+          if E.equal c' c then Some i else nth_occ (i + 1) rest
+      in
+      match nth_occ 0 occ_k with
+      | Some i -> ( match List.nth_opt src_k i with Some (_, _, p) -> Some p | None -> None)
+      | None -> None
+    end
+    else None
+
+(* Definite initialisation, on the typed front-end IR (which still knows
+   which locals were declared without an initialiser — after L1, locals are
+   default-initialised, so the bug is invisible downstream).  A classic
+   definite-assignment walk: a read of a declared local that is not
+   definitely assigned on every path to it is reported, with the position
+   of the reading statement. *)
+module SSet = Set.Make (String)
+
+let rec texpr_reads (e : Tir.texpr) : SSet.t =
+  match e.Tir.te with
+  | Tir.Tconst _ | Tir.Tnull _ | Tir.Tglobal _ -> SSet.empty
+  | Tir.Tvar x -> SSet.singleton x
+  | Tir.Tunop (_, a) | Tir.Tcast (_, a) | Tir.Ttobool a | Tir.Tofbool a -> texpr_reads a
+  | Tir.Tbinop (_, a, b) | Tir.Tptradd (a, b) -> SSet.union (texpr_reads a) (texpr_reads b)
+  | Tir.Tcond (c, a, b) ->
+    SSet.union (texpr_reads c) (SSet.union (texpr_reads a) (texpr_reads b))
+  | Tir.Tload lv | Tir.Taddr lv -> tlval_reads lv
+
+(* Reads performed when evaluating the lvalue *as a value source* (for
+   [Tload]): a register root counts as a read of that variable. *)
+and tlval_reads (lv : Tir.tlval) : SSet.t =
+  match lv with
+  | Tir.Lvar (x, _) -> SSet.singleton x
+  | Tir.Lglobal _ -> SSet.empty
+  | Tir.Lmem (p, _) -> texpr_reads p
+  | Tir.Lfield (base, _, _, _) -> tlval_reads base
+
+(* Reads performed when *storing to* the lvalue: the address computation
+   only — assigning to x (or a field of register x) is a write, not a read. *)
+let rec tlval_addr_reads (lv : Tir.tlval) : SSet.t =
+  match lv with
+  | Tir.Lvar _ | Tir.Lglobal _ -> SSet.empty
+  | Tir.Lmem (p, _) -> texpr_reads p
+  | Tir.Lfield (base, _, _, _) -> tlval_addr_reads base
+
+let rec written_var (lv : Tir.tlval) : string option =
+  match lv with
+  | Tir.Lvar (x, _) -> Some x
+  | Tir.Lfield (base, _, _, _) -> written_var base
+  | Tir.Lglobal _ | Tir.Lmem _ -> None
+
+let uninit_findings (tf : Tir.tfunc) : finding list =
+  let declared = SSet.of_list (List.map fst tf.Tir.tf_locals) in
+  let findings = ref [] in
+  let reported = ref SSet.empty in
+  let check (pos : Ast.pos) defined reads =
+    SSet.iter
+      (fun x ->
+        if SSet.mem x declared && (not (SSet.mem x defined)) && not (SSet.mem x !reported)
+        then begin
+          reported := SSet.add x !reported;
+          findings :=
+            {
+              lf_func = tf.Tir.tf_name;
+              lf_kind = None;
+              lf_pos = Some pos;
+              lf_msg = Printf.sprintf "'%s' may be used uninitialised" x;
+            }
+            :: !findings
+        end)
+      reads
+  in
+  let rec go defined (s : Tir.tstmt) : SSet.t =
+    let pos = s.Tir.tsp in
+    match s.Tir.ts with
+    | Tir.Tskip | Tir.Tbreak | Tir.Tcontinue -> defined
+    | Tir.Tassign (lv, rhs) -> (
+      check pos defined (texpr_reads rhs);
+      check pos defined (tlval_addr_reads lv);
+      match written_var lv with Some x -> SSet.add x defined | None -> defined)
+    | Tir.Tcall (dest, _, args) -> (
+      List.iter (fun a -> check pos defined (texpr_reads a)) args;
+      match Option.map written_var dest with
+      | Some (Some x) -> SSet.add x defined
+      | _ -> defined)
+    | Tir.Tseq (a, b) -> go (go defined a) b
+    | Tir.Tif (c, a, b) ->
+      check pos defined (texpr_reads c);
+      SSet.inter (go defined a) (go defined b)
+    | Tir.Twhile (c, body) ->
+      check pos defined (texpr_reads c);
+      let (_ : SSet.t) = go defined body in
+      defined
+    | Tir.Treturn None -> defined
+    | Tir.Treturn (Some e) ->
+      check pos defined (texpr_reads e);
+      defined
+  in
+  let (_ : SSet.t) = go (SSet.of_list (List.map fst tf.Tir.tf_params)) tf.Tir.tf_body in
+  List.rev !findings
+
+(* Lint one function: run the fixpoint, then replay under the solved
+   invariants collecting refuted guards (spurious refutations against
+   half-converged loop environments never surface, because the first pass
+   reports nothing). *)
+let lint_func (lenv : Layout.env) ?(simpl : Ir.func option) (f : M.func) : finding list =
+  let tbl = Hashtbl.create 8 in
+  let sv = fixpoint_solver tbl in
+  let (_ : M.t * A.aout) = A.walk lenv sv 0 A.env_top f.M.body in
+  let occs = ref [] in
+  let refuted = ref [] in
+  let on_guard k c v =
+    occs := (k, c) :: !occs;
+    if v = Some false && not (List.exists (fun (k', c') -> k = k' && E.equal c c') !refuted)
+    then refuted := (k, c) :: !refuted
+  in
+  let (_ : M.t * A.aout) = A.walk lenv (replay_solver ~on_guard tbl) 0 A.env_top f.M.body in
+  let occurrences = List.rev !occs in
+  let gsrc = match simpl with Some sf -> sf.Ir.gsrc | None -> [] in
+  let guard_findings =
+    List.rev_map
+      (fun (k, c) ->
+        {
+          lf_func = f.M.name;
+          lf_kind = Some k;
+          lf_pos = position_of gsrc occurrences k c;
+          lf_msg = guard_message k;
+        })
+      !refuted
+  in
+  guard_findings
+
+(* Discharge statistics for one body: how many guards remain. *)
+let rec guard_count (m : M.t) : int =
+  match m with
+  | M.Guard _ -> 1
+  | M.Return _ | M.Gets _ | M.Modify _ | M.Fail | M.Throw _ | M.Unknown _ | M.Call _
+  | M.Exec_concrete _ ->
+    0
+  | M.Bind (a, _, b) | M.Try (a, _, b) | M.Cond (_, a, b) -> guard_count a + guard_count b
+  | M.While (_, _, body, _) -> guard_count body

@@ -131,6 +131,29 @@ let counter_c =
    void bump(unsigned by) { counter = counter + by; }\n\
    unsigned twice(unsigned x) { bump(x); bump(x); return counter; }\n"
 
+(* Flow-sensitive UB guards: provable only by following the branch
+   conditions, so the abstract-interpretation discharge pass removes them
+   where the syntactic rewrites cannot. *)
+let shift_guarded_c =
+  "unsigned shl_guarded(unsigned x, unsigned n) {\n\
+  \  if (n < 32u) { return x << n; }\n\
+  \  return 0u;\n\
+   }\n\
+   int sar_guarded(int x, int n) {\n\
+  \  if (0 <= n) { if (n < 31) { return x >> n; } }\n\
+  \  return 0;\n\
+   }\n"
+
+let div_guarded_c =
+  "int div_pos(int a, int b) {\n\
+  \  if (b > 0) { return a / b; }\n\
+  \  return 0;\n\
+   }\n\
+   unsigned bucket(unsigned h, unsigned n) {\n\
+  \  if (n != 0u) { return h % n; }\n\
+  \  return 0u;\n\
+   }\n"
+
 let all : (string * string) list =
   [
     ("max", max_c);
@@ -144,4 +167,6 @@ let all : (string * string) list =
     ("memset", memset_c);
     ("memset_mixed", memset_mixed_c);
     ("counter", counter_c);
+    ("shift_guarded", shift_guarded_c);
+    ("div_guarded", div_guarded_c);
   ]

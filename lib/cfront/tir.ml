@@ -36,7 +36,12 @@ and tlval =
   | Lmem of texpr * ctype (* object at address; texpr : Pointer ctype *)
   | Lfield of tlval * string * string * ctype (* base, struct name, field, field type *)
 
-type tstmt =
+(* Statements carry the source position of the statement they came from, so
+   diagnostics downstream of the typechecker (`acc lint` in particular) can
+   report file:line:col instead of bare function names. *)
+type tstmt = { ts : tstmt_desc; tsp : Ast.pos }
+
+and tstmt_desc =
   | Tskip
   | Tassign of tlval * texpr
   | Tcall of tlval option * string * texpr list
@@ -47,12 +52,15 @@ type tstmt =
   | Tcontinue
   | Treturn of texpr option
 
+let at (tsp : Ast.pos) (ts : tstmt_desc) : tstmt = { ts; tsp }
+
 type tfunc = {
   tf_name : string;
   tf_ret : ctype; (* Void for procedures *)
   tf_params : (string * ctype) list;
   tf_locals : (string * ctype) list; (* declared locals after renaming *)
   tf_body : tstmt;
+  tf_pos : Ast.pos; (* position of the function definition *)
 }
 
 type tprog = {
@@ -65,9 +73,9 @@ let lval_type = function
   | Lvar (_, t) | Lglobal (_, t) | Lmem (_, t) | Lfield (_, _, _, t) -> t
 
 let rec seq_of_list = function
-  | [] -> Tskip
+  | [] -> { ts = Tskip; tsp = Ast.no_pos }
   | [ s ] -> s
-  | s :: rest -> Tseq (s, seq_of_list rest)
+  | s :: rest -> { ts = Tseq (s, seq_of_list rest); tsp = s.tsp }
 
 let find_func prog name = List.find_opt (fun f -> String.equal f.tf_name name) prog.tp_funcs
 

@@ -342,8 +342,9 @@ and elab_lvalue env (e : Ast.expr) : tlval =
 
 let rec elab_stmt env (s : Ast.stmt) : tstmt =
   let pos = s.spos in
+  let at d = Tir.at pos d in
   match s.sdesc with
-  | Sskip -> Tskip
+  | Sskip -> at Tskip
   | Sexpr { desc = Assign (lhs, { desc = Call (fname, args); pos = cpos }); _ } ->
     let lv = elab_lvalue env lhs in
     elab_call env cpos (Some lv) fname args
@@ -354,57 +355,57 @@ let rec elab_stmt env (s : Ast.stmt) : tstmt =
     (match target with
     | StructRef _ ->
       if not (ctype_equal rv.tt target) then error pos "struct assignment type mismatch";
-      Tassign (lv, rv)
-    | _ -> Tassign (lv, cast_to pos target rv))
+      at (Tassign (lv, rv))
+    | _ -> at (Tassign (lv, cast_to pos target rv)))
   | Sexpr { desc = Call (fname, args); pos = cpos } -> elab_call env cpos None fname args
   | Sexpr e -> error e.pos "expression statement has no effect"
   | Sdecl (t, name, init) ->
     if ctype_equal t Void then error pos "void variable";
     let renamed = declare_local env pos name t in
     (match init with
-    | None -> Tskip
+    | None -> at Tskip
     | Some { desc = Call (fname, args); pos = cpos } ->
       elab_call env cpos (Some (Lvar (renamed, t))) fname args
     | Some e ->
       let rv = elab_expr env e in
-      Tassign (Lvar (renamed, t), cast_to pos t rv))
+      at (Tassign (Lvar (renamed, t), cast_to pos t rv)))
   | Sblock stmts ->
     push_scope env;
     let out = seq_of_list (List.map (elab_stmt env) stmts) in
     pop_scope env;
     out
-  | Sif (c, a, b) -> Tif (elab_cond env c, elab_stmt env a, elab_stmt env b)
-  | Swhile (c, body) -> Twhile (elab_cond env c, elab_stmt env body)
+  | Sif (c, a, b) -> at (Tif (elab_cond env c, elab_stmt env a, elab_stmt env b))
+  | Swhile (c, body) -> at (Twhile (elab_cond env c, elab_stmt env body))
   | Sdo (body, c) ->
     (* do B while (c)  ≡  B; while (c) B *)
     let b1 = elab_stmt env body in
     let b2 = elab_stmt env body in
-    Tseq (b1, Twhile (elab_cond env c, b2))
+    at (Tseq (b1, at (Twhile (elab_cond env c, b2))))
   | Sfor (init, cond, step, body) ->
     push_scope env;
-    let init_s = match init with Some s -> elab_stmt env s | None -> Tskip in
+    let init_s = match init with Some s -> elab_stmt env s | None -> at Tskip in
     let cond_e =
       match cond with Some c -> elab_cond env c | None -> { te = Ttobool { te = Tconst (B.one, int_t); tt = int_t }; tt = Bool }
     in
-    let step_s = match step with Some s -> elab_stmt env s | None -> Tskip in
+    let step_s = match step with Some s -> elab_stmt env s | None -> at Tskip in
     let body_s = elab_stmt env body in
     pop_scope env;
     (* continue inside a for loop must run the step: we rely on the
        restriction that the subset forbids continue inside for bodies. *)
     check_no_continue pos body_s;
-    Tseq (init_s, Twhile (cond_e, Tseq (body_s, step_s)))
-  | Sbreak -> Tbreak
-  | Scontinue -> Tcontinue
+    at (Tseq (init_s, at (Twhile (cond_e, at (Tseq (body_s, step_s))))))
+  | Sbreak -> at Tbreak
+  | Scontinue -> at Tcontinue
   | Sreturn None ->
     if not (ctype_equal env.ret Void) then error pos "return without value";
-    Treturn None
+    at (Treturn None)
   | Sreturn (Some e) ->
     if ctype_equal env.ret Void then error pos "return with value in void function";
     let rv = elab_expr env e in
-    Treturn (Some (cast_to pos env.ret rv))
+    at (Treturn (Some (cast_to pos env.ret rv)))
 
 and check_no_continue pos s =
-  match s with
+  match s.ts with
   | Tcontinue -> error pos "continue inside for body is not in the supported subset"
   | Tseq (a, b) ->
     check_no_continue pos a;
@@ -416,6 +417,7 @@ and check_no_continue pos s =
   | _ -> ()
 
 and elab_call env pos dest fname args =
+  let at d = Tir.at pos d in
   match SMap.find_opt fname env.genv.funcs with
   | None -> error pos "call to undeclared function %s" fname
   | Some fsig ->
@@ -436,10 +438,13 @@ and elab_call env pos dest fname args =
         env.locals <- (tmp, rt) :: env.locals;
         let tmp_lv = Lvar (tmp, rt) in
         let load = { te = Tload tmp_lv; tt = rt } in
-        Tseq (Tcall (Some tmp_lv, fname, targs), Tassign (lv, cast_to pos (lval_type lv) load))
+        at
+          (Tseq
+             ( at (Tcall (Some tmp_lv, fname, targs)),
+               at (Tassign (lv, cast_to pos (lval_type lv) load)) ))
       end
-      else Tcall (Some lv, fname, targs)
-    | None, _ -> Tcall (dest, fname, targs))
+      else at (Tcall (Some lv, fname, targs))
+    | None, _ -> at (Tcall (dest, fname, targs)))
 
 (* ------------------------------------------------------------------ *)
 (* Program elaboration. *)
@@ -461,6 +466,7 @@ let elab_func genv (f : Ast.func) : tfunc =
     tf_params = params;
     tf_locals = List.rev env.locals;
     tf_body = body;
+    tf_pos = f.fpos;
   }
 
 let elab_program (prog : Ast.program) : tprog =

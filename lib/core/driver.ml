@@ -19,9 +19,12 @@ module J = Ac_kernel.Judgment
 type func_options = {
   word_abs : bool;
   heap_abs : bool;
+  discharge_guards : bool;
+      (* statically discharge provably-true UB guards (abstract
+         interpretation, kernel-checked certificates) *)
 }
 
-let default_func_options = { word_abs = true; heap_abs = true }
+let default_func_options = { word_abs = true; heap_abs = true; discharge_guards = true }
 
 type options = {
   defaults : func_options;
@@ -125,6 +128,24 @@ let run ?(options = default_options) (source : string) : result =
     else l2_fix nothrows' (round + 1)
   in
   let l2_results, nothrows = l2_fix [] 0 in
+  (* Guard discharge, round 1 (after L2): the abstract-interpretation pass
+     proves guards true and removes them through the kernel
+     ([Rules.Rule_guard_true]); its [Equiv] theorem composes with the L2
+     theorem by transitivity, so the chain below is unchanged. *)
+  let discharge_ctx = { base_ctx with Rules.nothrows } in
+  let l2_results =
+    List.map
+      (fun ((sf, l1f, l1_thm, l2f, l2_thm) as row) ->
+        if not (options_for options (l2f : M.func).M.name).discharge_guards then row
+        else begin
+          match Ac_analysis.discharge_func discharge_ctx l2f with
+          | None -> row
+          | Some (l2f', dthm) ->
+            let l2_thm' = Thm.by discharge_ctx Rules.Eq_trans [ dthm; l2_thm ] in
+            (sf, l1f, l1_thm, l2f', l2_thm')
+        end)
+      l2_results
+  in
   (* Word-abstraction signatures, fixed up front so recursion and mutual
      calls are consistent; functions whose abstraction fails are demoted to
      identity signatures and the rest re-run (fixpoint). *)
@@ -217,9 +238,25 @@ let run ?(options = default_options) (source : string) : result =
         (if opts.word_abs && wa = None && not (List.mem_assoc "word_abstraction" !skipped)
          then skipped := ("word_abstraction", "demoted after a callee failed") :: !skipped);
         let after_hl = match hl with Some (hf, _) -> hf | None -> l2f in
-        let final = match wa with Some (wf, _) -> wf | None -> after_hl in
+        let final0 = match wa with Some (wf, _) -> wf | None -> after_hl in
+        (* Guard discharge, round 2: heap and word abstraction introduce new
+           guards (typed validity, Unsigned_overflow) and rewrite old ones,
+           so run the pass again on the final body.  Its [Equiv] theorem is
+           appended to the WA steps, where [Fn_chain] folds it. *)
+        let post_discharge =
+          if
+            opts.discharge_guards
+            && (Option.is_some hl || Option.is_some wa)
+          then Ac_analysis.discharge_func ctx final0
+          else None
+        in
+        let final, post_thms =
+          match post_discharge with
+          | Some (f', dthm) -> (f', [ dthm ])
+          | None -> (final0, [])
+        in
         let hl_thms = match hl with Some (_, ts) -> ts | None -> [] in
-        let wa_thms = match wa with Some (_, ts) -> ts | None -> [] in
+        let wa_thms = (match wa with Some (_, ts) -> ts | None -> []) @ post_thms in
         (* The end-to-end refinement theorem: Corres_l1, the L2
            equivalence, heap abstraction, word abstraction — the paper's
            "chain of proofs linking the original C-Simpl input to the

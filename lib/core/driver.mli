@@ -18,6 +18,11 @@ module Thm = Ac_kernel.Thm
 type func_options = {
   word_abs : bool;  (** abstract machine words to ideal ℕ/ℤ *)
   heap_abs : bool;  (** lift the byte heap to typed split heaps *)
+  discharge_guards : bool;
+      (** statically remove provably-true UB guards: an untrusted
+          abstract-interpretation pass ({!Ac_analysis}) proposes loop
+          invariants, and the kernel re-checks them when applying
+          [Rule_guard_true], so every discharge is certificate-checked *)
 }
 
 val default_func_options : func_options

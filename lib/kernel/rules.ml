@@ -89,6 +89,12 @@ type rule =
     (* IF c THEN (guard g; A) ELSE B: drop g when c implies g *)
   | Rw_discharge_loop_guard of M.pat * E.t * M.t * E.t
     (* whileLoop c (λi. guard g; body) i: drop g when c implies g *)
+  | Rule_guard_true of M.t * Absdom.cert
+    (* abstract-interpretation guard discharge: rewrite away every guard
+       whose condition the certified abstract walk proves.  The certificate
+       (one invariant per loop) comes from the untrusted fixpoint engine in
+       Ac_analysis; [Absdom.discharge] re-verifies it here, so [Thm.check]
+       re-validates the side condition from scratch. *)
   (* ---- word abstraction: values (Table 3) ---- *)
   | W_triv of conv * E.t (* abs_w_val True f (f c) c *)
   | W_var of string (* an abstracted variable *)
@@ -204,6 +210,7 @@ let rule_name = function
   | Rw_dup_guard _ -> "rw_dup_guard"
   | Rw_discharge_cond_guard _ -> "rw_discharge_cond_guard"
   | Rw_discharge_loop_guard _ -> "rw_discharge_loop_guard"
+  | Rule_guard_true _ -> "rule_guard_true"
   | W_triv _ -> "w_triv"
   | W_var _ -> "w_var"
   | W_const _ -> "w_const"
@@ -857,6 +864,10 @@ let rec infer (ctx : ctx) (rule : rule) (prems : judgment list) : (judgment, str
       ok (Equiv (m', M.Cond (c, x, y)))
     | _ -> fail "rw_cond_return: branches are not value computations")
   | Rw_discharge m -> ok (Equiv (discharge_guards ctx.lenv m, m))
+  | Rule_guard_true (m, cert) -> (
+    match Absdom.discharge ctx.lenv cert m with
+    | Result.Ok m' -> ok (Equiv (m', m))
+    | Result.Error msg -> fail "rule_guard_true: %s" msg)
   | Rw_prune_loop (i, ip, cond, body, init, qp, k) -> (
     match (ip, init, qp) with
     | M.Ptuple ips, E.Tuple inits, M.Ptuple qps

@@ -94,9 +94,17 @@ type ctx = {
   venv : Ty.t Map.Make(String).t; (* local name -> type *)
   mutable extra_locals : (string * Ty.t) list;
   mutable tmp_counter : int;
+  mutable gsrc : (guard_kind * E.t * Ast.pos) list;
+      (* guards emitted so far, most recent first *)
 }
 
 module SMap = Map.Make (String)
+
+(* Turn guards into statements while recording, per guard, the source
+   position of the statement that required it (consumed by `acc lint`). *)
+let emit ctx (pos : Ast.pos) (gs : guard list) : stmt list =
+  ctx.gsrc <- List.fold_left (fun acc (k, e) -> (k, e, pos) :: acc) ctx.gsrc gs;
+  guards_to_stmts gs
 
 let fresh_tmp ctx ty =
   ctx.tmp_counter <- ctx.tmp_counter + 1;
@@ -270,13 +278,18 @@ and lval_addr ctx (lv : Tir.tlval) : guard list * E.t =
 (* Statements. *)
 
 let rec tr_stmt ctx (ret_ty : Ty.t) (s : Tir.tstmt) : stmt =
-  match s with
+  let pos = s.Tir.tsp in
+  match s.Tir.ts with
   | Tir.Tskip -> Skip
-  | Tir.Tseq (a, b) -> Seq (tr_stmt ctx ret_ty a, tr_stmt ctx ret_ty b)
+  | Tir.Tseq (a, b) ->
+    (* explicit lets: [gsrc] must record guards in program order *)
+    let a' = tr_stmt ctx ret_ty a in
+    let b' = tr_stmt ctx ret_ty b in
+    Seq (a', b')
   | Tir.Tassign (lv, rhs) ->
     let g_rhs, rhs' = tr_expr ctx rhs in
     let stmt, g_lhs = tr_assign ctx lv rhs' in
-    seq_of_list (guards_to_stmts (g_rhs @ g_lhs) @ [ stmt ])
+    seq_of_list (emit ctx pos (g_rhs @ g_lhs) @ [ stmt ])
   | Tir.Tcall (dest, fname, args) -> (
     let g_args, args' =
       List.fold_left
@@ -286,7 +299,7 @@ let rec tr_stmt ctx (ret_ty : Ty.t) (s : Tir.tstmt) : stmt =
         ([], []) args
     in
     let args' = List.rev args' in
-    let pre = guards_to_stmts g_args in
+    let pre = emit ctx pos g_args in
     match dest with
     | None -> seq_of_list (pre @ [ Call (None, fname, args') ])
     | Some (Tir.Lvar (x, _)) -> seq_of_list (pre @ [ Call (Some x, fname, args') ])
@@ -295,20 +308,24 @@ let rec tr_stmt ctx (ret_ty : Ty.t) (s : Tir.tstmt) : stmt =
       let t = ty_of_ctype (Tir.lval_type lv) in
       let tmp = fresh_tmp ctx t in
       let stmt, g_lhs = tr_assign ctx lv (E.Var (tmp, t)) in
-      seq_of_list (pre @ [ Call (Some tmp, fname, args') ] @ guards_to_stmts g_lhs @ [ stmt ]))
+      seq_of_list (pre @ [ Call (Some tmp, fname, args') ] @ emit ctx pos g_lhs @ [ stmt ]))
   | Tir.Tif (c, a, b) ->
     let gc, c' = tr_expr ctx c in
-    seq_of_list (guards_to_stmts gc @ [ Cond (c', tr_stmt ctx ret_ty a, tr_stmt ctx ret_ty b) ])
+    let pre = emit ctx pos gc in
+    let a' = tr_stmt ctx ret_ty a in
+    let b' = tr_stmt ctx ret_ty b in
+    seq_of_list (pre @ [ Cond (c', a', b') ])
   | Tir.Twhile (c, body) ->
     let gc, c' = tr_expr ctx c in
+    let pre = emit ctx pos gc in
     let body' = tr_stmt ctx ret_ty body in
     (* Catch continue at the body level, break at the loop level; re-raise
        anything else (i.e. return).  Condition guards run before the loop
        and after each iteration. *)
     let catch_continue = Cond (exn_is Xcontinue, Skip, Throw) in
-    let loop_body = Seq (Try (body', catch_continue), seq_of_list (guards_to_stmts gc)) in
+    let loop_body = Seq (Try (body', catch_continue), seq_of_list (emit ctx pos gc)) in
     let catch_break = Cond (exn_is Xbreak, Skip, Throw) in
-    seq_of_list (guards_to_stmts gc @ [ Try (While (c', loop_body), catch_break) ])
+    seq_of_list (pre @ [ Try (While (c', loop_body), catch_break) ])
   | Tir.Tbreak -> Seq (Local_set (exn_var, E.word_e Unsigned W32 (exit_code Xbreak)), Throw)
   | Tir.Tcontinue -> Seq (Local_set (exn_var, E.word_e Unsigned W32 (exit_code Xcontinue)), Throw)
   | Tir.Treturn None ->
@@ -317,7 +334,7 @@ let rec tr_stmt ctx (ret_ty : Ty.t) (s : Tir.tstmt) : stmt =
     ignore ret_ty;
     let gs, e' = tr_expr ctx e in
     seq_of_list
-      (guards_to_stmts gs
+      (emit ctx pos gs
       @ [
           Local_set (ret_var, e');
           Local_set (exn_var, E.word_e Unsigned W32 (exit_code Xreturn));
@@ -347,11 +364,12 @@ let tr_func lenv (f : Tir.tfunc) : func =
     List.fold_left (fun m (n, t) -> SMap.add n t m) SMap.empty (params @ declared)
   in
   let venv = SMap.add ret_var ret_ty (SMap.add exn_var exn_ty venv) in
-  let ctx = { lenv; venv; extra_locals = []; tmp_counter = 0 } in
+  let ctx = { lenv; venv; extra_locals = []; tmp_counter = 0; gsrc = [] } in
   let body = tr_stmt ctx ret_ty f.tf_body in
   (* Fig 2 shape: TRY body [;; GUARD DontReach] CATCH SKIP END *)
   let fall_off =
-    if Ty.equal ret_ty Ty.Tunit then [] else [ Guard (Dont_reach, E.false_e) ]
+    if Ty.equal ret_ty Ty.Tunit then []
+    else emit ctx f.tf_pos [ (Dont_reach, E.false_e) ]
   in
   let wrapped = Try (seq_of_list ((body :: fall_off)), Skip) in
   let ghost = [ (ret_var, ret_ty); (exn_var, exn_ty) ] in
@@ -362,6 +380,8 @@ let tr_func lenv (f : Tir.tfunc) : func =
     locals = declared @ List.rev ctx.extra_locals @ ghost;
     ret_ty;
     body = wrapped;
+    fpos = f.tf_pos;
+    gsrc = List.rev ctx.gsrc;
   }
 
 let tr_program (p : Tir.tprog) : program =

@@ -63,6 +63,11 @@ type func = {
   locals : (string * Ty.t) list; (* includes ret/exn ghosts *)
   ret_ty : Ty.t; (* Tunit for void *)
   body : stmt;
+  fpos : Ac_cfront.Ast.pos; (* source position of the function definition *)
+  gsrc : (guard_kind * E.t * Ac_cfront.Ast.pos) list;
+      (* every guard emitted by the parser, in emission order, with the
+         source position of the statement it protects — the map `acc lint`
+         uses to report findings as file:line:col *)
 }
 
 type program = {

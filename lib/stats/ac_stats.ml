@@ -21,7 +21,15 @@ type row = {
   ac_spec_lines : int;
   parser_term_size : int; (* average per function *)
   ac_term_size : int;
+  guards_parser : int; (* UB guards emitted by the C parser *)
+  guards_final : int; (* guards surviving in the final output *)
 }
+
+(* UB guards in a Simpl statement (the parser's output). *)
+let ir_guard_count (s : Ir.stmt) : int =
+  let n = ref 0 in
+  Ir.iter_stmts (function Ir.Guard _ -> incr n | _ -> ()) s;
+  !n
 
 let measure ?options ~name (source : string) : row * Driver.result =
   let t0 = Sys.time () in
@@ -44,6 +52,12 @@ let measure ?options ~name (source : string) : row * Driver.result =
   let ac_term_size =
     List.fold_left (fun acc fr -> acc + M.func_size fr.Driver.fr_final) 0 res.Driver.funcs / n
   in
+  let guards_parser = List.fold_left (fun acc f -> acc + ir_guard_count f.Ir.body) 0 funcs in
+  let guards_final =
+    List.fold_left
+      (fun acc fr -> acc + Ac_analysis.guard_count fr.Driver.fr_final.M.body)
+      0 res.Driver.funcs
+  in
   ( {
       name;
       loc = Ac_cfront.Tir.source_loc source;
@@ -54,6 +68,8 @@ let measure ?options ~name (source : string) : row * Driver.result =
       ac_spec_lines;
       parser_term_size;
       ac_term_size;
+      guards_parser;
+      guards_final;
     },
     res )
 
@@ -89,8 +105,11 @@ let row_to_strings (r : row) : string list =
     string_of_int r.ac_term_size;
     Printf.sprintf "%.0f%%" (pct_smaller r.parser_spec_lines r.ac_spec_lines);
     Printf.sprintf "%.0f%%" (pct_smaller r.parser_term_size r.ac_term_size);
+    string_of_int r.guards_parser;
+    string_of_int r.guards_final;
+    Printf.sprintf "%.0f%%" (pct_smaller r.guards_parser r.guards_final);
   ]
 
 let table5_header =
   [ "Program"; "LoC"; "Fns"; "Parse(s)"; "AC(s)"; "SpecLn(P)"; "SpecLn(AC)";
-    "Term(P)"; "Term(AC)"; "SpecLn↓"; "Term↓" ]
+    "Term(P)"; "Term(AC)"; "SpecLn↓"; "Term↓"; "Guards(P)"; "Guards(AC)"; "Guards↓" ]

@@ -15,4 +15,5 @@ let () =
       ("monad", Test_monad.suite);
       ("corpus", Test_corpus.suite);
       ("props", Test_props.suite);
+      ("analysis", Test_analysis.suite);
     ]

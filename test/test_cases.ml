@@ -95,7 +95,7 @@ let tests =
         let options =
           {
             Autocorres.Driver.default_options with
-            overrides = [ ("my_memset", { Autocorres.Driver.word_abs = false; heap_abs = false }) ];
+            overrides = [ ("my_memset", { Autocorres.Driver.default_func_options with Autocorres.Driver.word_abs = false; heap_abs = false }) ];
           }
         in
         let res = Autocorres.Driver.run ~options Csources.memset_mixed_c in
@@ -158,7 +158,7 @@ let tests =
               if name = "memset" || name = "memset_mixed" then
                 { Autocorres.Driver.default_options with
                   overrides =
-                    [ ("my_memset", { Autocorres.Driver.word_abs = false; heap_abs = false }) ] }
+                    [ ("my_memset", { Autocorres.Driver.default_func_options with Autocorres.Driver.word_abs = false; heap_abs = false }) ] }
               else Autocorres.Driver.default_options
             in
             let res = Autocorres.Driver.run ~options src in

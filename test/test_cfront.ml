@@ -109,7 +109,7 @@ let typecheck_tests =
       fun () ->
         let prog = check_tc "unsigned f(int a, unsigned b) { return a + b; }" in
         let f = List.hd prog.Tir.tp_funcs in
-        match f.tf_body with
+        match f.tf_body.Tir.ts with
         | Tir.Treturn (Some e) ->
           Alcotest.(check string) "type" "unsigned int" (Ast.ctype_to_string e.tt)
         | _ -> Alcotest.fail "unexpected shape" );
@@ -117,14 +117,14 @@ let typecheck_tests =
       fun () ->
         let prog = check_tc "int f(char a, char b) { return a + b; }" in
         let f = List.hd prog.Tir.tp_funcs in
-        match f.tf_body with
+        match f.tf_body.Tir.ts with
         | Tir.Treturn (Some e) -> Alcotest.(check string) "type" "int" (Ast.ctype_to_string e.tt)
         | _ -> Alcotest.fail "unexpected shape" );
     ( "long long arithmetic is 64-bit",
       fun () ->
         let prog = check_tc "long long f(long long a, int b) { return a * b; }" in
         let f = List.hd prog.Tir.tp_funcs in
-        match f.tf_body with
+        match f.tf_body.Tir.ts with
         | Tir.Treturn (Some e) ->
           Alcotest.(check string) "type" "long long" (Ast.ctype_to_string e.tt)
         | _ -> Alcotest.fail "unexpected shape" );

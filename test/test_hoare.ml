@@ -45,7 +45,7 @@ let tests =
       fun () ->
         let options =
           { Driver.default_options with
-            defaults = { Driver.word_abs = false; heap_abs = true } }
+            defaults = { Driver.default_func_options with Driver.word_abs = false; heap_abs = true } }
         in
         let res = Driver.run ~options swap_c in
         let cfg = Vc.make_config res.Driver.final_prog in
@@ -91,7 +91,7 @@ let tests =
       fun () ->
         let options =
           { Driver.default_options with
-            defaults = { Driver.word_abs = false; heap_abs = true } }
+            defaults = { Driver.default_func_options with Driver.word_abs = false; heap_abs = true } }
         in
         let res = Driver.run ~options swap_c in
         let cfg = Vc.make_config res.Driver.final_prog in
@@ -119,7 +119,7 @@ let tests =
       fun () ->
         let options =
           { Driver.default_options with
-            defaults = { Driver.word_abs = false; heap_abs = true } }
+            defaults = { Driver.default_func_options with Driver.word_abs = false; heap_abs = true } }
         in
         let res = Driver.run ~options suzuki_c in
         let cfg = Vc.make_config res.Driver.final_prog in
@@ -191,7 +191,7 @@ let tests =
         (* dec stays at the word level (WA off): x - 1 wraps at 0 *)
         let options =
           { Driver.default_options with
-            defaults = { Driver.word_abs = false; heap_abs = false } }
+            defaults = { Driver.default_func_options with Driver.word_abs = false; heap_abs = false } }
         in
         let res = Driver.run ~options "unsigned dec(unsigned x) { return x - 1u; }" in
         let cfg = Vc.make_config res.Driver.final_prog in

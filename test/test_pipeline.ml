@@ -100,7 +100,7 @@ let shape_tests =
       fun () ->
         let options =
           { Driver.default_options with
-            defaults = { Driver.word_abs = false; heap_abs = true } }
+            defaults = { Driver.default_func_options with Driver.word_abs = false; heap_abs = true } }
         in
         let res = Driver.run ~options swap_c in
         let out = final_text res "swap" in
@@ -122,7 +122,7 @@ let shape_tests =
       fun () ->
         let options =
           { Driver.default_options with
-            defaults = { Driver.word_abs = false; heap_abs = false } }
+            defaults = { Driver.default_func_options with Driver.word_abs = false; heap_abs = false } }
         in
         let res = Driver.run ~options swap_c in
         let out = final_text res "swap" in

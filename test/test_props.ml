@@ -109,6 +109,147 @@ let arb_term_env =
       pair gen_term (pair (int_range (-15) 15) (int_range (-15) 15)))
 
 (* ------------------------------------------------------------------ *)
+(* Random monadic programs with guards, for the guard-discharge pass.
+   Every value is a u32 word, so arithmetic is total (modular); the only
+   failure source is a [Guard] evaluating to false — exactly the outcome
+   the discharge pass claims to rule out for the guards it removes.  The
+   property is differential: the kernel-checked rewrite must agree with
+   the original program under the interpreter on every probed input, so a
+   discharged guard that could actually fail shows up as [Fails] on one
+   side and a normal outcome on the other. *)
+
+module M = Ac_monad.M
+module Interp = Ac_monad.Interp
+module State = Ac_simpl.State
+module Ir = Ac_simpl.Ir
+module Rules = Ac_kernel.Rules
+module Thm = Ac_kernel.Thm
+module J = Ac_kernel.Judgment
+
+let u32 = Ty.Tword (Ty.Unsigned, Ty.W32)
+let w32 n = E.word_e Ty.Unsigned Ty.W32 n
+
+let gen_mprog =
+  let open QCheck.Gen in
+  let wexpr vars n =
+    let leaf =
+      oneof [ map w32 (int_range 0 40); map (fun x -> E.Var (x, u32)) (oneofl vars) ]
+    in
+    let rec go n =
+      if n = 0 then leaf
+      else
+        oneof
+          [ leaf;
+            map2 (fun a b -> E.Binop (E.Add, a, b)) (go (n - 1)) (go (n - 1));
+            map2 (fun a b -> E.Binop (E.Sub, a, b)) (go (n - 1)) (go (n - 1));
+            map2 (fun a b -> E.Binop (E.Mul, a, b)) (go (n - 1)) (go (n - 1)) ]
+    in
+    go n
+  in
+  let cond vars n =
+    let cmp =
+      let* op = oneofl [ E.Lt; E.Le; E.Eq; E.Ne; E.Gt; E.Ge ] in
+      map2 (fun a b -> E.Binop (op, a, b)) (wexpr vars n) (wexpr vars n)
+    in
+    oneof [ cmp; map2 E.and_e cmp cmp; map2 E.or_e cmp cmp; map E.not_e cmp ]
+  in
+  let kind =
+    oneofl [ Ir.Div_by_zero; Ir.Shift_bounds; Ir.Array_bounds; Ir.Unsigned_overflow ]
+  in
+  let rec prog vars n =
+    if n = 0 then map (fun e -> M.Return e) (wexpr vars 1)
+    else
+      oneof
+        [ map (fun e -> M.Return e) (wexpr vars 2);
+          map (fun e -> M.Throw e) (wexpr vars 1);
+          (let* k = kind in
+           let* c = cond vars 1 in
+           let* rest = prog vars (n - 1) in
+           return (M.Bind (M.Guard (k, c), M.Pwild, rest)));
+          (let* c = cond vars 1 in
+           map2 (fun a b -> M.Cond (c, a, b)) (prog vars (n - 1)) (prog vars (n - 1)));
+          (let z = Printf.sprintf "z%d" (List.length vars) in
+           let* e = wexpr vars 2 in
+           let* rest = prog (z :: vars) (n - 1) in
+           return (M.Bind (M.Return e, M.Pvar (z, u32), rest)));
+          (let* g = wexpr vars 2 in
+           let* rest = prog vars (n - 1) in
+           return (M.Bind (M.Modify [ M.Global_set ("g", g) ], M.Pwild, rest)));
+          (let i = Printf.sprintf "w%d" (List.length vars) in
+           let z = Printf.sprintf "z%d" (List.length vars) in
+           let* bound = int_range 0 6 in
+           let* k = kind in
+           let* c = cond (i :: vars) 1 in
+           let* init = wexpr vars 1 in
+           let body =
+             M.Bind
+               (M.Guard (k, c), M.Pwild, M.Return (E.Binop (E.Add, E.Var (i, u32), w32 1)))
+           in
+           let loop =
+             M.While (M.Pvar (i, u32), E.Binop (E.Lt, E.Var (i, u32), w32 bound), body, init)
+           in
+           let* rest = prog (z :: vars) (n - 1) in
+           return (M.Bind (loop, M.Pvar (z, u32), rest))) ]
+  in
+  let* depth = int_range 1 4 in
+  prog [ "x"; "y" ] depth
+
+let arb_mprog =
+  QCheck.make
+    ~print:(fun (m, _) -> Ac_monad.Mprint.to_string m)
+    QCheck.Gen.(pair gen_mprog (pair (int_range 0 0xFFFF) (int_range 0 0xFFFF)))
+
+let discharge_agrees ((m : M.t), (a, b)) =
+  let ctx = Rules.empty_ctx lenv in
+  let cert = Ac_analysis.infer_cert lenv m in
+  match Thm.by_opt ctx (Rules.Rule_guard_true (m, cert)) [] with
+  | None -> false (* the kernel must accept the analysis's own certificate *)
+  | Some thm ->
+    (match Thm.check ctx thm with Result.Ok () -> true | Result.Error _ -> false)
+    &&
+    let m' = match Thm.concl thm with J.Equiv (m', _) -> m' | _ -> m in
+    let prog body =
+      {
+        M.lenv;
+        globals = [ ("g", u32) ];
+        funcs =
+          [
+            {
+              M.name = "f";
+              params = [ ("x", u32); ("y", u32) ];
+              ret_ty = u32;
+              body;
+              convention = M.Lambda_bound;
+              heap_model = M.Byte_level;
+              locals = [];
+            };
+          ];
+        heap_types = [];
+      }
+    in
+    let state0 =
+      State.set_global State.empty "g" (Value.vword Ty.Unsigned (W.of_int W.W32 0))
+    in
+    let agree (vx, vy) =
+      let args =
+        [ Value.vword Ty.Unsigned (W.of_int W.W32 vx);
+          Value.vword Ty.Unsigned (W.of_int W.W32 vy) ]
+      in
+      let r = Interp.run_func (prog m) ~fuel:5000 state0 "f" args in
+      let r' = Interp.run_func (prog m') ~fuel:5000 state0 "f" args in
+      match (r, r') with
+      | Interp.Returns (v, s), Interp.Returns (v', s') ->
+        Value.equal v v' && Value.equal (State.get_global s "g") (State.get_global s' "g")
+      | Interp.Throws (v, _), Interp.Throws (v', _) -> Value.equal v v'
+      | Interp.Fails p, Interp.Fails q -> String.equal p q
+      | Interp.Gets_stuck _, Interp.Gets_stuck _ -> true
+      | Interp.Diverges, Interp.Diverges -> true
+      | _ -> false
+    in
+    List.for_all agree
+      [ (a, b); (0, 0); (1, 0xFFFFFFFF); (31, 2); (0xFFFFFFFF, 0xFFFFFFFF) ]
+
+(* ------------------------------------------------------------------ *)
 
 let props =
   let open QCheck in
@@ -205,6 +346,8 @@ let props =
             off mod Layout.align_of lenv c = 0)
           fields
         && Layout.size_of lenv (Ty.Cstruct "s") mod Layout.align_of lenv (Ty.Cstruct "s") = 0);
+    Test.make ~name:"discharged guards never fail under the interpreter" ~count:600
+      arb_mprog discharge_agrees;
   ]
 
 let suite = List.map QCheck_alcotest.to_alcotest props
