@@ -77,6 +77,14 @@ let run_timings () =
     (Ac_stats.render_table ~header:[ "Benchmark"; "Time/run" ]
        (List.sort compare !rows))
 
+(* One experiment failing (or one function inside it) must not take down
+   the rest of the harness: record the failure and carry on. *)
+let isolated name f failures () =
+  try f ()
+  with e ->
+    Printf.printf "\nEXPERIMENT %s FAILED: %s\n" name (Printexc.to_string e);
+    failures := name :: !failures
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
@@ -84,9 +92,15 @@ let () =
     List.iter (fun (n, _) -> print_endline n) Experiments.all;
     print_endline "timings"
   | [] ->
-    List.iter (fun (_, f) -> f ()) Experiments.all;
-    run_timings ();
-    print_endline "\nAll experiments completed."
+    let failures = ref [] in
+    List.iter (fun (name, f) -> isolated name f failures ()) Experiments.all;
+    isolated "timings" run_timings failures ();
+    (match List.rev !failures with
+    | [] -> print_endline "\nAll experiments completed."
+    | fs ->
+      Printf.printf "\n%d experiment(s) failed: %s\n" (List.length fs)
+        (String.concat ", " fs);
+      exit 1)
   | names ->
     List.iter
       (fun name ->

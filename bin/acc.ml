@@ -5,16 +5,36 @@
      acc stats file.c                Table 5-style pipeline statistics
      acc lint file.c                 report refutable UB guards (likely bugs)
 
-   Options select the paper's per-function abstraction switches.
+   Options select the paper's per-function abstraction switches, fault
+   isolation (--keep-going) and resource budgets (--timeout, --solver-branches,
+   --analysis-steps, --analysis-rounds, --rewrite-fuel).
 
-   Exit codes: 0 success (for lint: no findings), 1 lint findings or a
-   failed check, 2 usage errors — unreadable input, parse or type error. *)
+   Exit-code contract (kept by every subcommand, on every input):
+     0  success (for lint: no findings)
+     1  findings: lint warnings, a failed check, or functions that degraded
+        below L2 during translation
+     2  usage or input errors (unreadable file, parse or type error) and
+        internal errors — always a one-line diagnostic, never a stack trace. *)
 
 open Cmdliner
 module Driver = Autocorres.Driver
+module Diag = Autocorres.Diag
 
 (* Usage errors: one-line diagnostic on stderr, exit 2. *)
 let usage_error fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt
+
+(* The last line of defence for the exit-code contract: anything a command
+   body lets escape is an internal error — one line on stderr, exit 2,
+   never cmdliner's uncaught-exception dump. *)
+let protect (f : unit -> unit) () =
+  match f () with
+  | () -> ()
+  | exception Diag.Error d ->
+    prerr_endline (Diag.to_string d);
+    exit 1
+  | exception e ->
+    Printf.eprintf "acc: internal error: %s\n%!" (Diag.message_of_exn e);
+    exit 2
 
 let read_file path =
   if not (Sys.file_exists path) then usage_error "acc: %s: no such file" path;
@@ -28,24 +48,29 @@ let read_file path =
   | s -> s
   | exception Sys_error m -> usage_error "acc: %s" m
 
-let options_of ?(no_discharge = false) ~no_heap ~no_word ~keep_low () =
+let options_of ?(no_discharge = false) ?(keep_going = false)
+    ?(budgets = Driver.default_budgets) ~no_heap ~no_word ~keep_low () =
   {
     Driver.defaults =
-      { Driver.default_func_options with
+      {
         Driver.word_abs = not no_word;
         heap_abs = not no_heap;
-        discharge_guards = not no_discharge };
+        discharge_guards = not no_discharge;
+      };
     overrides =
       List.map
         (fun f ->
           ( f,
-            { Driver.default_func_options with
+            {
               Driver.word_abs = false;
               heap_abs = false;
-              discharge_guards = not no_discharge } ))
+              discharge_guards = not no_discharge;
+            } ))
         keep_low;
     strategy = Autocorres.Wa.default_strategy;
     polish = true;
+    keep_going;
+    budgets;
   }
 
 let file_arg =
@@ -68,6 +93,78 @@ let keep_low =
     value & opt_all string []
     & info [ "keep-low-level" ] ~docv:"FUNC"
         ~doc:"Keep $(docv) in the byte-level model (callable via exec_concrete)")
+
+let keep_going =
+  Arg.(
+    value & flag
+    & info [ "keep-going"; "k" ]
+        ~doc:
+          "Fault isolation: degrade failing functions to their last certified \
+           level (WA, HL, L2, L1, Simpl-only) and keep translating the rest of \
+           the unit.  Exit 1 when any function fell below L2.")
+
+let diag_json =
+  Arg.(
+    value & flag
+    & info [ "diag-json" ]
+        ~doc:
+          "Machine output: print a JSON object with per-function levels and \
+           all diagnostics to stdout instead of the translated program")
+
+(* Budget flags: one term producing a [Driver.budgets]. *)
+let budgets_term =
+  let solver_branches =
+    Arg.(
+      value
+      & opt int Driver.default_budgets.Driver.solver_branches
+      & info [ "solver-branches" ] ~docv:"N"
+          ~doc:"Prover budget: tableau branches per goal before giving up")
+  in
+  let analysis_rounds =
+    Arg.(
+      value
+      & opt int Driver.default_budgets.Driver.analysis_rounds
+      & info [ "analysis-rounds" ] ~docv:"N"
+          ~doc:"Analysis budget: widen/join rounds per loop")
+  in
+  let analysis_steps =
+    Arg.(
+      value
+      & opt int Driver.default_budgets.Driver.analysis_steps
+      & info [ "analysis-steps" ] ~docv:"N"
+          ~doc:"Analysis budget: fixpoint iterations per analysed function")
+  in
+  let rewrite_fuel =
+    Arg.(
+      value
+      & opt int Driver.default_budgets.Driver.rewrite_fuel
+      & info [ "rewrite-fuel" ] ~docv:"N"
+          ~doc:"Rewrite budget: head rewrites per kernel normalize call")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:
+            "Wall-clock deadline for the prover (per goal) and the guard \
+             analysis (per function); exhaustion keeps the guard instead of \
+             hanging")
+  in
+  let mk solver_branches analysis_rounds analysis_steps rewrite_fuel timeout =
+    {
+      Driver.solver_branches;
+      solver_deadline_s = timeout;
+      cc_merges = Driver.default_budgets.Driver.cc_merges;
+      analysis_rounds;
+      analysis_steps;
+      analysis_deadline_s = timeout;
+      rewrite_fuel;
+    }
+  in
+  Term.(
+    const mk $ solver_branches $ analysis_rounds $ analysis_steps $ rewrite_fuel
+    $ timeout)
 
 let stage =
   Arg.(
@@ -99,23 +196,58 @@ let run_frontend ~file ~options source =
   | Ac_cfront.Typecheck.Type_error (m, pos) ->
     usage_error "%s:%d:%d: type error: %s" file pos.Ac_cfront.Ast.line pos.Ac_cfront.Ast.col m
 
-let translate file no_heap no_word no_discharge keep_low stage func_filter =
-  let source = read_file file in
-  let options = options_of ~no_discharge ~no_heap ~no_word ~keep_low () in
-  let res = run_frontend ~file ~options source in
-  with_funcs res func_filter (fun fr ->
-      (match stage with
-      | `Simpl -> print_endline (Ac_simpl.Print.func_to_string fr.Driver.fr_simpl)
-      | `L1 -> print_endline (Ac_monad.Mprint.func_to_string fr.Driver.fr_l1)
-      | `L2 -> print_endline (Ac_monad.Mprint.func_to_string fr.Driver.fr_l2)
-      | `Final -> print_endline (Ac_monad.Mprint.func_to_string fr.Driver.fr_final));
-      List.iter
-        (fun (phase, why) -> Printf.printf "  (%s skipped: %s)\n" phase why)
-        fr.Driver.fr_skipped)
+(* The machine-readable translation report for --diag-json. *)
+let result_json ~file (res : Driver.result) : string =
+  let fn name level chained =
+    Printf.sprintf "{\"name\":\"%s\",\"level\":\"%s\",\"chained\":%b}"
+      (Diag.json_escape name) (Driver.level_name level) chained
+  in
+  let funcs =
+    List.map
+      (fun fr ->
+        fn fr.Driver.fr_name (Driver.level_of fr) (fr.Driver.fr_chain <> None))
+      res.Driver.funcs
+    @ List.map
+        (fun d -> fn d.Driver.dg_name (Driver.degraded_level d) false)
+        res.Driver.degraded
+  in
+  Printf.sprintf
+    "{\"file\":\"%s\",\"functions\":[%s],\"budget_exhaustions\":%d,\"diagnostics\":%s}"
+    (Diag.json_escape file) (String.concat "," funcs) res.Driver.budget_hits
+    (Diag.list_to_json res.Driver.diags)
 
-let check file no_heap no_word no_discharge keep_low cases =
+let translate file no_heap no_word no_discharge keep_low stage func_filter keep_going
+    diag_json budgets =
   let source = read_file file in
-  let options = options_of ~no_discharge ~no_heap ~no_word ~keep_low () in
+  let options = options_of ~no_discharge ~keep_going ~budgets ~no_heap ~no_word ~keep_low () in
+  let res = run_frontend ~file ~options source in
+  if diag_json then print_endline (result_json ~file res)
+  else begin
+    with_funcs res func_filter (fun fr ->
+        (match stage with
+        | `Simpl -> print_endline (Ac_simpl.Print.func_to_string fr.Driver.fr_simpl)
+        | `L1 -> print_endline (Ac_monad.Mprint.func_to_string fr.Driver.fr_l1)
+        | `L2 -> print_endline (Ac_monad.Mprint.func_to_string fr.Driver.fr_l2)
+        | `Final -> print_endline (Ac_monad.Mprint.func_to_string fr.Driver.fr_final));
+        List.iter
+          (fun (phase, why) -> Printf.printf "  (%s skipped: %s)\n" phase why)
+          fr.Driver.fr_skipped);
+    List.iter
+      (fun (d : Driver.degraded) ->
+        match func_filter with
+        | Some name when name <> d.Driver.dg_name -> ()
+        | _ ->
+          Printf.printf "/* %s: degraded to %s */\n" d.Driver.dg_name
+            (Driver.level_name (Driver.degraded_level d)))
+      res.Driver.degraded;
+    (* Diagnostics go to stderr, compiler-style. *)
+    List.iter (fun d -> prerr_endline (Diag.to_string ~file d)) res.Driver.diags
+  end;
+  if res.Driver.degraded <> [] then exit 1
+
+let check file no_heap no_word no_discharge keep_low keep_going budgets cases =
+  let source = read_file file in
+  let options = options_of ~no_discharge ~keep_going ~budgets ~no_heap ~no_word ~keep_low () in
   let res = run_frontend ~file ~options source in
   (match Driver.check_all res with
   | Ok () -> Printf.printf "kernel: all refinement derivations re-validated\n"
@@ -127,15 +259,29 @@ let check file no_heap no_word no_discharge keep_low cases =
     "differential test: %d cases, %d agree, %d abstraction-failed (no claim), %d skipped\n"
     report.Autocorres.Refine_test.cases report.Autocorres.Refine_test.agreed
     report.Autocorres.Refine_test.abstract_failed report.Autocorres.Refine_test.skipped;
-  match report.Autocorres.Refine_test.violations with
+  (match report.Autocorres.Refine_test.violations with
   | [] -> ()
   | (f, d) :: _ ->
     Printf.printf "VIOLATION in %s: %s\n" f d;
+    exit 1);
+  if res.Driver.degraded <> [] then begin
+    List.iter
+      (fun (d : Driver.degraded) ->
+        Printf.printf "degraded: %s at %s\n" d.Driver.dg_name
+          (Driver.level_name (Driver.degraded_level d)))
+      res.Driver.degraded;
     exit 1
+  end
 
 let stats file =
   let source = read_file file in
-  let (_ : Driver.result) = run_frontend ~file ~options:Driver.default_options source in
+  (* Run the front end once under [run_frontend] so lexical/parse/type
+     errors render compiler-style and exit 2 before measuring. *)
+  let (_ : Driver.result) =
+    run_frontend ~file
+      ~options:{ Driver.default_options with Driver.keep_going = true }
+      source
+  in
   let row, _ = Ac_stats.measure ~name:(Filename.basename file) source in
   print_string
     (Ac_stats.render_table ~header:Ac_stats.table5_header [ Ac_stats.row_to_strings row ])
@@ -146,7 +292,7 @@ let stats file =
    when there are findings, 0 otherwise. *)
 let lint file no_heap no_word keep_low =
   let source = read_file file in
-  let options = options_of ~no_heap ~no_word ~keep_low () in
+  let options = options_of ~keep_going:true ~no_heap ~no_word ~keep_low () in
   let res = run_frontend ~file ~options source in
   let lenv = res.Driver.ctx.Ac_kernel.Rules.lenv in
   let guard_findings =
@@ -180,12 +326,18 @@ let lint file no_heap no_word keep_low =
   if findings <> [] then exit 1;
   Printf.printf "%s: no findings\n" file
 
+(* Wrap a fully-applied command body in [protect], keeping cmdliner's
+   n-ary term application readable. *)
+let protected term = Term.(const protect $ term $ const ())
+
 let translate_cmd =
   Cmd.v
     (Cmd.info "translate" ~doc:"Abstract a C file and print the result")
-    Term.(
-      const translate $ file_arg $ no_heap $ no_word $ no_discharge $ keep_low $ stage
-      $ func_filter)
+    (protected
+       Term.(
+         const (fun a b c d e f g h i j () -> translate a b c d e f g h i j)
+         $ file_arg $ no_heap $ no_word $ no_discharge $ keep_low $ stage $ func_filter
+         $ keep_going $ diag_json $ budgets_term))
 
 let check_cmd =
   let cases =
@@ -193,18 +345,23 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Re-validate derivations and differential-test the abstraction")
-    Term.(const check $ file_arg $ no_heap $ no_word $ no_discharge $ keep_low $ cases)
+    (protected
+       Term.(
+         const (fun a b c d e f g h () -> check a b c d e f g h)
+         $ file_arg $ no_heap $ no_word $ no_discharge $ keep_low $ keep_going
+         $ budgets_term $ cases))
 
 let stats_cmd =
   Cmd.v
     (Cmd.info "stats" ~doc:"Pipeline statistics (Table 5 metrics)")
-    Term.(const stats $ file_arg)
+    (protected Term.(const (fun a () -> stats a) $ file_arg))
 
 let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Report statically refutable UB guards and uninitialised reads")
-    Term.(const lint $ file_arg $ no_heap $ no_word $ keep_low)
+    (protected
+       Term.(const (fun a b c d () -> lint a b c d) $ file_arg $ no_heap $ no_word $ keep_low))
 
 let () =
   let info =

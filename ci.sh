@@ -1,0 +1,47 @@
+#!/bin/sh
+# CI for the AutoCorres reproduction.
+#
+#   ./ci.sh            build, run the test suite, then drive the acc CLI
+#                      over the C corpus in corpus/
+#
+# Exit-code contract exercised here: acc must exit 0/1/2 only, and for the
+# corpus translate --keep-going must succeed outright (0) while lint may
+# report findings (1) but must never crash (2).
+
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+ACC=_build/default/bin/acc.exe
+
+echo "== corpus: acc translate --keep-going =="
+for f in corpus/*.c; do
+  if ! "$ACC" translate --keep-going "$f" > /dev/null; then
+    echo "FAIL: acc translate --keep-going $f" >&2
+    exit 1
+  fi
+  echo "ok: $f"
+done
+
+echo "== corpus: acc lint (findings allowed, crashes not) =="
+for f in corpus/*.c; do
+  set +e
+  "$ACC" lint "$f" > /dev/null 2>&1
+  code=$?
+  set -e
+  case "$code" in
+    0|1) echo "ok: $f (exit $code)" ;;
+    *)
+      echo "FAIL: acc lint $f exited $code" >&2
+      exit 1
+      ;;
+  esac
+done
+
+echo "CI OK"

@@ -1,0 +1,15 @@
+int binary_search(unsigned *a, unsigned n, unsigned key)
+{
+  unsigned l = 0u;
+  unsigned r = n;
+  while (l < r) {
+    unsigned m = (l + r) / 2u;
+    if (a[m] == key)
+      return (int) m;
+    if (a[m] < key)
+      l = m + 1u;
+    else
+      r = m;
+  }
+  return -1;
+}

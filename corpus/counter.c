@@ -1,0 +1,3 @@
+unsigned counter;
+void bump(unsigned by) { counter = counter + by; }
+unsigned twice(unsigned x) { bump(x); bump(x); return counter; }

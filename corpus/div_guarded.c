@@ -1,0 +1,8 @@
+int div_pos(int a, int b) {
+  if (b > 0) { return a / b; }
+  return 0;
+}
+unsigned bucket(unsigned h, unsigned n) {
+  if (n != 0u) { return h % n; }
+  return 0u;
+}

@@ -1,0 +1,8 @@
+unsigned gcd(unsigned a, unsigned b) {
+  while (b != 0u) {
+    unsigned t = b;
+    b = a % b;
+    a = t;
+  }
+  return a;
+}

@@ -1,0 +1,5 @@
+int max(int a, int b) {
+  if (a < b)
+    return b;
+  return a;
+}

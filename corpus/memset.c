@@ -1,0 +1,8 @@
+void my_memset(unsigned char *p, unsigned char v, unsigned n)
+{
+  unsigned i = 0u;
+  while (i < n) {
+    p[i] = v;
+    i = i + 1u;
+  }
+}

@@ -1,0 +1,13 @@
+void my_memset(unsigned char *p, unsigned char v, unsigned n)
+{
+  unsigned i = 0u;
+  while (i < n) {
+    p[i] = v;
+    i = i + 1u;
+  }
+}
+unsigned zero_cell(unsigned *p)
+{
+  my_memset((unsigned char *) p, 0, 4u);
+  return *p;
+}

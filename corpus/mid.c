@@ -1,0 +1,5 @@
+unsigned mid(unsigned l, unsigned r)
+{
+  unsigned m = (l + r) / 2u;
+  return m;
+}

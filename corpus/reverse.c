@@ -1,0 +1,12 @@
+struct node {
+  struct node *next;
+  unsigned data;
+};
+struct node *reverse(struct node *list) {
+  struct node *rev = NULL;
+  while (list) {
+    struct node *next = list->next;
+    list->next = rev; rev = list; list = next;
+  }
+  return rev;
+}

@@ -1,0 +1,22 @@
+struct node {
+  struct node *l;
+  struct node *r;
+  unsigned m;
+  unsigned c;
+};
+void schorr_waite(struct node *root) {
+  struct node *t = root, *p = NULL, *q;
+  while (p != NULL || (t != NULL && !t->m)) {
+    if (t == NULL || t->m) {
+      if (p->c) {
+        q = t; t = p; p = p->r; t->r = q;
+      } else {
+        q = t; t = p->r; p->r = p->l;
+        p->l = q; p->c = 1u;
+      }
+    } else {
+      q = p; p = t; t = t->l; p->l = q;
+      p->m = 1u; p->c = 0u;
+    }
+  }
+}

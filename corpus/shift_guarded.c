@@ -1,0 +1,8 @@
+unsigned shl_guarded(unsigned x, unsigned n) {
+  if (n < 32u) { return x << n; }
+  return 0u;
+}
+int sar_guarded(int x, int n) {
+  if (0 <= n) { if (n < 31) { return x >> n; } }
+  return 0;
+}

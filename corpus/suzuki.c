@@ -1,0 +1,10 @@
+struct node {
+  struct node *next;
+  unsigned data;
+};
+unsigned suzuki(struct node *w, struct node *x, struct node *y, struct node *z)
+{
+  w->next = x; x->next = y; y->next = z; x->next = z;
+  w->data = 1u; x->data = 2u; y->data = 3u; z->data = 4u;
+  return w->next->next->data;
+}

@@ -1,0 +1,6 @@
+void swap(unsigned *a, unsigned *b)
+{
+  unsigned t = *a;
+  *a = *b;
+  *b = t;
+}

@@ -32,22 +32,63 @@ module J = Ac_kernel.Judgment
    walked during iteration report guard verdicts against not-yet-stable
    environments, so [on_guard] is muted inside [solve] and only the final
    stabilised walk (performed by [Absdom.walk] after [solve] returns)
-   reports. *)
+   reports.
 
-let max_rounds = 40
+   The fixpoint runs under a resource budget: a per-loop round limit (as
+   before), a per-function step limit (total [iterate] calls across all
+   loops of one walk) and an optional wall-clock deadline.  Exhausting any
+   of them answers ⊤ for the remaining loops — precision is lost (guards
+   stay, nothing discharges), soundness and availability are not. *)
+
+type budget = {
+  max_rounds : int;  (* widen/join rounds per loop *)
+  max_steps : int;  (* iterate calls per analysed function *)
+  deadline_s : float option;  (* wall clock per analysed function *)
+}
+
+let default_budget = { max_rounds = 40; max_steps = 20_000; deadline_s = None }
+let budget = ref default_budget
+
+(* How many times the analysis ran out of budget (for `acc stats`).  Reset
+   by the driver per run. *)
+let exhaustions = ref 0
+
+(* Test-only fault injection: answers [true] to make the current fixpoint
+   behave as if its fuel were exhausted. *)
+let fault_hook : (unit -> bool) option ref = ref None
+
+let set_fault_hook h = fault_hook := h
+
 let widen_after = 3
 
 let fixpoint_solver ?(on_guard = fun _ _ _ -> ()) (tbl : (int, A.aenv) Hashtbl.t) : A.solver
     =
   let muted = ref false in
+  let steps = ref 0 in
+  let spent = ref false in
+  let deadline = Option.map (fun d -> Sys.time () +. d) !budget.deadline_s in
+  let out_of_budget () =
+    !spent
+    || !steps >= !budget.max_steps
+    || (match deadline with Some d -> !steps land 15 = 0 && Sys.time () > d | None -> false)
+    || (match !fault_hook with Some f -> f () | None -> false)
+  in
+  let exhaust () =
+    if not !spent then begin
+      spent := true;
+      incr exhaustions
+    end;
+    A.env_top
+  in
   {
     A.solve =
       (fun idx head iterate ->
         let was = !muted in
         muted := true;
         let rec go round cur =
-          if round > max_rounds then A.env_top
+          if round > !budget.max_rounds || out_of_budget () then exhaust ()
           else begin
+            incr steps;
             match iterate cur with
             | None -> cur
             | Some nxt ->

@@ -481,7 +481,12 @@ let elab_program (prog : Ast.program) : tprog =
           in
           if Layout.has_struct lenv sd.stname then
             error sd.stpos "redefinition of struct %s" sd.stname;
-          Layout.declare_struct lenv sd.stname fields
+          if fields = [] then error sd.stpos "empty struct %s" sd.stname;
+          (* A member of an undeclared (e.g. recursively the same) struct
+             type has no layout yet. *)
+          (try Layout.declare_struct lenv sd.stname fields
+           with Layout.Unknown_struct n ->
+             error sd.stpos "field of undeclared struct %s in struct %s" n sd.stname)
         | Dglobal _ | Dfunc _ -> lenv)
       Layout.empty prog
   in

@@ -1,10 +1,8 @@
 module Ty = Ac_lang.Ty
-module E = Ac_lang.Expr
 module M = Ac_monad.M
 module Ir = Ac_simpl.Ir
 module Rules = Ac_kernel.Rules
 module Thm = Ac_kernel.Thm
-module J = Ac_kernel.Judgment
 
 (* The AutoCorres driver: runs the full pipeline of Fig 1 over a C program
    and returns every intermediate representation together with the
@@ -14,7 +12,17 @@ module J = Ac_kernel.Judgment
    individually (paper Sec 3.2: "we allow the user to select whether to use
    word abstraction or not on a per-function basis"; Sec 4.6: "allow the
    user to indicate which functions should be abstracted and which should
-   remain in the low-level memory model"). *)
+   remain in the low-level memory model").
+
+   Fault isolation (the resilience layer): every phase runs per function
+   behind [attempt] below, so one function failing L1, L2, guard
+   discharge, heap or word abstraction, or the clean-up rewrites degrades
+   *that function* to its last certified level — the same graceful
+   degradation the paper applies to unliftable functions (Sec 4.5) —
+   while the rest of the unit completes and every surviving theorem still
+   chains and re-validates.  With [keep_going = false] (the default) the
+   first non-recoverable failure raises [Diag.Error] carrying the
+   structured diagnostic instead. *)
 
 type func_options = {
   word_abs : bool;
@@ -26,6 +34,30 @@ type func_options = {
 
 let default_func_options = { word_abs = true; heap_abs = true; discharge_guards = true }
 
+(* Resource budgets for every unbounded engine the pipeline embeds.
+   Exhaustion degrades (the guard is kept, the rewrite stops, the proof
+   stays open) instead of hanging. *)
+type budgets = {
+  solver_branches : int;  (* tableau branches per prover goal *)
+  solver_deadline_s : float option;  (* wall clock per prover goal *)
+  cc_merges : int;  (* congruence-closure unions per closure instance *)
+  analysis_rounds : int;  (* widen/join rounds per loop *)
+  analysis_steps : int;  (* fixpoint iterations per analysed function *)
+  analysis_deadline_s : float option;  (* wall clock per analysed function *)
+  rewrite_fuel : int;  (* head rewrites per kernel normalize call *)
+}
+
+let default_budgets =
+  {
+    solver_branches = 40000;
+    solver_deadline_s = None;
+    cc_merges = 50_000;
+    analysis_rounds = 40;
+    analysis_steps = 20_000;
+    analysis_deadline_s = None;
+    rewrite_fuel = Rewrite.default_fuel;
+  }
+
 type options = {
   defaults : func_options;
   overrides : (string * func_options) list;
@@ -33,16 +65,31 @@ type options = {
   (* Run the certified clean-up rewrites (guard discharge, inlining,
      return-flow straightening).  Off only for the ablation study. *)
   polish : bool;
+  (* Fault isolation: degrade failing functions to their last certified
+     level and keep translating the rest of the unit.  Off: raise
+     [Diag.Error] at the first non-recoverable per-function failure. *)
+  keep_going : bool;
+  budgets : budgets;
 }
 
 let default_options =
   { defaults = default_func_options; overrides = []; strategy = Wa.default_strategy;
-    polish = true }
+    polish = true; keep_going = false; budgets = default_budgets }
 
 let options_for options fname =
   match List.assoc_opt fname options.overrides with
   | Some o -> o
   | None -> options.defaults
+
+(* The degradation ladder: the last certified level a function reached. *)
+type level = Lsimpl | Ll1 | Ll2 | Lhl | Lwa
+
+let level_name = function
+  | Lsimpl -> "Simpl"
+  | Ll1 -> "L1"
+  | Ll2 -> "L2"
+  | Lhl -> "HL"
+  | Lwa -> "WA"
 
 (* Everything the pipeline produced for one function. *)
 type func_result = {
@@ -61,7 +108,28 @@ type func_result = {
   fr_chain : Thm.t option; (* the end-to-end Fn_refines theorem *)
   fr_final : M.func;
   fr_skipped : (string * string) list; (* phase, reason *)
+  fr_diags : Diag.t list; (* structured diagnostics collected for this function *)
 }
+
+(* A function that could not be carried past L1: it keeps whatever was
+   certified (the Simpl image always, the L1 image plus its [Corres_l1]
+   theorem when monadic conversion succeeded) and the diagnostics
+   explaining the degradation. *)
+type degraded = {
+  dg_name : string;
+  dg_simpl : Ir.func;
+  dg_l1 : (M.func * Thm.t) option;
+  dg_diags : Diag.t list;
+}
+
+let level_of (fr : func_result) : level =
+  match (fr.fr_wa, fr.fr_hl) with
+  | Some _, _ -> Lwa
+  | None, Some _ -> Lhl
+  | None, None -> Ll2
+
+let degraded_level (d : degraded) : level =
+  match d.dg_l1 with Some _ -> Ll1 | None -> Lsimpl
 
 type result = {
   source : string;
@@ -69,15 +137,85 @@ type result = {
   l1_prog : M.program;
   final_prog : M.program; (* the program a verification engineer works on *)
   funcs : func_result list;
+  degraded : degraded list; (* functions that fell below L2 (keep_going) *)
+  diags : Diag.t list; (* every diagnostic, unit-level ones included *)
+  budget_hits : int; (* budget exhaustions during this run *)
   ctx : Rules.ctx;
   heap_types : Ty.cty list;
 }
 
 let find_result res name = List.find_opt (fun r -> String.equal r.fr_name name) res.funcs
 
+let all_diags res = res.diags
+
 let ( ||> ) x f = f x
 
+(* ------------------------------------------------------------------ *)
+(* Budget plumbing.  The engines own their knobs (they cannot depend on
+   this library); the driver installs the per-run values and aggregates
+   the exhaustion counters. *)
+
+let install_budgets (b : budgets) =
+  Ac_prover.Solver.budget :=
+    { Ac_prover.Solver.max_branches = b.solver_branches; deadline_s = b.solver_deadline_s };
+  Ac_prover.Cc.merge_budget := b.cc_merges;
+  Ac_analysis.budget :=
+    { Ac_analysis.max_rounds = b.analysis_rounds; max_steps = b.analysis_steps;
+      deadline_s = b.analysis_deadline_s };
+  Rewrite.fuel := b.rewrite_fuel
+
+let budget_exhaustions () =
+  !Ac_prover.Solver.exhaustions + !Ac_prover.Cc.exhaustions + !Ac_analysis.exhaustions
+  + !Rewrite.exhaustions
+
+let reset_budget_counters () =
+  Ac_prover.Solver.exhaustions := 0;
+  Ac_prover.Cc.exhaustions := 0;
+  Ac_analysis.exhaustions := 0;
+  Rewrite.exhaustions := 0
+
+(* ------------------------------------------------------------------ *)
+(* Fault isolation. *)
+
+(* The function a phase is currently processing; the fault-injection
+   harness reads this to target failures at one function. *)
+let processing_ref : string option ref = ref None
+let processing () = !processing_ref
+
+(* Run one phase for one function.  Any escaping exception becomes a
+   structured diagnostic: recorded (and the phase skipped) when the
+   pipeline can degrade, raised as [Diag.Error] when it cannot and
+   [keep_going] is off.  [Diag.Error] itself always propagates — it is
+   already structured and already decided. *)
+let attempt ~(keep_going : bool) ~(phase : Diag.phase) ~(fname : string)
+    ~(recoverable : bool) (diags : Diag.t list ref) (f : unit -> 'a) : 'a option =
+  let was = !processing_ref in
+  processing_ref := Some fname;
+  let restore () = processing_ref := was in
+  match f () with
+  | v ->
+    restore ();
+    Some v
+  | exception (Diag.Error _ as e) ->
+    restore ();
+    raise e
+  | exception e ->
+    restore ();
+    let d =
+      Diag.make ~func:fname
+        ~severity:(if recoverable then Diag.Warning else Diag.Error)
+        ~recoverable phase (Diag.message_of_exn e)
+    in
+    if recoverable || keep_going then begin
+      diags := d :: !diags;
+      None
+    end
+    else raise (Diag.Error d)
+
 let run ?(options = default_options) (source : string) : result =
+  install_budgets options.budgets;
+  reset_budget_counters ();
+  let keep_going = options.keep_going in
   let simpl = Ac_simpl.C2simpl.parse source in
   let lenv = simpl.Ir.lenv in
   (* Which functions get which treatment. *)
@@ -88,61 +226,127 @@ let run ?(options = default_options) (source : string) : result =
       simpl.Ir.funcs
   in
   let base_ctx = { (Rules.empty_ctx lenv) with Rules.lifted } in
-  (* L1 for every function. *)
-  let l1_results =
-    List.map
-      (fun (f : Ir.func) ->
-        let l1f, thm = L1.convert_func base_ctx f in
-        (f, l1f, thm))
-      simpl.Ir.funcs
+  (* L1 for every function; a failure here degrades the function to its
+     Simpl image (the bottom of the ladder). *)
+  let l1_results, simpl_only =
+    List.fold_left
+      (fun (ok, bad) (f : Ir.func) ->
+        let diags = ref [] in
+        match
+          attempt ~keep_going ~phase:Diag.L1 ~fname:f.Ir.name ~recoverable:false diags
+            (fun () -> L1.convert_func base_ctx f)
+        with
+        | Some (l1f, thm) -> ((f, l1f, thm, diags) :: ok, bad)
+        | None ->
+          (ok, { dg_name = f.Ir.name; dg_simpl = f; dg_l1 = None; dg_diags = List.rev !diags } :: bad))
+      ([], []) simpl.Ir.funcs
   in
+  let l1_results = List.rev l1_results in
   let l1_prog : M.program =
     {
       M.lenv;
       globals = simpl.Ir.globals;
-      funcs = List.map (fun (_, f, _) -> f) l1_results;
+      funcs = List.map (fun (_, f, _, _) -> f) l1_results;
       heap_types = [];
     }
   in
   (* L2.  The nothrow analysis is a fixpoint across functions: once a
      callee's exception wrapper is eliminated, callers can eliminate theirs
-     too, so iterate until the nothrow set stabilises. *)
-  let l2_round nothrows =
+     too, so iterate until the nothrow set stabilises.  A function whose
+     conversion fails with the clean-up rewrites on is retried without
+     them ([Polish] degradation); failing even then drops it to L1. *)
+  let l2_convert ~record ctx diags (l1f : M.func) : (M.func * Thm.t) option =
+    let fname = l1f.M.name in
+    let plain () = L2.convert_func ~polish:false ctx l1f in
+    if not options.polish then
+      attempt ~keep_going ~phase:Diag.L2 ~fname ~recoverable:false diags plain
+    else begin
+      match
+        let was = !processing_ref in
+        processing_ref := Some fname;
+        Fun.protect ~finally:(fun () -> processing_ref := was) (fun () ->
+            L2.convert_func ~polish:true ctx l1f)
+      with
+      | ok -> Some ok
+      | exception (Diag.Error _ as e) -> raise e
+      | exception e ->
+        (* Degrade the polish, keep the level. *)
+        if record then
+          diags :=
+            Diag.make ~func:fname ~severity:Diag.Warning ~recoverable:true Diag.Polish
+              (Diag.message_of_exn e)
+            :: !diags;
+        attempt ~keep_going ~phase:Diag.L2 ~fname ~recoverable:false diags plain
+    end
+  in
+  let l2_round ~record nothrows =
     let ctx = { base_ctx with Rules.nothrows } in
     List.map
-      (fun (sf, l1f, l1_thm) ->
-        let l2f, l2_thm = L2.convert_func ~polish:options.polish ctx l1f in
-        (sf, l1f, l1_thm, l2f, l2_thm))
+      (fun (sf, l1f, l1_thm, diags) ->
+        (sf, l1f, l1_thm, diags, l2_convert ~record ctx diags l1f))
       l1_results
   in
   let rec l2_fix nothrows round =
-    let results = l2_round nothrows in
+    let results = l2_round ~record:false nothrows in
     let nothrows' =
       List.filter_map
-        (fun (_, _, _, (l2f : M.func), _) ->
-          if Rules.nothrow_in nothrows l2f.M.body then Some l2f.M.name else None)
+        (fun (_, _, _, _, l2) ->
+          match l2 with
+          | Some ((l2f : M.func), _) ->
+            if Rules.nothrow_in nothrows l2f.M.body then Some l2f.M.name else None
+          | None -> None)
         results
     in
     if round > List.length l1_results || List.length nothrows' = List.length nothrows then
-      (results, nothrows')
+      nothrows'
     else l2_fix nothrows' (round + 1)
   in
-  let l2_results, nothrows = l2_fix [] 0 in
+  let nothrows = l2_fix [] 0 in
+  (* The recording round: convert once more under the stabilised nothrow
+     set, now collecting diagnostics. *)
+  let l2_rows = l2_round ~record:true nothrows in
+  let l2_results, l1_only =
+    List.fold_left
+      (fun (ok, bad) (sf, l1f, l1_thm, diags, l2) ->
+        match l2 with
+        | Some (l2f, l2_thm) -> ((sf, l1f, l1_thm, l2f, l2_thm, diags) :: ok, bad)
+        | None ->
+          ( ok,
+            { dg_name = (l1f : M.func).M.name; dg_simpl = sf; dg_l1 = Some (l1f, l1_thm);
+              dg_diags = List.rev !diags }
+            :: bad ))
+      ([], []) l2_rows
+  in
+  let l2_results = List.rev l2_results in
   (* Guard discharge, round 1 (after L2): the abstract-interpretation pass
      proves guards true and removes them through the kernel
      ([Rules.Rule_guard_true]); its [Equiv] theorem composes with the L2
-     theorem by transitivity, so the chain below is unchanged. *)
+     theorem by transitivity, so the chain below is unchanged.  The pass
+     is untrusted and optional, so any failure merely keeps the guards. *)
   let discharge_ctx = { base_ctx with Rules.nothrows } in
+  let discharge ~phase ctx diags (f : M.func) : (M.func * Thm.t) option =
+    match
+      attempt ~keep_going ~phase ~fname:f.M.name ~recoverable:true diags (fun () ->
+          Ac_analysis.discharge_func ctx f)
+    with
+    | Some r -> r
+    | None -> None
+  in
   let l2_results =
     List.map
-      (fun ((sf, l1f, l1_thm, l2f, l2_thm) as row) ->
+      (fun ((sf, l1f, l1_thm, l2f, l2_thm, diags) as row) ->
         if not (options_for options (l2f : M.func).M.name).discharge_guards then row
         else begin
-          match Ac_analysis.discharge_func discharge_ctx l2f with
+          match discharge ~phase:Diag.Guard_discharge discharge_ctx diags l2f with
           | None -> row
-          | Some (l2f', dthm) ->
-            let l2_thm' = Thm.by discharge_ctx Rules.Eq_trans [ dthm; l2_thm ] in
-            (sf, l1f, l1_thm, l2f', l2_thm')
+          | Some (l2f', dthm) -> (
+            match
+              attempt ~keep_going ~phase:Diag.Guard_discharge ~fname:l2f.M.name
+                ~recoverable:true diags (fun () ->
+                  Thm.by discharge_ctx Rules.Eq_trans [ dthm; l2_thm ])
+            with
+            | Some l2_thm' -> (sf, l1f, l1_thm, l2f', l2_thm', diags)
+            | None -> row)
         end)
       l2_results
   in
@@ -151,14 +355,14 @@ let run ?(options = default_options) (source : string) : result =
      identity signatures and the rest re-run (fixpoint). *)
   let fsigs_for enabled_names =
     List.map
-      (fun (_, _, _, (l2f : M.func), _) ->
+      (fun (_, _, _, (l2f : M.func), _, _) ->
         let enabled = List.mem l2f.M.name enabled_names in
         (l2f.M.name, Wa.func_sig ~enabled l2f))
       l2_results
   in
   let initially_enabled =
     List.filter_map
-      (fun (_, _, _, (l2f : M.func), _) ->
+      (fun (_, _, _, (l2f : M.func), _, _) ->
         if (options_for options l2f.M.name).word_abs then Some l2f.M.name else None)
       l2_results
   in
@@ -166,43 +370,56 @@ let run ?(options = default_options) (source : string) : result =
   (* HL per function, with graceful fallback to the byte-level model. *)
   let hl_results =
     List.map
-      (fun (sf, l1f, l1_thm, l2f, l2_thm) ->
+      (fun (sf, l1f, l1_thm, l2f, l2_thm, diags) ->
         let name = (l2f : M.func).M.name in
         let opts = options_for options name in
         let skipped = ref [] in
         let hl =
           if not opts.heap_abs then None
           else begin
-            match Hl.convert_func ~polish:options.polish ctx l2f with
-            | hf, thm -> Some (hf, thm)
-            | exception Hl.Not_liftable reason ->
-              skipped := ("heap_abstraction", reason) :: !skipped;
-              None
-            | exception Thm.Kernel_error reason ->
-              skipped := ("heap_abstraction", reason) :: !skipped;
+            match
+              attempt ~keep_going ~phase:Diag.Heap_abs ~fname:name ~recoverable:true diags
+                (fun () -> Hl.convert_func ~polish:options.polish ctx l2f)
+            with
+            | Some r -> Some r
+            | None ->
+              (* [attempt] recorded the diagnostic; mirror the reason into
+                 the legacy skip list. *)
+              (match !diags with
+              | d :: _ when d.Diag.d_phase = Diag.Heap_abs ->
+                skipped := ("heap_abstraction", d.Diag.d_msg) :: !skipped
+              | _ -> skipped := ("heap_abstraction", "failed") :: !skipped);
               None
           end
         in
-        (sf, l1f, l1_thm, l2f, l2_thm, hl, skipped))
+        (sf, l1f, l1_thm, l2f, l2_thm, hl, skipped, diags))
       l2_results
   in
   (* WA with the demotion fixpoint. *)
-  let try_wa wa_ctx after_hl =
-    match Wa.convert_func ~strategy:options.strategy ~polish:options.polish wa_ctx after_hl with
-    | wf, thm -> Result.Ok (wf, thm)
-    | exception Wa.Not_abstractable reason -> Result.Error reason
-    | exception Thm.Kernel_error reason -> Result.Error reason
+  let try_wa wa_ctx diags after_hl =
+    let name = (after_hl : M.func).M.name in
+    let probe () =
+      match Wa.convert_func ~strategy:options.strategy ~polish:options.polish wa_ctx after_hl with
+      | r -> Result.Ok r
+      | exception Wa.Not_abstractable reason -> Result.Error reason
+      | exception Thm.Kernel_error reason -> Result.Error reason
+    in
+    match
+      attempt ~keep_going ~phase:Diag.Word_abs ~fname:name ~recoverable:true diags probe
+    with
+    | Some r -> r
+    | None -> Result.Error "word abstraction failed"
   in
   let rec wa_fix enabled =
     let wa_ctx = { ctx with Rules.fsigs = fsigs_for enabled } in
     let attempts =
       List.map
-        (fun (_, _, _, (l2f : M.func), _, hl, _) ->
+        (fun (_, _, _, (l2f : M.func), _, hl, _, diags) ->
           let name = l2f.M.name in
           if not (List.mem name enabled) then (name, None)
           else begin
             let after_hl = match hl with Some (hf, _) -> hf | None -> l2f in
-            match try_wa wa_ctx after_hl with
+            match try_wa wa_ctx diags after_hl with
             | Result.Ok r -> (name, Some (Result.Ok r))
             | Result.Error e -> (name, Some (Result.Error e))
           end)
@@ -220,7 +437,7 @@ let run ?(options = default_options) (source : string) : result =
   let ctx = wa_ctx in
   let funcs =
     List.map
-      (fun (sf, l1f, l1_thm, l2f, l2_thm, hl, skipped) ->
+      (fun (sf, l1f, l1_thm, l2f, l2_thm, hl, skipped, diags) ->
         let name = (l2f : M.func).M.name in
         let opts = options_for options name in
         let wa =
@@ -247,7 +464,7 @@ let run ?(options = default_options) (source : string) : result =
           if
             opts.discharge_guards
             && (Option.is_some hl || Option.is_some wa)
-          then Ac_analysis.discharge_func ctx final0
+          then discharge ~phase:Diag.Guard_discharge ctx diags final0
           else None
         in
         let final, post_thms =
@@ -265,9 +482,20 @@ let run ?(options = default_options) (source : string) : result =
           let wa_chain_ctx =
             { ctx with Rules.wvars = Wa.collect_wvars ctx.Rules.fsigs after_hl }
           in
-          Thm.by_opt wa_chain_ctx (Rules.Fn_chain name)
-            ((l1_thm :: l2_thm :: hl_thms) @ wa_thms)
+          match
+            attempt ~keep_going ~phase:Diag.Chain ~fname:name ~recoverable:true diags
+              (fun () ->
+                Thm.by_opt wa_chain_ctx (Rules.Fn_chain name)
+                  ((l1_thm :: l2_thm :: hl_thms) @ wa_thms))
+          with
+          | Some c -> c
+          | None -> None
         in
+        (if chain = None then
+           diags :=
+             Diag.make ~func:name ~severity:Diag.Warning ~recoverable:true Diag.Chain
+               "end-to-end refinement chain could not be assembled"
+             :: !diags);
         {
           fr_name = name;
           fr_simpl = sf;
@@ -284,9 +512,11 @@ let run ?(options = default_options) (source : string) : result =
           fr_chain = chain;
           fr_final = final;
           fr_skipped = List.rev !skipped;
+          fr_diags = List.rev !diags;
         })
       hl_results
   in
+  let degraded = List.rev simpl_only @ List.rev l1_only in
   let heap_types =
     funcs
     ||> List.concat_map (fun fr ->
@@ -304,10 +534,16 @@ let run ?(options = default_options) (source : string) : result =
       heap_types;
     }
   in
-  { source; simpl; l1_prog; final_prog; funcs; ctx; heap_types }
+  let diags =
+    List.concat_map (fun fr -> fr.fr_diags) funcs
+    @ List.concat_map (fun d -> d.dg_diags) degraded
+  in
+  { source; simpl; l1_prog; final_prog; funcs; degraded; diags;
+    budget_hits = budget_exhaustions (); ctx; heap_types }
 
 (* Re-validate every derivation the pipeline produced (the independent
-   checker pass). *)
+   checker pass), including the [Corres_l1] theorems of functions that
+   degraded before L2. *)
 let check_all (res : result) : (unit, string) Result.t =
   let rec check_thms = function
     | [] -> Result.ok ()
@@ -331,5 +567,8 @@ let check_all (res : result) : (unit, string) Result.t =
         @ List.map (fun t -> (wa_ctx, t)) fr.fr_wa_thms
         @ match fr.fr_chain with Some t -> [ (wa_ctx, t) ] | None -> [])
       res.funcs
+    @ List.filter_map
+        (fun d -> Option.map (fun (_, t) -> (res.ctx, t)) d.dg_l1)
+        res.degraded
   in
   check_thms all_thms

@@ -6,7 +6,13 @@
     heap abstraction (Sec 4) and word abstraction (Sec 3) — and returns
     every intermediate representation together with kernel theorems
     connecting them, culminating in one end-to-end refinement theorem per
-    function. *)
+    function.
+
+    The pipeline is fault-isolated: each phase runs per function, and a
+    failure degrades that function to its last certified level (the
+    degradation ladder WA → HL → L2 → L1 → Simpl-only) while the rest of
+    the unit completes.  With {!options.keep_going} off (the default),
+    non-recoverable per-function failures raise {!Diag.Error} instead. *)
 
 module Ty = Ac_lang.Ty
 module M = Ac_monad.M
@@ -27,15 +33,41 @@ type func_options = {
 
 val default_func_options : func_options
 
+(** Resource budgets for the unbounded engines the pipeline embeds.
+    Exhaustion degrades the result (guards kept, rewriting stopped,
+    proof left open) instead of hanging; it is counted in
+    {!result.budget_hits} and never costs soundness. *)
+type budgets = {
+  solver_branches : int;  (** tableau branches per prover goal *)
+  solver_deadline_s : float option;  (** wall clock per prover goal *)
+  cc_merges : int;  (** congruence-closure unions per closure instance *)
+  analysis_rounds : int;  (** widen/join rounds per loop *)
+  analysis_steps : int;  (** fixpoint iterations per analysed function *)
+  analysis_deadline_s : float option;  (** wall clock per analysed function *)
+  rewrite_fuel : int;  (** head rewrites per kernel normalize call *)
+}
+
+val default_budgets : budgets
+
 type options = {
   defaults : func_options;
   overrides : (string * func_options) list;  (** per-function exceptions *)
   strategy : Wa.strategy;  (** word-abstraction rule-set extensions (Sec 3.3) *)
   polish : bool;
       (** run the certified clean-up rewrites; disable only for ablation *)
+  keep_going : bool;
+      (** degrade failing functions to their last certified level and keep
+          translating the rest of the unit; off: raise {!Diag.Error} at the
+          first non-recoverable per-function failure *)
+  budgets : budgets;
 }
 
 val default_options : options
+
+(** The degradation ladder: the last certified level a function reached. *)
+type level = Lsimpl | Ll1 | Ll2 | Lhl | Lwa
+
+val level_name : level -> string
 
 (** Everything the pipeline produced for one function. *)
 type func_result = {
@@ -58,7 +90,25 @@ type func_result = {
   fr_skipped : (string * string) list;
       (** phases that fell back (phase, reason), e.g. type-unsafe code that
           could not be heap-lifted *)
+  fr_diags : Diag.t list;  (** structured diagnostics for this function *)
 }
+
+(** A function that could not be carried past L1: it keeps whatever was
+    certified (the Simpl image always; the L1 image and its [Corres_l1]
+    theorem when monadic conversion succeeded). *)
+type degraded = {
+  dg_name : string;
+  dg_simpl : Ir.func;
+  dg_l1 : (M.func * Thm.t) option;
+  dg_diags : Diag.t list;
+}
+
+(** The highest certified level of a fully-translated function ([Ll2],
+    [Lhl] or [Lwa], by which abstractions applied). *)
+val level_of : func_result -> level
+
+(** [Ll1] or [Lsimpl]. *)
+val degraded_level : degraded -> level
 
 type result = {
   source : string;
@@ -66,18 +116,36 @@ type result = {
   l1_prog : M.program;
   final_prog : M.program;
   funcs : func_result list;
+  degraded : degraded list;
+      (** functions that fell below L2 (only with [keep_going]); they are
+          excluded from [l1_prog]/[final_prog] *)
+  diags : Diag.t list;  (** every diagnostic collected during the run *)
+  budget_hits : int;  (** budget exhaustions during this run *)
   ctx : Rules.ctx;  (** the kernel context the derivations live in *)
   heap_types : Ty.cty list;  (** the split heaps of the abstract state *)
 }
 
 val options_for : options -> string -> func_options
 val find_result : result -> string -> func_result option
+val all_diags : result -> Diag.t list
+
+(** The function a phase is currently processing, if any.  The
+    fault-injection harness reads this to target failures at a single
+    function. *)
+val processing : unit -> string option
+
+(** Total budget exhaustions since the last {!run} started (solver +
+    analysis + rewrite engines). *)
+val budget_exhaustions : unit -> int
 
 (** Run the pipeline on a C source string.
     @raise Ac_cfront.Typecheck.Type_error or {!Ac_cfront.Parser.Parse_error}
-    on inputs outside the supported subset. *)
+    on inputs outside the supported subset.
+    @raise Diag.Error on a non-recoverable per-function failure when
+    [keep_going] is off. *)
 val run : ?options:options -> string -> result
 
 (** Independently re-validate every derivation the pipeline produced
-    (including the per-function end-to-end chains). *)
+    (including the per-function end-to-end chains and the L1 theorems of
+    degraded functions). *)
 val check_all : result -> (unit, string) Result.t

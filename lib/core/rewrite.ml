@@ -91,6 +91,18 @@ let want_head_rewrite (m : M.t) =
     !uses <= 1
   | _ -> true
 
+(* Fuel budget: a cap on head rewrites per [normalize] call.  Running dry
+   stops rewriting where it stands — the accumulated theorem is already a
+   valid [Equiv], so exhaustion only costs polish, never soundness.  The
+   default is far above anything the corpus needs; the driver installs the
+   per-run value from [Driver.options.budgets]. *)
+let default_fuel = 1_000_000
+let fuel = ref default_fuel
+
+(* How many [normalize] calls ran out of fuel (for `acc stats`).  Reset by
+   the driver per run. *)
+let exhaustions = ref 0
+
 let rec try_head (ctx : Rules.ctx) (m : M.t) : Thm.t option =
   if not (want_head_rewrite m) then None
   else
@@ -99,37 +111,47 @@ let rec try_head (ctx : Rules.ctx) (m : M.t) : Thm.t option =
       None (head_rules m)
 
 (* One bottom-up pass: normalise children via congruence, then rewrite the
-   head to a fixed point. *)
-let rec pass (ctx : Rules.ctx) (m : M.t) : Thm.t =
+   head to a fixed point.  [tank] is the remaining fuel for this
+   [normalize] call. *)
+let rec pass (ctx : Rules.ctx) (tank : int ref) (m : M.t) : Thm.t =
   let congr =
     match m with
-    | M.Bind (a, p, b) -> Thm.by ctx (Rules.Eq_bind p) [ pass ctx a; pass ctx b ]
-    | M.Try (a, p, b) -> Thm.by ctx (Rules.Eq_try p) [ pass ctx a; pass ctx b ]
-    | M.Cond (c, a, b) -> Thm.by ctx (Rules.Eq_cond c) [ pass ctx a; pass ctx b ]
+    | M.Bind (a, p, b) -> Thm.by ctx (Rules.Eq_bind p) [ pass ctx tank a; pass ctx tank b ]
+    | M.Try (a, p, b) -> Thm.by ctx (Rules.Eq_try p) [ pass ctx tank a; pass ctx tank b ]
+    | M.Cond (c, a, b) -> Thm.by ctx (Rules.Eq_cond c) [ pass ctx tank a; pass ctx tank b ]
     | M.While (p, c, body, init) ->
-      Thm.by ctx (Rules.Eq_while (p, c, init)) [ pass ctx body ]
+      Thm.by ctx (Rules.Eq_while (p, c, init)) [ pass ctx tank body ]
     | _ -> Thm.by ctx (Rules.Eq_refl m) []
   in
-  head_fix ctx congr
+  head_fix ctx tank congr
 
-and head_fix ctx (thm : Thm.t) : Thm.t =
-  match try_head ctx (abs_of thm) with
-  | Some step -> head_fix ctx (trans ctx step thm)
-  | None -> thm
+and head_fix ctx (tank : int ref) (thm : Thm.t) : Thm.t =
+  if !tank <= 0 then thm
+  else begin
+    match try_head ctx (abs_of thm) with
+    | Some step ->
+      decr tank;
+      head_fix ctx tank (trans ctx step thm)
+    | None -> thm
+  end
 
 (* Normalise to a global fixed point (with the expression simplifier run
-   between passes), bounded for safety. *)
+   between passes), bounded for safety by a pass limit and the fuel
+   budget. *)
 let normalize ?(max_passes = 12) (ctx : Rules.ctx) (m : M.t) : Thm.t =
+  let tank = ref !fuel in
   let rec go n thm =
-    if n >= max_passes then thm
+    if n >= max_passes || !tank <= 0 then thm
     else begin
       let before = abs_of thm in
       let simped = trans ctx (Thm.by ctx (Rules.Rw_simp before) []) thm in
       let discharged =
         trans ctx (Thm.by ctx (Rules.Rw_discharge (abs_of simped)) []) simped
       in
-      let next = trans ctx (pass ctx (abs_of discharged)) discharged in
+      let next = trans ctx (pass ctx tank (abs_of discharged)) discharged in
       if M.equal (abs_of next) before then next else go (n + 1) next
     end
   in
-  go 0 (Thm.by ctx (Rules.Eq_refl m) [])
+  let out = go 0 (Thm.by ctx (Rules.Eq_refl m) []) in
+  if !tank <= 0 then incr exhaustions;
+  out

@@ -20,16 +20,34 @@ let concl t = t.concl
 let rule_name t = Rules.rule_name t.rule
 let premises t = t.prems
 
+(* Test-only fault injection: when installed, the hook is consulted before
+   every proof-constructing inference ([by]/[by_opt]) and, by answering
+   [true], makes that rule application fail as if its side conditions had
+   not held.  It deliberately does NOT affect [check]: theorems constructed
+   before (or despite) injected faults remain re-validatable, which is
+   exactly the property the robustness suite asserts.  Never installed in
+   production code paths. *)
+let fault_hook : (string -> bool) option ref = ref None
+
+let set_fault_hook h = fault_hook := h
+
+let injected rule =
+  match !fault_hook with Some f -> f (Rules.rule_name rule) | None -> false
+
 let by (ctx : Rules.ctx) (rule : Rules.rule) (prems : t list) : t =
+  if injected rule then
+    raise (Kernel_error (Printf.sprintf "%s: injected fault" (Rules.rule_name rule)));
   match Rules.infer ctx rule (List.map (fun p -> p.concl) prems) with
   | Result.Ok concl -> { concl; rule; prems }
   | Result.Error msg ->
     raise (Kernel_error (Printf.sprintf "%s: %s" (Rules.rule_name rule) msg))
 
 let by_opt ctx rule prems =
-  match Rules.infer ctx rule (List.map (fun p -> p.concl) prems) with
-  | Result.Ok concl -> Some { concl; rule; prems }
-  | Result.Error _ -> None
+  if injected rule then None
+  else
+    match Rules.infer ctx rule (List.map (fun p -> p.concl) prems) with
+    | Result.Ok concl -> Some { concl; rule; prems }
+    | Result.Error _ -> None
 
 (* Re-validate an entire derivation bottom-up. *)
 let rec check (ctx : Rules.ctx) (t : t) : (unit, string) result =

@@ -19,6 +19,14 @@ val by : Rules.ctx -> Rules.rule -> t list -> t
 
 val by_opt : Rules.ctx -> Rules.rule -> t list -> t option
 
+(** Test-only fault injection for the robustness harness: the hook receives
+    each rule name about to be applied by [by]/[by_opt] and returns [true]
+    to make that application fail ([by] raises {!Kernel_error}, [by_opt]
+    returns [None]).  [check] is unaffected, so theorems that were
+    constructed remain independently re-validatable.  Pass [None] to
+    uninstall. *)
+val set_fault_hook : (string -> bool) option -> unit
+
 (** Independently re-validate the entire stored derivation. *)
 val check : Rules.ctx -> t -> (unit, string) result
 

@@ -17,14 +17,27 @@ type t = {
   index : (Term.t, int) Hashtbl.t;
   mutable disequalities : (int * int) list;
   mutable contradiction : bool;
+  mutable merges : int;
+  mutable spent : bool;
 }
+
+(* Budget: union operations per closure instance.  The re-congruence
+   cascade in [merge] is the only super-linear loop here; when the budget
+   runs out the closure stops merging, which only *under*-approximates the
+   equalities — a proof branch may fail to close (the goal stays open),
+   but nothing unsound is ever concluded.  The driver installs the per-run
+   value; [exhaustions] feeds `acc stats`. *)
+let merge_budget = ref 50_000
+let exhaustions = ref 0
 
 let create () =
   { nodes = Array.make 64 { term = tt; parent = 0; uses = [] };
     count = 0;
     index = Hashtbl.create 64;
     disequalities = [];
-    contradiction = false }
+    contradiction = false;
+    merges = 0;
+    spent = false }
 
 let rec find cc i =
   let n = cc.nodes.(i) in
@@ -76,6 +89,18 @@ let signature cc (t : Term.t) =
   | _ -> None
 
 let rec merge cc i j =
+  if cc.merges >= !merge_budget then begin
+    if not cc.spent then begin
+      cc.spent <- true;
+      incr exhaustions
+    end
+  end
+  else begin
+    cc.merges <- cc.merges + 1;
+    merge_classes cc i j
+  end
+
+and merge_classes cc i j =
   let ri = find cc i and rj = find cc j in
   if ri <> rj then begin
     (* collect users before the union *)

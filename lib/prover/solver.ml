@@ -190,15 +190,43 @@ let complementary (lits : Term.t list) : bool =
        lits
 
 (* ------------------------------------------------------------------ *)
-(* The tableau loop. *)
+(* The tableau loop, under a resource budget: a branch limit (as before)
+   plus an optional per-goal deadline.  Exhausting either aborts the
+   refutation ([Too_hard]) and the caller degrades to [Unknown] — the goal
+   stays open, soundness is untouched, and the prover cannot hang a
+   pipeline that embeds it. *)
 
-let max_branches = 40000
+type budget = { max_branches : int; deadline_s : float option (* seconds per goal *) }
+
+let default_budget = { max_branches = 40000; deadline_s = None }
+let budget = ref default_budget
+
+(* How many times a proof attempt ran out of budget (for `acc stats` /
+   degradation reporting).  Reset by the driver per run. *)
+let exhaustions = ref 0
+
+(* Test-only fault injection: answers [true] to abort the current proof
+   attempt as if the budget had run out (a simulated solver timeout). *)
+let fault_hook : (unit -> bool) option ref = ref None
+
+let set_fault_hook h = fault_hook := h
 
 exception Too_hard
 
+(* Absolute deadline for the goal currently being proved; [prove] is not
+   reentrant (nothing in the code base re-enters it). *)
+let current_deadline : float option ref = ref None
+
+let out_of_time () =
+  match !current_deadline with None -> false | Some d -> Sys.time () > d
+
 let rec refute (stats : stats) (pending : Term.t list) (lits : Term.t list) : bool =
   stats.branches <- stats.branches + 1;
-  if stats.branches > max_branches then raise Too_hard;
+  if stats.branches > !budget.max_branches then raise Too_hard;
+  (* Wall clock is polled on the first branch and then every 64th, keeping
+     the Sys.time cost off the hot path. *)
+  if stats.branches land 63 = 1 && out_of_time () then raise Too_hard;
+  (match !fault_hook with Some f when f () -> raise Too_hard | _ -> ());
   match pending with
   | [] ->
     (* leaf: try the closing procedures *)
@@ -288,10 +316,20 @@ let try_refute ?(attempts = 400) (hyps : Term.t list) (goal : Term.t) :
 
 let prove ?(hyps = []) (goal : Term.t) : outcome * stats =
   let stats = new_stats () in
+  current_deadline :=
+    Option.map (fun d -> Sys.time () +. d) !budget.deadline_s;
   let facts = elaborate_divmod (List.map Simp.normalize (not_t goal :: hyps)) in
-  match refute stats facts [] with
+  let refuted =
+    match refute stats facts [] with
+    | r -> r
+    | exception Too_hard ->
+      incr exhaustions;
+      false
+  in
+  current_deadline := None;
+  match refuted with
   | true -> (Proved, stats)
-  | false | (exception Too_hard) -> (
+  | false -> (
     match try_refute hyps goal with
     | Some model -> (Refuted model, stats)
     | None -> (Unknown [], stats))

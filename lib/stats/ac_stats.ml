@@ -9,7 +9,11 @@ module Driver = Autocorres.Driver
    - CPU time of the parsing stage and of the AutoCorres stages;
    - lines of specification of the C-parser output (pretty-printed Simpl)
      and of the AutoCorres output (pretty-printed monadic definitions);
-   - average term size (AST node count) of both. *)
+   - average term size (AST node count) of both;
+
+   plus the robustness columns: how far down the degradation ladder each
+   function landed (Simpl/L1/L2/HL/WA) and how many resource budgets were
+   exhausted during the run. *)
 
 type row = {
   name : string;
@@ -23,6 +27,13 @@ type row = {
   ac_term_size : int;
   guards_parser : int; (* UB guards emitted by the C parser *)
   guards_final : int; (* guards surviving in the final output *)
+  (* Degradation ladder: functions whose final certified level is ... *)
+  at_simpl : int;
+  at_l1 : int;
+  at_l2 : int;
+  at_hl : int;
+  at_wa : int;
+  budget_hits : int; (* resource-budget exhaustions during the run *)
 }
 
 (* UB guards in a Simpl statement (the parser's output). *)
@@ -32,11 +43,18 @@ let ir_guard_count (s : Ir.stmt) : int =
   !n
 
 let measure ?options ~name (source : string) : row * Driver.result =
+  (* Measure with fault isolation on so a failing function shows up as a
+     degradation count instead of aborting the whole measurement. *)
+  let options =
+    match options with
+    | Some o -> o
+    | None -> { Driver.default_options with Driver.keep_going = true }
+  in
   let t0 = Sys.time () in
   let simpl = Ac_simpl.C2simpl.parse source in
   let parse_time = Sys.time () -. t0 in
   let t1 = Sys.time () in
-  let res = Driver.run ?options source in
+  let res = Driver.run ~options source in
   let autocorres_time = Sys.time () -. t1 in
   let funcs = simpl.Ir.funcs in
   let n = max 1 (List.length funcs) in
@@ -58,6 +76,11 @@ let measure ?options ~name (source : string) : row * Driver.result =
       (fun acc fr -> acc + Ac_analysis.guard_count fr.Driver.fr_final.M.body)
       0 res.Driver.funcs
   in
+  let count_level lv =
+    List.length (List.filter (fun fr -> Driver.level_of fr = lv) res.Driver.funcs)
+    + List.length
+        (List.filter (fun d -> Driver.degraded_level d = lv) res.Driver.degraded)
+  in
   ( {
       name;
       loc = Ac_cfront.Tir.source_loc source;
@@ -70,6 +93,12 @@ let measure ?options ~name (source : string) : row * Driver.result =
       ac_term_size;
       guards_parser;
       guards_final;
+      at_simpl = count_level Driver.Lsimpl;
+      at_l1 = count_level Driver.Ll1;
+      at_l2 = count_level Driver.Ll2;
+      at_hl = count_level Driver.Lhl;
+      at_wa = count_level Driver.Lwa;
+      budget_hits = res.Driver.budget_hits;
     },
     res )
 
@@ -92,6 +121,12 @@ let render_table ~(header : string list) (rows : string list list) : string =
 let pct_smaller a b =
   if a = 0 then 0. else 100. *. (1. -. (float_of_int b /. float_of_int a))
 
+(* The ladder column: how many functions ended at each certified level,
+   bottom-up — "S/1/2/H/W".  A fully healthy word-abstracted unit reads
+   0/0/0/0/n. *)
+let ladder_to_string (r : row) : string =
+  Printf.sprintf "%d/%d/%d/%d/%d" r.at_simpl r.at_l1 r.at_l2 r.at_hl r.at_wa
+
 let row_to_strings (r : row) : string list =
   [
     r.name;
@@ -108,8 +143,11 @@ let row_to_strings (r : row) : string list =
     string_of_int r.guards_parser;
     string_of_int r.guards_final;
     Printf.sprintf "%.0f%%" (pct_smaller r.guards_parser r.guards_final);
+    ladder_to_string r;
+    string_of_int r.budget_hits;
   ]
 
 let table5_header =
   [ "Program"; "LoC"; "Fns"; "Parse(s)"; "AC(s)"; "SpecLn(P)"; "SpecLn(AC)";
-    "Term(P)"; "Term(AC)"; "SpecLn↓"; "Term↓"; "Guards(P)"; "Guards(AC)"; "Guards↓" ]
+    "Term(P)"; "Term(AC)"; "SpecLn↓"; "Term↓"; "Guards(P)"; "Guards(AC)"; "Guards↓";
+    "S/1/2/H/W"; "BudgetX" ]

@@ -16,4 +16,5 @@ let () =
       ("corpus", Test_corpus.suite);
       ("props", Test_props.suite);
       ("analysis", Test_analysis.suite);
+      ("robustness", Test_robustness.suite);
     ]

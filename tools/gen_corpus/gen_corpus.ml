@@ -1,0 +1,11 @@
+(* Regenerate corpus/*.c from the in-tree case sources (Csources.all), so
+   the CLI-facing corpus and the library test corpus cannot drift. *)
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "corpus" in
+  List.iter
+    (fun (name, src) ->
+      let oc = open_out (Filename.concat dir (name ^ ".c")) in
+      output_string oc src;
+      close_out oc;
+      print_endline (Filename.concat dir (name ^ ".c")))
+    Ac_cases.Csources.all
