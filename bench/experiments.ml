@@ -586,6 +586,131 @@ let robustness () =
      degradation ladder (right to left) instead of aborting the unit, and\n\
      every theorem that was still emitted re-validates through Thm.check."
 
+(* PR 3's performance layer, measured honestly on this machine:
+
+   - end-to-end translation of every corpus program plus the 40-function
+     echronos-like unit (the workload per-function parallelism exists
+     for), under three configurations: the pre-PR sequential baseline
+     (hash-consing off, L2 fixpoint memo off, jobs=1), the new stack
+     sequentially (jobs=1), and the new stack at --jobs 4;
+   - derivation re-checking, uncached ([Thm.check], re-walks every
+     occurrence) vs cached ([Check_cache], memoized on the derivation
+     DAG);
+   - a divergence check: all translation configurations must produce
+     byte-identical output (functions, levels, bodies, diagnostics), and
+     both check modes the same verdict.
+
+   Results go to BENCH_pr3.json in the working directory.  Wall-clock
+   speedup from --jobs naturally depends on the cores available; the
+   JSON records the machine's core count next to the numbers. *)
+let perf () =
+  header "Perf: hash-consing, check cache, parallel translation (PR 3)";
+  let workloads =
+    Csources.all @ [ ("echronos-like", Ac_codegen.generate Ac_codegen.echronos_like) ]
+  in
+  let opts ?(l2_memo = true) jobs =
+    { Driver.default_options with Driver.keep_going = true; jobs; l2_memo }
+  in
+  (* Best-of-N wall clock: robust against scheduler noise. *)
+  let time_min ~reps f =
+    let best = ref infinity in
+    let last = ref None in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      last := Some (f ());
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    (Option.get !last, !best)
+  in
+  (* Everything observable about a run: per-function level, chain
+     presence, printed final body, skip list, diagnostics, budget hits. *)
+  let fingerprint (res : Driver.result) : string =
+    let b = Buffer.create 4096 in
+    List.iter
+      (fun fr ->
+        Buffer.add_string b fr.Driver.fr_name;
+        Buffer.add_string b (Driver.level_name (Driver.level_of fr));
+        Buffer.add_string b (if fr.Driver.fr_chain = None then "-" else "+");
+        Buffer.add_string b (Mprint.func_to_string fr.Driver.fr_final);
+        List.iter
+          (fun (p, w) -> Buffer.add_string b (p ^ ":" ^ w))
+          fr.Driver.fr_skipped)
+      res.Driver.funcs;
+    List.iter
+      (fun (d : Driver.degraded) ->
+        Buffer.add_string b d.Driver.dg_name;
+        Buffer.add_string b (Driver.level_name (Driver.degraded_level d)))
+      res.Driver.degraded;
+    List.iter
+      (fun d -> Buffer.add_string b (Autocorres.Diag.to_string d))
+      res.Driver.diags;
+    Buffer.add_string b (string_of_int res.Driver.budget_hits);
+    Buffer.contents b
+  in
+  let translate_all ?l2_memo jobs () =
+    List.map (fun (_, src) -> Driver.run ~options:(opts ?l2_memo jobs) src) workloads
+  in
+  let reps = 3 in
+  (* The pre-PR baseline: structural equality everywhere, every fixpoint
+     round re-converting every function, one domain. *)
+  T.hc_enabled := false;
+  let baseline_results, baseline_s = time_min ~reps (translate_all ~l2_memo:false 1) in
+  T.hc_enabled := true;
+  let seq_results, seq_s = time_min ~reps (translate_all 1) in
+  let par_results, par_s = time_min ~reps (translate_all 4) in
+  let fps l = List.map fingerprint l in
+  let divergence =
+    fps baseline_results <> fps seq_results || fps seq_results <> fps par_results
+  in
+  (* Derivation checking over every theorem those runs produced. *)
+  let check_mode cached () =
+    List.for_all (fun res -> Driver.check_all ~cached res = Ok ()) par_results
+  in
+  let check_ok_uncached, uncached_s = time_min ~reps:5 (check_mode false) in
+  let check_ok_cached, cached_s = time_min ~reps:5 (check_mode true) in
+  let speedup a b = if b > 0. then a /. b else 1. in
+  let cores = Domain.recommended_domain_count () in
+  let rows =
+    [
+      [ "translate, baseline (no hc/memo, jobs=1)"; Printf.sprintf "%.3f" baseline_s;
+        "1.00x" ];
+      [ "translate, optimised, jobs=1"; Printf.sprintf "%.3f" seq_s;
+        Printf.sprintf "%.2fx" (speedup baseline_s seq_s) ];
+      [ "translate, optimised, jobs=4"; Printf.sprintf "%.3f" par_s;
+        Printf.sprintf "%.2fx" (speedup baseline_s par_s) ];
+      [ "check, uncached (kernel walk)"; Printf.sprintf "%.3f" uncached_s; "1.00x" ];
+      [ "check, cached (derivation DAG)"; Printf.sprintf "%.3f" cached_s;
+        Printf.sprintf "%.2fx" (speedup uncached_s cached_s) ];
+    ]
+  in
+  print_string
+    (Ac_stats.render_table ~header:[ "Configuration"; "Best wall (s)"; "Speedup" ] rows);
+  Printf.printf
+    "\n%d workload(s), %d core(s) available; output divergence between modes: %s;\n\
+     both check modes accept: %s.\n"
+    (List.length workloads) cores (if divergence then "DIVERGED" else "none")
+    (if check_ok_uncached && check_ok_cached then "yes" else "NO");
+  let json =
+    Printf.sprintf
+      "{\"experiment\":\"perf\",\"workloads\":%d,\"cores\":%d,\n\
+       \ \"translate_baseline_s\":%.6f,\"translate_seq_s\":%.6f,\"translate_jobs4_s\":%.6f,\n\
+       \ \"translate_speedup_vs_baseline\":%.3f,\"translate_jobs_speedup\":%.3f,\n\
+       \ \"check_uncached_s\":%.6f,\"check_cached_s\":%.6f,\"check_speedup\":%.3f,\n\
+       \ \"check_cached_faster_pct\":%.1f,\"divergence\":%b,\"checks_accept\":%b}\n"
+      (List.length workloads) cores baseline_s seq_s par_s
+      (speedup baseline_s par_s) (speedup seq_s par_s)
+      uncached_s cached_s (speedup uncached_s cached_s)
+      (100. *. (1. -. (cached_s /. uncached_s)))
+      divergence (check_ok_uncached && check_ok_cached)
+  in
+  let oc = open_out "BENCH_pr3.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "wrote BENCH_pr3.json";
+  if divergence || not (check_ok_uncached && check_ok_cached) then
+    failwith "perf: divergence between modes"
+
 let all : (string * (unit -> unit)) list =
   [
     ("fig1", fig1); ("fig2", fig2); ("table1", table1); ("table2", table2);
@@ -593,5 +718,5 @@ let all : (string * (unit -> unit)) list =
     ("fig5", fig5); ("footnote2", footnote2); ("suzuki", suzuki); ("fig6", fig6);
     ("fig8", fig8); ("table5", table5); ("table6", table6); ("memset", memset);
     ("custom_rule", custom_rule); ("ablation", ablation); ("analysis", analysis);
-    ("robustness", robustness);
+    ("robustness", robustness); ("perf", perf);
   ]

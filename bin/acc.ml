@@ -49,7 +49,7 @@ let read_file path =
   | exception Sys_error m -> usage_error "acc: %s" m
 
 let options_of ?(no_discharge = false) ?(keep_going = false)
-    ?(budgets = Driver.default_budgets) ~no_heap ~no_word ~keep_low () =
+    ?(budgets = Driver.default_budgets) ?(jobs = 1) ~no_heap ~no_word ~keep_low () =
   {
     Driver.defaults =
       {
@@ -71,6 +71,8 @@ let options_of ?(no_discharge = false) ?(keep_going = false)
     polish = true;
     keep_going;
     budgets;
+    jobs = max 1 jobs;
+    l2_memo = true;
   }
 
 let file_arg =
@@ -102,6 +104,15 @@ let keep_going =
           "Fault isolation: degrade failing functions to their last certified \
            level (WA, HL, L2, L1, Simpl-only) and keep translating the rest of \
            the unit.  Exit 1 when any function fell below L2.")
+
+let jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Translate functions on $(docv) worker domains.  Output is \
+           byte-identical to sequential mode at any value: results keep \
+           input order and the first failure (in input order) wins.")
 
 let diag_json =
   Arg.(
@@ -217,9 +228,11 @@ let result_json ~file (res : Driver.result) : string =
     (Diag.list_to_json res.Driver.diags)
 
 let translate file no_heap no_word no_discharge keep_low stage func_filter keep_going
-    diag_json budgets =
+    diag_json budgets jobs =
   let source = read_file file in
-  let options = options_of ~no_discharge ~keep_going ~budgets ~no_heap ~no_word ~keep_low () in
+  let options =
+    options_of ~no_discharge ~keep_going ~budgets ~jobs ~no_heap ~no_word ~keep_low ()
+  in
   let res = run_frontend ~file ~options source in
   if diag_json then print_endline (result_json ~file res)
   else begin
@@ -245,11 +258,14 @@ let translate file no_heap no_word no_discharge keep_low stage func_filter keep_
   end;
   if res.Driver.degraded <> [] then exit 1
 
-let check file no_heap no_word no_discharge keep_low keep_going budgets cases =
+let check file no_heap no_word no_discharge keep_low keep_going budgets cases jobs
+    uncached =
   let source = read_file file in
-  let options = options_of ~no_discharge ~keep_going ~budgets ~no_heap ~no_word ~keep_low () in
+  let options =
+    options_of ~no_discharge ~keep_going ~budgets ~jobs ~no_heap ~no_word ~keep_low ()
+  in
   let res = run_frontend ~file ~options source in
-  (match Driver.check_all res with
+  (match Driver.check_all ~cached:(not uncached) res with
   | Ok () -> Printf.printf "kernel: all refinement derivations re-validated\n"
   | Error e ->
     Printf.printf "kernel: FAILED (%s)\n" e;
@@ -273,18 +289,29 @@ let check file no_heap no_word no_discharge keep_low keep_going budgets cases =
     exit 1
   end
 
-let stats file =
+let stats file profile profile_json jobs =
   let source = read_file file in
   (* Run the front end once under [run_frontend] so lexical/parse/type
      errors render compiler-style and exit 2 before measuring. *)
-  let (_ : Driver.result) =
-    run_frontend ~file
-      ~options:{ Driver.default_options with Driver.keep_going = true }
-      source
+  let options =
+    { Driver.default_options with Driver.keep_going = true; jobs = max 1 jobs }
   in
-  let row, _ = Ac_stats.measure ~name:(Filename.basename file) source in
-  print_string
-    (Ac_stats.render_table ~header:Ac_stats.table5_header [ Ac_stats.row_to_strings row ])
+  let (_ : Driver.result) = run_frontend ~file ~options source in
+  let row, res = Ac_stats.measure ~options ~name:(Filename.basename file) source in
+  (* Include derivation checking in the profile, as in a full audit run. *)
+  if profile || profile_json then ignore (Driver.check_all res);
+  if profile_json then print_endline (Autocorres.Profile.to_json ())
+  else begin
+    print_string
+      (Ac_stats.render_table ~header:Ac_stats.table5_header
+         [ Ac_stats.row_to_strings row ]);
+    if profile then begin
+      print_newline ();
+      print_string
+        (Ac_stats.render_table ~header:Ac_stats.profile_header
+           (Ac_stats.profile_rows (Autocorres.Profile.snapshot ())))
+    end
+  end
 
 (* `acc lint`: replay the guard analysis and report refuted guards (these
    executions would dereference NULL, divide by zero, ... — likely UB) plus
@@ -335,26 +362,52 @@ let translate_cmd =
     (Cmd.info "translate" ~doc:"Abstract a C file and print the result")
     (protected
        Term.(
-         const (fun a b c d e f g h i j () -> translate a b c d e f g h i j)
+         const (fun a b c d e f g h i j k () -> translate a b c d e f g h i j k)
          $ file_arg $ no_heap $ no_word $ no_discharge $ keep_low $ stage $ func_filter
-         $ keep_going $ diag_json $ budgets_term))
+         $ keep_going $ diag_json $ budgets_term $ jobs))
 
 let check_cmd =
   let cases =
     Arg.(value & opt int 100 & info [ "cases" ] ~doc:"Differential test cases per function")
   in
+  let uncached =
+    Arg.(
+      value & flag
+      & info [ "uncached" ]
+          ~doc:
+            "Re-walk every derivation occurrence with the kernel's own checker \
+             instead of the memoized external one (same verdicts, slower; the \
+             ground-truth mode)")
+  in
   Cmd.v
     (Cmd.info "check" ~doc:"Re-validate derivations and differential-test the abstraction")
     (protected
        Term.(
-         const (fun a b c d e f g h () -> check a b c d e f g h)
+         const (fun a b c d e f g h i j () -> check a b c d e f g h i j)
          $ file_arg $ no_heap $ no_word $ no_discharge $ keep_low $ keep_going
-         $ budgets_term $ cases))
+         $ budgets_term $ cases $ jobs $ uncached))
 
 let stats_cmd =
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Also print per-phase wall-clock and allocation counters \
+             (cumulative across worker domains)")
+  in
+  let profile_json =
+    Arg.(
+      value & flag
+      & info [ "profile-json" ]
+          ~doc:"Print the per-phase profile as JSON instead of the tables")
+  in
   Cmd.v
     (Cmd.info "stats" ~doc:"Pipeline statistics (Table 5 metrics)")
-    (protected Term.(const (fun a () -> stats a) $ file_arg))
+    (protected
+       Term.(
+         const (fun a b c d () -> stats a b c d)
+         $ file_arg $ profile $ profile_json $ jobs))
 
 let lint_cmd =
   Cmd.v

@@ -44,4 +44,25 @@ for f in corpus/*.c; do
   esac
 done
 
+echo "== corpus: --jobs 4 output identical to --jobs 1 =="
+for f in corpus/*.c; do
+  seq_out=$("$ACC" translate --keep-going --diag-json "$f")
+  par_out=$("$ACC" translate --keep-going --diag-json --jobs 4 "$f")
+  if [ "$seq_out" != "$par_out" ]; then
+    echo "FAIL: --jobs 4 diverged from --jobs 1 on $f" >&2
+    exit 1
+  fi
+  echo "ok: $f"
+done
+
+echo "== corpus: cached check agrees with uncached =="
+for f in corpus/*.c; do
+  "$ACC" check --keep-going "$f" > /dev/null
+  "$ACC" check --keep-going --uncached "$f" > /dev/null
+  echo "ok: $f"
+done
+
+echo "== perf bench smoke (divergence between modes fails the bench) =="
+dune exec bench/main.exe -- perf > /dev/null
+
 echo "CI OK"

@@ -51,7 +51,7 @@ let budget = ref default_budget
 
 (* How many times the analysis ran out of budget (for `acc stats`).  Reset
    by the driver per run. *)
-let exhaustions = ref 0
+let exhaustions = Atomic.make 0
 
 (* Test-only fault injection: answers [true] to make the current fixpoint
    behave as if its fuel were exhausted. *)
@@ -66,17 +66,20 @@ let fixpoint_solver ?(on_guard = fun _ _ _ -> ()) (tbl : (int, A.aenv) Hashtbl.t
   let muted = ref false in
   let steps = ref 0 in
   let spent = ref false in
-  let deadline = Option.map (fun d -> Sys.time () +. d) !budget.deadline_s in
+  (* Wall clock (see Solver): CPU time races ahead under parallel workers. *)
+  let deadline = Option.map (fun d -> Unix.gettimeofday () +. d) !budget.deadline_s in
   let out_of_budget () =
     !spent
     || !steps >= !budget.max_steps
-    || (match deadline with Some d -> !steps land 15 = 0 && Sys.time () > d | None -> false)
+    || (match deadline with
+       | Some d -> !steps land 15 = 0 && Unix.gettimeofday () > d
+       | None -> false)
     || (match !fault_hook with Some f -> f () | None -> false)
   in
   let exhaust () =
     if not !spent then begin
       spent := true;
-      incr exhaustions
+      Atomic.incr exhaustions
     end;
     A.env_top
   in

@@ -1,0 +1,77 @@
+module Rules = Ac_kernel.Rules
+module Judgment = Ac_kernel.Judgment
+module Thm = Ac_kernel.Thm
+
+(* Memoized derivation checking.
+
+   [Thm.check] re-walks the stored derivation tree and re-runs every
+   inference.  Derivations are DAGs, not trees: the end-to-end [Fn_chain]
+   theorem holds the per-phase theorems as premises, and the rewrite
+   engine's transitivity spine shares sub-derivations liberally, so the
+   same physical node is re-walked once per occurrence.  This module
+   memoizes the walk on the *physical identity* of theorem nodes, which is
+   sound because a [Thm.t] is immutable and, under one inference context,
+   re-checking the same node always yields the same verdict.
+
+   Mechanism: every cache gets a process-unique generation number, and a
+   node that checked out Ok is stamped with it ([Thm.set_mark]); a
+   revisit is then a single integer compare, with no hashing and no
+   allocation.  Only successes are stamped — a failing node fails the
+   whole audit immediately, so there is nothing to memoize.
+
+   Deliberately OUTSIDE the kernel (see DESIGN.md): a cache bug (or a
+   forged mark) can only affect this module's answer — it cannot mint a
+   theorem, and the uncached [Thm.check] remains available as the ground
+   truth (the test suite runs both on every corpus theorem).
+
+   A cache is bound to the [Rules.ctx] it was created with, because the
+   verdict of a node depends on the context ([wvars] for the W_* rules);
+   callers create one cache per context and drop it when the run ends
+   (per-run invalidation — a fresh cache's generation matches no existing
+   stamp). *)
+
+(* Generation 0 is reserved: fresh theorem nodes carry mark 0. *)
+let next_generation = Atomic.make 1
+
+type t = {
+  ctx : Rules.ctx;
+  generation : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create (ctx : Rules.ctx) : t =
+  { ctx; generation = Atomic.fetch_and_add next_generation 1; hits = 0; misses = 0 }
+
+let hits c = c.hits
+let misses c = c.misses
+
+let rec check (c : t) (thm : Thm.t) : (unit, string) result =
+  if Thm.mark thm = c.generation then begin
+    c.hits <- c.hits + 1;
+    Result.ok ()
+  end
+  else begin
+    c.misses <- c.misses + 1;
+    match check_node c thm with
+    | Result.Ok () as ok ->
+      Thm.set_mark thm c.generation;
+      ok
+    | Result.Error _ as e -> e
+  end
+
+and check_node c thm =
+  let rec check_prems = function
+    | [] -> Result.ok ()
+    | p :: rest -> (
+      match check c p with Result.Ok () -> check_prems rest | Result.Error _ as e -> e)
+  in
+  let prems = Thm.premises thm in
+  match check_prems prems with
+  | Result.Error _ as e -> e
+  | Result.Ok () -> (
+    match Rules.infer c.ctx (Thm.rule thm) (List.map Thm.concl prems) with
+    | Result.Ok concl ->
+      if Judgment.judgment_equal concl (Thm.concl thm) then Result.ok ()
+      else Result.error ("conclusion mismatch at rule " ^ Thm.rule_name thm)
+    | Result.Error msg -> Result.error (Thm.rule_name thm ^ ": " ^ msg))

@@ -1,0 +1,28 @@
+(** Memoized re-validation of kernel derivations.
+
+    Derivations are DAGs — the end-to-end chain theorems hold the per-phase
+    theorems as premises — so the plain [Thm.check] re-walks shared
+    sub-derivations once per occurrence.  A cache memoizes the walk on the
+    physical identity of theorem nodes — nodes that check out Ok are
+    stamped with the cache's process-unique generation number
+    ([Thm.set_mark]), making a revisit one integer compare — so each node
+    is re-inferred once per run.
+
+    The cache lives outside the kernel's trusted core: it can only make
+    auditing faster or wrongly report a failure, never mint a theorem, and
+    the uncached [Thm.check] remains the ground truth.  A cache is bound
+    to the inference context given at [create] (node verdicts depend on
+    it); create one per context and drop it at the end of the run. *)
+
+type t
+
+val create : Ac_kernel.Rules.ctx -> t
+
+(** Re-validate the derivation, memoized.  Equivalent to
+    [Thm.check ctx thm] for the context the cache was created with. *)
+val check : t -> Ac_kernel.Thm.t -> (unit, string) result
+
+(** Memoization counters, for `acc stats` and the bench harness. *)
+val hits : t -> int
+
+val misses : t -> int

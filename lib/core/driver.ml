@@ -70,11 +70,23 @@ type options = {
      [Diag.Error] at the first non-recoverable per-function failure. *)
   keep_going : bool;
   budgets : budgets;
+  (* Worker domains for the per-function phases (the calling domain
+     counts).  1 = fully sequential.  Output is deterministic at any
+     value: [Pool.map] preserves input order and first-failure
+     semantics. *)
+  jobs : int;
+  (* Reuse L2 conversions across nothrow-fixpoint rounds when the
+     function's observable environment (the nothrow status of its own
+     callees) is unchanged.  A/B switch for benchmarking: off reproduces
+     the pre-memo cost model (every function re-converted every round);
+     output is identical either way. *)
+  l2_memo : bool;
 }
 
 let default_options =
   { defaults = default_func_options; overrides = []; strategy = Wa.default_strategy;
-    polish = true; keep_going = false; budgets = default_budgets }
+    polish = true; keep_going = false; budgets = default_budgets; jobs = 1;
+    l2_memo = true }
 
 let options_for options fname =
   match List.assoc_opt fname options.overrides with
@@ -165,22 +177,26 @@ let install_budgets (b : budgets) =
   Rewrite.fuel := b.rewrite_fuel
 
 let budget_exhaustions () =
-  !Ac_prover.Solver.exhaustions + !Ac_prover.Cc.exhaustions + !Ac_analysis.exhaustions
-  + !Rewrite.exhaustions
+  Atomic.get Ac_prover.Solver.exhaustions
+  + Atomic.get Ac_prover.Cc.exhaustions
+  + Atomic.get Ac_analysis.exhaustions
+  + Atomic.get Rewrite.exhaustions
 
 let reset_budget_counters () =
-  Ac_prover.Solver.exhaustions := 0;
-  Ac_prover.Cc.exhaustions := 0;
-  Ac_analysis.exhaustions := 0;
-  Rewrite.exhaustions := 0
+  Atomic.set Ac_prover.Solver.exhaustions 0;
+  Atomic.set Ac_prover.Cc.exhaustions 0;
+  Atomic.set Ac_analysis.exhaustions 0;
+  Atomic.set Rewrite.exhaustions 0
 
 (* ------------------------------------------------------------------ *)
 (* Fault isolation. *)
 
 (* The function a phase is currently processing; the fault-injection
-   harness reads this to target failures at one function. *)
-let processing_ref : string option ref = ref None
-let processing () = !processing_ref
+   harness reads this to target failures at one function.  Domain-local:
+   under [options.jobs > 1] each worker processes its own function, and
+   the injection hooks run on the worker's domain. *)
+let processing_key : string option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let processing () = Domain.DLS.get processing_key
 
 (* Run one phase for one function.  Any escaping exception becomes a
    structured diagnostic: recorded (and the phase skipped) when the
@@ -189,9 +205,9 @@ let processing () = !processing_ref
    already structured and already decided. *)
 let attempt ~(keep_going : bool) ~(phase : Diag.phase) ~(fname : string)
     ~(recoverable : bool) (diags : Diag.t list ref) (f : unit -> 'a) : 'a option =
-  let was = !processing_ref in
-  processing_ref := Some fname;
-  let restore () = processing_ref := was in
+  let was = Domain.DLS.get processing_key in
+  Domain.DLS.set processing_key (Some fname);
+  let restore () = Domain.DLS.set processing_key was in
   match f () with
   | v ->
     restore ();
@@ -215,8 +231,27 @@ let attempt ~(keep_going : bool) ~(phase : Diag.phase) ~(fname : string)
 let run ?(options = default_options) (source : string) : result =
   install_budgets options.budgets;
   reset_budget_counters ();
+  (* Per-run invalidation of the hash-cons intern table (worker domains
+     get fresh domain-local tables and drop them at join). *)
+  Ac_prover.Term.hc_clear ();
+  Profile.reset ();
+  (* One persistent pool per run: worker domains are spawned here once and
+     reused by every per-function phase (spawning per phase costs more than
+     a whole phase on small units).  Cap at the hardware like any thread
+     pool — extra domains on a saturated machine only add stop-the-world
+     GC synchronisation. *)
+  let jobs = min (max 1 options.jobs) (Domain.recommended_domain_count ()) in
+  let pool = if jobs > 1 then Some (Pool.create ~jobs) else None in
+  Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown pool) @@ fun () ->
   let keep_going = options.keep_going in
-  let simpl = Ac_simpl.C2simpl.parse source in
+  (* Per-function phases run on the pool; order and first-failure
+     semantics match the sequential [List.map]. *)
+  let pmap f xs =
+    match pool with
+    | Some p when List.length xs > 1 -> Pool.map_on p f xs
+    | _ -> List.map f xs
+  in
+  let simpl = Profile.record "parse" (fun () -> Ac_simpl.C2simpl.parse source) in
   let lenv = simpl.Ir.lenv in
   (* Which functions get which treatment. *)
   let lifted =
@@ -229,19 +264,21 @@ let run ?(options = default_options) (source : string) : result =
   (* L1 for every function; a failure here degrades the function to its
      Simpl image (the bottom of the ladder). *)
   let l1_results, simpl_only =
-    List.fold_left
-      (fun (ok, bad) (f : Ir.func) ->
+    pmap
+      (fun (f : Ir.func) ->
         let diags = ref [] in
         match
-          attempt ~keep_going ~phase:Diag.L1 ~fname:f.Ir.name ~recoverable:false diags
-            (fun () -> L1.convert_func base_ctx f)
+          Profile.record "l1" (fun () ->
+              attempt ~keep_going ~phase:Diag.L1 ~fname:f.Ir.name ~recoverable:false diags
+                (fun () -> L1.convert_func base_ctx f))
         with
-        | Some (l1f, thm) -> ((f, l1f, thm, diags) :: ok, bad)
+        | Some (l1f, thm) -> Either.Left (f, l1f, thm, diags)
         | None ->
-          (ok, { dg_name = f.Ir.name; dg_simpl = f; dg_l1 = None; dg_diags = List.rev !diags } :: bad))
-      ([], []) simpl.Ir.funcs
+          Either.Right
+            { dg_name = f.Ir.name; dg_simpl = f; dg_l1 = None; dg_diags = List.rev !diags })
+      simpl.Ir.funcs
+    |> List.partition_map Fun.id
   in
-  let l1_results = List.rev l1_results in
   let l1_prog : M.program =
     {
       M.lenv;
@@ -254,40 +291,98 @@ let run ?(options = default_options) (source : string) : result =
      callee's exception wrapper is eliminated, callers can eliminate theirs
      too, so iterate until the nothrow set stabilises.  A function whose
      conversion fails with the clean-up rewrites on is retried without
-     them ([Polish] degradation); failing even then drops it to L1. *)
-  let l2_convert ~record ctx diags (l1f : M.func) : (M.func * Thm.t) option =
+     them ([Polish] degradation); failing even then drops it to L1.
+
+     Diagnostics go into a per-conversion buffer, not the function's
+     stream: only the buffer of the *final* conversion (under the
+     stabilised nothrow set) is banked into the stream, so a failing
+     function reports its failure once, not once per fixpoint round. *)
+  let l2_convert ctx diags (l1f : M.func) : (M.func * Thm.t) option =
     let fname = l1f.M.name in
     let plain () = L2.convert_func ~polish:false ctx l1f in
     if not options.polish then
       attempt ~keep_going ~phase:Diag.L2 ~fname ~recoverable:false diags plain
     else begin
       match
-        let was = !processing_ref in
-        processing_ref := Some fname;
-        Fun.protect ~finally:(fun () -> processing_ref := was) (fun () ->
+        let was = Domain.DLS.get processing_key in
+        Domain.DLS.set processing_key (Some fname);
+        Fun.protect ~finally:(fun () -> Domain.DLS.set processing_key was) (fun () ->
             L2.convert_func ~polish:true ctx l1f)
       with
       | ok -> Some ok
       | exception (Diag.Error _ as e) -> raise e
       | exception e ->
         (* Degrade the polish, keep the level. *)
-        if record then
-          diags :=
-            Diag.make ~func:fname ~severity:Diag.Warning ~recoverable:true Diag.Polish
-              (Diag.message_of_exn e)
-            :: !diags;
+        diags :=
+          Diag.make ~func:fname ~severity:Diag.Warning ~recoverable:true Diag.Polish
+            (Diag.message_of_exn e)
+          :: !diags;
         attempt ~keep_going ~phase:Diag.L2 ~fname ~recoverable:false diags plain
     end
   in
-  let l2_round ~record nothrows =
+  (* A conversion observes [ctx.nothrows] only through the call targets in
+     the function's body ([Rules.nothrow_in]; rewriting never invents
+     calls), so it is a function of the nothrow status of the function's
+     own callees.  Memoise on that projection: a fixpoint round re-converts
+     a function only when one of its callees changed status. *)
+  let rec callees_of (m : M.t) acc =
+    match m with
+    | M.Call (g, _) | M.Exec_concrete (g, _) -> g :: acc
+    | M.Bind (a, _, b) | M.Try (a, _, b) -> callees_of a (callees_of b acc)
+    | M.Cond (_, a, b) -> callees_of a (callees_of b acc)
+    | M.While (_, _, body, _) -> callees_of body acc
+    | M.Return _ | M.Gets _ | M.Modify _ | M.Guard _ | M.Fail | M.Throw _ | M.Unknown _ ->
+      acc
+  in
+  (* fname -> (nothrow callees at conversion time, (result, emitted diags
+     in emission order)).  Local to this run; written only from the
+     calling domain. *)
+  let l2_memo :
+      (string, string list * ((M.func * Thm.t) option * Diag.t list)) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let l2_round nothrows =
     let ctx = { base_ctx with Rules.nothrows } in
-    List.map
-      (fun (sf, l1f, l1_thm, diags) ->
-        (sf, l1f, l1_thm, diags, l2_convert ~record ctx diags l1f))
-      l1_results
+    let rows =
+      List.map
+        (fun ((_, l1f, _, _) as row) ->
+          let key =
+            List.sort_uniq String.compare
+              (List.filter
+                 (fun g -> List.mem g nothrows)
+                 (callees_of (l1f : M.func).M.body []))
+          in
+          let hit =
+            if not options.l2_memo then None
+            else
+              match Hashtbl.find_opt l2_memo l1f.M.name with
+              | Some (k, entry) when List.equal String.equal k key -> Some entry
+              | _ -> None
+          in
+          (row, key, hit))
+        l1_results
+    in
+    let converted =
+      pmap
+        (fun ((_, l1f, _, _), _, hit) ->
+          match hit with
+          | Some entry -> entry
+          | None ->
+            let buf = ref [] in
+            let r = Profile.record "l2" (fun () -> l2_convert ctx buf l1f) in
+            (r, List.rev !buf))
+        rows
+    in
+    List.iter2
+      (fun ((_, (l1f : M.func), _, _), key, _) entry ->
+        Hashtbl.replace l2_memo l1f.M.name (key, entry))
+      rows converted;
+    List.map2
+      (fun ((sf, l1f, l1_thm, diags), _, _) (r, _) -> (sf, l1f, l1_thm, diags, r))
+      rows converted
   in
   let rec l2_fix nothrows round =
-    let results = l2_round ~record:false nothrows in
+    let results = l2_round nothrows in
     let nothrows' =
       List.filter_map
         (fun (_, _, _, _, l2) ->
@@ -302,22 +397,30 @@ let run ?(options = default_options) (source : string) : result =
     else l2_fix nothrows' (round + 1)
   in
   let nothrows = l2_fix [] 0 in
-  (* The recording round: convert once more under the stabilised nothrow
-     set, now collecting diagnostics. *)
-  let l2_rows = l2_round ~record:true nothrows in
-  let l2_results, l1_only =
-    List.fold_left
-      (fun (ok, bad) (sf, l1f, l1_thm, diags, l2) ->
-        match l2 with
-        | Some (l2f, l2_thm) -> ((sf, l1f, l1_thm, l2f, l2_thm, diags) :: ok, bad)
-        | None ->
-          ( ok,
-            { dg_name = (l1f : M.func).M.name; dg_simpl = sf; dg_l1 = Some (l1f, l1_thm);
-              dg_diags = List.rev !diags }
-            :: bad ))
-      ([], []) l2_rows
+  (* The final round under the stabilised set: with the memo on this is
+     pure lookup (the stable fixpoint round already converted under the
+     same callee environments); with it off (bench baseline) it re-converts
+     everything, reproducing the cost of the old recording round. *)
+  let l2_rows =
+    List.map
+      (fun (sf, (l1f : M.func), l1_thm, diags, r) ->
+        (match Hashtbl.find_opt l2_memo l1f.M.name with
+        | Some (_, (_, banked)) when banked <> [] -> diags := List.rev banked @ !diags
+        | _ -> ());
+        (sf, l1f, l1_thm, diags, r))
+      (l2_round nothrows)
   in
-  let l2_results = List.rev l2_results in
+  let l2_results, l1_only =
+    List.partition_map
+      (fun (sf, l1f, l1_thm, diags, l2) ->
+        match l2 with
+        | Some (l2f, l2_thm) -> Either.Left (sf, l1f, l1_thm, l2f, l2_thm, diags)
+        | None ->
+          Either.Right
+            { dg_name = (l1f : M.func).M.name; dg_simpl = sf; dg_l1 = Some (l1f, l1_thm);
+              dg_diags = List.rev !diags })
+      l2_rows
+  in
   (* Guard discharge, round 1 (after L2): the abstract-interpretation pass
      proves guards true and removes them through the kernel
      ([Rules.Rule_guard_true]); its [Equiv] theorem composes with the L2
@@ -325,15 +428,16 @@ let run ?(options = default_options) (source : string) : result =
      is untrusted and optional, so any failure merely keeps the guards. *)
   let discharge_ctx = { base_ctx with Rules.nothrows } in
   let discharge ~phase ctx diags (f : M.func) : (M.func * Thm.t) option =
-    match
-      attempt ~keep_going ~phase ~fname:f.M.name ~recoverable:true diags (fun () ->
-          Ac_analysis.discharge_func ctx f)
-    with
-    | Some r -> r
-    | None -> None
+    Profile.record "guard_discharge" (fun () ->
+        match
+          attempt ~keep_going ~phase ~fname:f.M.name ~recoverable:true diags (fun () ->
+              Ac_analysis.discharge_func ctx f)
+        with
+        | Some r -> r
+        | None -> None)
   in
   let l2_results =
-    List.map
+    pmap
       (fun ((sf, l1f, l1_thm, l2f, l2_thm, diags) as row) ->
         if not (options_for options (l2f : M.func).M.name).discharge_guards then row
         else begin
@@ -369,7 +473,7 @@ let run ?(options = default_options) (source : string) : result =
   let ctx = { base_ctx with Rules.fsigs = fsigs_for initially_enabled; nothrows } in
   (* HL per function, with graceful fallback to the byte-level model. *)
   let hl_results =
-    List.map
+    pmap
       (fun (sf, l1f, l1_thm, l2f, l2_thm, diags) ->
         let name = (l2f : M.func).M.name in
         let opts = options_for options name in
@@ -378,8 +482,9 @@ let run ?(options = default_options) (source : string) : result =
           if not opts.heap_abs then None
           else begin
             match
-              attempt ~keep_going ~phase:Diag.Heap_abs ~fname:name ~recoverable:true diags
-                (fun () -> Hl.convert_func ~polish:options.polish ctx l2f)
+              Profile.record "heap_abs" (fun () ->
+                  attempt ~keep_going ~phase:Diag.Heap_abs ~fname:name ~recoverable:true
+                    diags (fun () -> Hl.convert_func ~polish:options.polish ctx l2f))
             with
             | Some r -> Some r
             | None ->
@@ -405,7 +510,9 @@ let run ?(options = default_options) (source : string) : result =
       | exception Thm.Kernel_error reason -> Result.Error reason
     in
     match
-      attempt ~keep_going ~phase:Diag.Word_abs ~fname:name ~recoverable:true diags probe
+      Profile.record "word_abs" (fun () ->
+          attempt ~keep_going ~phase:Diag.Word_abs ~fname:name ~recoverable:true diags
+            probe)
     with
     | Some r -> r
     | None -> Result.Error "word abstraction failed"
@@ -413,7 +520,7 @@ let run ?(options = default_options) (source : string) : result =
   let rec wa_fix enabled =
     let wa_ctx = { ctx with Rules.fsigs = fsigs_for enabled } in
     let attempts =
-      List.map
+      pmap
         (fun (_, _, _, (l2f : M.func), _, hl, _, diags) ->
           let name = l2f.M.name in
           if not (List.mem name enabled) then (name, None)
@@ -436,7 +543,7 @@ let run ?(options = default_options) (source : string) : result =
   let wa_ctx, wa_attempts = wa_fix initially_enabled in
   let ctx = wa_ctx in
   let funcs =
-    List.map
+    pmap
       (fun (sf, l1f, l1_thm, l2f, l2_thm, hl, skipped, diags) ->
         let name = (l2f : M.func).M.name in
         let opts = options_for options name in
@@ -483,10 +590,11 @@ let run ?(options = default_options) (source : string) : result =
             { ctx with Rules.wvars = Wa.collect_wvars ctx.Rules.fsigs after_hl }
           in
           match
-            attempt ~keep_going ~phase:Diag.Chain ~fname:name ~recoverable:true diags
-              (fun () ->
-                Thm.by_opt wa_chain_ctx (Rules.Fn_chain name)
-                  ((l1_thm :: l2_thm :: hl_thms) @ wa_thms))
+            Profile.record "chain" (fun () ->
+                attempt ~keep_going ~phase:Diag.Chain ~fname:name ~recoverable:true diags
+                  (fun () ->
+                    Thm.by_opt wa_chain_ctx (Rules.Fn_chain name)
+                      ((l1_thm :: l2_thm :: hl_thms) @ wa_thms)))
           with
           | Some c -> c
           | None -> None
@@ -516,7 +624,7 @@ let run ?(options = default_options) (source : string) : result =
         })
       hl_results
   in
-  let degraded = List.rev simpl_only @ List.rev l1_only in
+  let degraded = simpl_only @ l1_only in
   let heap_types =
     funcs
     ||> List.concat_map (fun fr ->
@@ -543,17 +651,41 @@ let run ?(options = default_options) (source : string) : result =
 
 (* Re-validate every derivation the pipeline produced (the independent
    checker pass), including the [Corres_l1] theorems of functions that
-   degraded before L2. *)
-let check_all (res : result) : (unit, string) Result.t =
-  let rec check_thms = function
-    | [] -> Result.ok ()
-    | (ctx, t) :: rest -> (
-      match Thm.check ctx t with
-      | Result.Ok () -> check_thms rest
-      | Result.Error e -> Result.error e)
+   degraded before L2.
+
+   Theorems are grouped by function and each group is checked under that
+   function's word-abstraction context (the context the end-to-end chain
+   was built under).  This is semantically identical to checking the
+   L1/L2/HL components under [res.ctx]: the two contexts differ only in
+   [Rules.wvars], which [Rules.infer] consults solely in the W_* rules,
+   and those appear only in derivations built under that same [wvars].
+   Grouping this way lets the cached mode share one memo table between a
+   function's component theorems and its chain — the chain holds the
+   components as physical premises, so its re-walk is pure cache hits.
+
+   [cached] routes the walk through [Check_cache] (memoized on physical
+   node identity, one cache per context, dropped when this call returns).
+   The uncached walk via [Thm.check] stays available as ground truth; the
+   test suite runs both over the corpus and asserts identical verdicts. *)
+let check_all ?(cached = true) (res : result) : (unit, string) Result.t =
+  Profile.record "check" @@ fun () ->
+  let check_group (ctx, thms) =
+    let step =
+      if cached then begin
+        let cache = Check_cache.create ctx in
+        Check_cache.check cache
+      end
+      else Thm.check ctx
+    in
+    let rec go = function
+      | [] -> Result.ok ()
+      | t :: rest -> (
+        match step t with Result.Ok () -> go rest | Result.Error _ as e -> e)
+    in
+    go thms
   in
-  let all_thms =
-    List.concat_map
+  let groups =
+    List.map
       (fun fr ->
         (* The word-abstraction derivation was built under the function's
            variable registration; recompute it (deterministically) for the
@@ -562,13 +694,16 @@ let check_all (res : result) : (unit, string) Result.t =
           let base = match fr.fr_hl with Some hf -> hf | None -> fr.fr_l2 in
           { res.ctx with Rules.wvars = Wa.collect_wvars res.ctx.Rules.fsigs base }
         in
-        [ (res.ctx, fr.fr_l1_thm); (res.ctx, fr.fr_l2_thm) ]
-        @ List.map (fun t -> (res.ctx, t)) fr.fr_hl_thms
-        @ List.map (fun t -> (wa_ctx, t)) fr.fr_wa_thms
-        @ match fr.fr_chain with Some t -> [ (wa_ctx, t) ] | None -> [])
+        ( wa_ctx,
+          [ fr.fr_l1_thm; fr.fr_l2_thm ] @ fr.fr_hl_thms @ fr.fr_wa_thms
+          @ match fr.fr_chain with Some t -> [ t ] | None -> [] ))
       res.funcs
-    @ List.filter_map
-        (fun d -> Option.map (fun (_, t) -> (res.ctx, t)) d.dg_l1)
-        res.degraded
+    @ [ ( res.ctx,
+          List.filter_map (fun d -> Option.map snd d.dg_l1) res.degraded ) ]
   in
-  check_thms all_thms
+  let rec go = function
+    | [] -> Result.ok ()
+    | g :: rest -> (
+      match check_group g with Result.Ok () -> go rest | Result.Error _ as e -> e)
+  in
+  go groups

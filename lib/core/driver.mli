@@ -60,6 +60,19 @@ type options = {
           translating the rest of the unit; off: raise {!Diag.Error} at the
           first non-recoverable per-function failure *)
   budgets : budgets;
+  jobs : int;
+      (** worker domains for the per-function phases (the calling domain
+          counts; 1 = sequential; capped at the hardware's
+          [Domain.recommended_domain_count]).  Any value produces identical
+          output: {!Pool.map_on} preserves input order and first-failure
+          semantics, engine counters are atomic, and per-goal state is
+          domain-local *)
+  l2_memo : bool;
+      (** reuse L2 conversions across nothrow-fixpoint rounds when the
+          function's observable environment (the nothrow status of its own
+          callees) is unchanged.  A/B switch for benchmarking — off
+          re-converts every function every round; output is identical
+          either way *)
 }
 
 val default_options : options
@@ -147,5 +160,11 @@ val run : ?options:options -> string -> result
 
 (** Independently re-validate every derivation the pipeline produced
     (including the per-function end-to-end chains and the L1 theorems of
-    degraded functions). *)
-val check_all : result -> (unit, string) Result.t
+    degraded functions).  [cached] (the default) memoizes the walk on
+    physical node identity via {!Check_cache}, so derivation DAGs shared
+    between a function's component theorems and its end-to-end chain are
+    re-inferred once; [~cached:false] re-walks every occurrence with the
+    kernel's own [Thm.check].  Both modes accept and reject exactly the
+    same derivations — the cache sits outside the trusted core and cannot
+    mint a theorem. *)
+val check_all : ?cached:bool -> result -> (unit, string) Result.t

@@ -1,0 +1,99 @@
+(* Per-phase profiling counters for the pipeline.
+
+   [record phase f] measures one unit of phase work — wall-clock seconds
+   and bytes allocated on the executing domain — and folds it into the
+   global per-phase accumulator.  Workers call it concurrently, so the
+   accumulator is mutex-protected; the measurement itself runs outside
+   the lock.
+
+   Two readings to keep straight:
+   - wall seconds are summed across workers, so under [--jobs N] a
+     phase's total can exceed the elapsed time of the run (it is
+     cumulative work, the quantity a speedup is computed against);
+   - allocation is per-domain ([Gc.allocated_bytes] is domain-local in
+     OCaml 5), which is exactly right: the delta is taken on the domain
+     running the work.
+
+   The driver resets the counters at the start of every [Driver.run], so
+   a snapshot taken after [run] (+ [check_all]) describes that run. *)
+
+type entry = {
+  phase : string;
+  calls : int;
+  wall_s : float;  (* cumulative across workers *)
+  alloc_bytes : float;
+}
+
+type cell = { mutable c_calls : int; mutable c_wall : float; mutable c_alloc : float }
+
+let mu = Mutex.create ()
+let tbl : (string, cell) Hashtbl.t = Hashtbl.create 16
+
+(* Phases in pipeline order, so snapshots render in a stable, meaningful
+   order regardless of which phase happened to be recorded first. *)
+let canonical_order =
+  [ "parse"; "l1"; "l2"; "guard_discharge"; "heap_abs"; "word_abs"; "chain"; "check" ]
+
+let reset () =
+  Mutex.lock mu;
+  Hashtbl.reset tbl;
+  Mutex.unlock mu
+
+let add phase dt da =
+  Mutex.lock mu;
+  let c =
+    match Hashtbl.find_opt tbl phase with
+    | Some c -> c
+    | None ->
+      let c = { c_calls = 0; c_wall = 0.; c_alloc = 0. } in
+      Hashtbl.add tbl phase c;
+      c
+  in
+  c.c_calls <- c.c_calls + 1;
+  c.c_wall <- c.c_wall +. dt;
+  c.c_alloc <- c.c_alloc +. da;
+  Mutex.unlock mu
+
+let record (phase : string) (f : unit -> 'a) : 'a =
+  let t0 = Unix.gettimeofday () in
+  let a0 = Gc.allocated_bytes () in
+  Fun.protect
+    ~finally:(fun () ->
+      add phase (Unix.gettimeofday () -. t0) (Gc.allocated_bytes () -. a0))
+    f
+
+let snapshot () : entry list =
+  Mutex.lock mu;
+  let all =
+    Hashtbl.fold
+      (fun phase c acc ->
+        { phase; calls = c.c_calls; wall_s = c.c_wall; alloc_bytes = c.c_alloc } :: acc)
+      tbl []
+  in
+  Mutex.unlock mu;
+  let rank p =
+    let rec go i = function
+      | [] -> List.length canonical_order
+      | q :: rest -> if String.equal p q then i else go (i + 1) rest
+    in
+    go 0 canonical_order
+  in
+  List.sort
+    (fun a b ->
+      match Int.compare (rank a.phase) (rank b.phase) with
+      | 0 -> String.compare a.phase b.phase
+      | c -> c)
+    all
+
+let total_wall () = List.fold_left (fun acc e -> acc +. e.wall_s) 0. (snapshot ())
+
+let to_json () : string =
+  let entries =
+    List.map
+      (fun e ->
+        Printf.sprintf
+          "{\"phase\":\"%s\",\"calls\":%d,\"wall_s\":%.6f,\"alloc_bytes\":%.0f}"
+          e.phase e.calls e.wall_s e.alloc_bytes)
+      (snapshot ())
+  in
+  Printf.sprintf "{\"phases\":[%s]}" (String.concat "," entries)

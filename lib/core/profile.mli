@@ -1,0 +1,29 @@
+(** Per-phase profiling counters for the pipeline (wall clock and
+    allocation), aggregated across worker domains.  {!Driver.run} resets
+    the counters at its start and records each phase's per-function work;
+    a snapshot taken afterwards describes that run.  Wall seconds are
+    summed across workers, so under [jobs > 1] a phase total can exceed
+    the run's elapsed time — it is cumulative work. *)
+
+type entry = {
+  phase : string;
+  calls : int;  (** units of work recorded (usually functions processed) *)
+  wall_s : float;  (** cumulative wall-clock seconds across workers *)
+  alloc_bytes : float;  (** bytes allocated on the recording domains *)
+}
+
+val reset : unit -> unit
+
+(** [record phase f] runs [f ()], folding its wall time and allocation
+    into [phase]'s accumulator (thread-safe; measurement outside the
+    lock).  Exceptions propagate, with the partial work still counted. *)
+val record : string -> (unit -> 'a) -> 'a
+
+(** Per-phase totals in pipeline order. *)
+val snapshot : unit -> entry list
+
+(** Sum of wall seconds over all phases. *)
+val total_wall : unit -> float
+
+(** The snapshot as a JSON object [{"phases":[...]}]. *)
+val to_json : unit -> string

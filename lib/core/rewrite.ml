@@ -100,8 +100,8 @@ let default_fuel = 1_000_000
 let fuel = ref default_fuel
 
 (* How many [normalize] calls ran out of fuel (for `acc stats`).  Reset by
-   the driver per run. *)
-let exhaustions = ref 0
+   the driver per run; atomic, workers rewrite concurrently. *)
+let exhaustions = Atomic.make 0
 
 let rec try_head (ctx : Rules.ctx) (m : M.t) : Thm.t option =
   if not (want_head_rewrite m) then None
@@ -153,5 +153,5 @@ let normalize ?(max_passes = 12) (ctx : Rules.ctx) (m : M.t) : Thm.t =
     end
   in
   let out = go 0 (Thm.by ctx (Rules.Eq_refl m) []) in
-  if !tank <= 0 then incr exhaustions;
+  if !tank <= 0 then Atomic.incr exhaustions;
   out

@@ -100,8 +100,10 @@ type judgment =
   | Fn_refines of string * M.t * M.t (* function name, final abstract body, source body *)
 
 let judgment_equal a b =
+  a == b
+  ||
   match (a, b) with
-  | Corres_l1 (s1, m1), Corres_l1 (s2, m2) -> s1 = s2 && M.equal m1 m2
+  | Corres_l1 (s1, m1), Corres_l1 (s2, m2) -> Ir.stmt_equal s1 s2 && M.equal m1 m2
   | Equiv (a1, c1), Equiv (a2, c2) | Abs_h_stmt (a1, c1), Abs_h_stmt (a2, c2) ->
     M.equal a1 a2 && M.equal c1 c2
   | Abs_w_val (p1, f1, a1, c1), Abs_w_val (p2, f2, a2, c2) ->

@@ -13,6 +13,27 @@ val concl : t -> Judgment.judgment
 val rule_name : t -> string
 val premises : t -> t list
 
+(** The kernel rule that concluded this theorem.  Exposed so external
+    (untrusted) audit tooling — e.g. the memoized derivation checker in
+    [Ac_core.Check_cache] — can re-run [Rules.infer] itself; exposing the
+    rule reveals nothing the derivation printer does not already show, and
+    grants no way to construct a theorem. *)
+val rule : t -> Rules.rule
+
+(** A unique id per theorem node (process-wide), usable as an O(1) hash
+    key by external tooling.  Carries no logical content. *)
+val id : t -> int
+
+(** Scratch stamp for external audit tooling: the memoized checker in
+    [Ac_core.Check_cache] stamps nodes it has verified with its own
+    generation number, making the re-walk of a shared sub-derivation a
+    single integer compare.  The mark carries no logical content and the
+    kernel never reads it — a forged mark can only fool the (untrusted)
+    cache, never {!check}.  Fresh nodes start at mark 0. *)
+val mark : t -> int
+
+val set_mark : t -> int -> unit
+
 (** Apply a kernel rule to premise theorems.
     @raise Kernel_error if the rule's side conditions fail. *)
 val by : Rules.ctx -> Rules.rule -> t list -> t
@@ -26,6 +47,13 @@ val by_opt : Rules.ctx -> Rules.rule -> t list -> t option
     constructed remain independently re-validatable.  Pass [None] to
     uninstall. *)
 val set_fault_hook : (string -> bool) option -> unit
+
+(** Test-only: build a theorem node WITHOUT running the kernel's inference.
+    This deliberately violates the LCF discipline so the test suite can
+    hand both [check] and the external cached checker a corrupted
+    derivation and assert that both reject it.  Never call this outside
+    tests — a forged theorem proves nothing. *)
+val forge_for_tests : Judgment.judgment -> Rules.rule -> t list -> t
 
 (** Independently re-validate the entire stored derivation. *)
 val check : Rules.ctx -> t -> (unit, string) result

@@ -108,7 +108,12 @@ let eq_e a b = Binop (Eq, a, b)
 (* ------------------------------------------------------------------ *)
 (* Structural operations. *)
 
+(* The physical fast path makes shared subterms compare in O(1) — the
+   rewrite engine's congruence steps share every unchanged child, so deep
+   re-comparison along the transitivity spine short-circuits. *)
 let rec equal a b =
+  a == b
+  ||
   match (a, b) with
   | Const u, Const v -> Value.equal u v
   | Var (x, t), Var (y, u) -> String.equal x y && Ty.equal t u

@@ -28,6 +28,8 @@ type t =
   | Ttuple of t list
 
 let rec cty_equal a b =
+  a == b
+  ||
   match (a, b) with
   | Cword (s1, w1), Cword (s2, w2) -> s1 = s2 && w1 = w2
   | Cptr a, Cptr b -> cty_equal a b
@@ -35,6 +37,8 @@ let rec cty_equal a b =
   | (Cword _ | Cptr _ | Cstruct _), _ -> false
 
 let rec equal a b =
+  a == b
+  ||
   match (a, b) with
   | Tunit, Tunit | Tbool, Tbool | Tint, Tint | Tnat, Tnat -> true
   | Tword (s1, w1), Tword (s2, w2) -> s1 = s2 && w1 = w2

@@ -33,9 +33,11 @@ let rec ty_of (v : t) : Ty.t =
   | Vtuple vs -> Ttuple (List.map ty_of vs)
 
 let rec equal a b =
+  a == b
+  ||
   match (a, b) with
   | Vunit, Vunit -> true
-  | Vbool x, Vbool y -> x = y
+  | Vbool x, Vbool y -> Bool.equal x y
   | Vword (_, x), Vword (_, y) -> W.equal x y
   | Vint x, Vint y | Vnat x, Vnat y -> B.equal x y
   | Vptr (x, c), Vptr (y, d) -> B.equal x y && Ty.cty_equal c d

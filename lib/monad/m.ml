@@ -160,8 +160,12 @@ let rec iter_exprs f m =
     f init
   | Call (_, args) | Exec_concrete (_, args) -> List.iter f args
 
-(* Structural equality (used by the proof checker). *)
+(* Structural equality (used by the proof checker), with a physical fast
+   path: the rewrite engine rebuilds only the spine it changes, so shared
+   children compare in O(1). *)
 let rec equal a b =
+  a == b
+  ||
   match (a, b) with
   | Return x, Return y | Gets x, Gets y | Throw x, Throw y -> E.equal x y
   | Fail, Fail -> true
@@ -182,6 +186,8 @@ let rec equal a b =
     false
 
 and pat_equal p q =
+  p == q
+  ||
   match (p, q) with
   | Pvar (x, t), Pvar (y, u) -> String.equal x y && Ty.equal t u
   | Ptuple ps, Ptuple qs -> List.length ps = List.length qs && List.for_all2 pat_equal ps qs
@@ -189,6 +195,8 @@ and pat_equal p q =
   | (Pvar _ | Ptuple _ | Pwild), _ -> false
 
 and smod_equal x y =
+  x == y
+  ||
   match (x, y) with
   | Heap_write (c1, p1, v1), Heap_write (c2, p2, v2)
   | Typed_write (c1, p1, v1), Typed_write (c2, p2, v2) ->

@@ -14,7 +14,10 @@ type node = {
 type t = {
   mutable nodes : node array;
   mutable count : int;
-  index : (Term.t, int) Hashtbl.t;
+  (* Keyed with [Term.equal]/[Term.hash_t], not the polymorphic primitives:
+     terms carry [B.t] leaves whose representation the generic hash must
+     not be trusted with. *)
+  index : int Term.Tbl.t;
   mutable disequalities : (int * int) list;
   mutable contradiction : bool;
   mutable merges : int;
@@ -28,12 +31,12 @@ type t = {
    but nothing unsound is ever concluded.  The driver installs the per-run
    value; [exhaustions] feeds `acc stats`. *)
 let merge_budget = ref 50_000
-let exhaustions = ref 0
+let exhaustions = Atomic.make 0
 
 let create () =
   { nodes = Array.make 64 { term = tt; parent = 0; uses = [] };
     count = 0;
-    index = Hashtbl.create 64;
+    index = Term.Tbl.create 64;
     disequalities = [];
     contradiction = false;
     merges = 0;
@@ -49,7 +52,7 @@ let rec find cc i =
   end
 
 let rec intern cc (t : Term.t) : int =
-  match Hashtbl.find_opt cc.index t with
+  match Term.Tbl.find_opt cc.index t with
   | Some i -> i
   | None ->
     let i = cc.count in
@@ -60,7 +63,7 @@ let rec intern cc (t : Term.t) : int =
     end;
     cc.nodes.(i) <- { term = t; parent = i; uses = [] };
     cc.count <- i + 1;
-    Hashtbl.replace cc.index t i;
+    Term.Tbl.replace cc.index t i;
     (match t with
     | App (_, args) ->
       List.iter
@@ -73,7 +76,7 @@ let rec intern cc (t : Term.t) : int =
     (* two distinct integer constants are disequal *)
     (match t with
     | Int _ ->
-      Hashtbl.iter
+      Term.Tbl.iter
         (fun t' j ->
           match t' with
           | Int _ when not (Term.equal t t') -> cc.disequalities <- (i, j) :: cc.disequalities
@@ -92,7 +95,7 @@ let rec merge cc i j =
   if cc.merges >= !merge_budget then begin
     if not cc.spent then begin
       cc.spent <- true;
-      incr exhaustions
+      Atomic.incr exhaustions
     end
   end
   else begin
@@ -107,7 +110,11 @@ and merge_classes cc i j =
     let users = cc.nodes.(ri).uses @ cc.nodes.(rj).uses in
     cc.nodes.(ri).parent <- rj;
     cc.nodes.(rj).uses <- users;
-    (* re-congruence: any two parent applications with equal signatures *)
+    (* re-congruence: any two parent applications with equal signatures
+       (compared explicitly — a signature carries a [sym]) *)
+    let sig_equal (f, args1) (g, args2) =
+      Term.sym_equal f g && List.equal Int.equal args1 args2
+    in
     let with_sigs =
       List.filter_map
         (fun (idx, t) -> match signature cc t with Some s -> Some (idx, s) | None -> None)
@@ -116,7 +123,7 @@ and merge_classes cc i j =
     List.iter
       (fun (idx1, s1) ->
         List.iter
-          (fun (idx2, s2) -> if idx1 <> idx2 && s1 = s2 then merge cc idx1 idx2)
+          (fun (idx2, s2) -> if idx1 <> idx2 && sig_equal s1 s2 then merge cc idx1 idx2)
           with_sigs)
       with_sigs;
     (* check disequalities *)

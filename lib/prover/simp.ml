@@ -124,7 +124,7 @@ let rec simp (t : Term.t) : Term.t =
       App (Eq, [ zero; Lin.to_term d ])
     end)
   | App (Eq, [ a; b ]) when equal a b -> tt
-  | App (Eq, [ Bool x; Bool y ]) -> Bool (x = y)
+  | App (Eq, [ Bool x; Bool y ]) -> Bool (Bool.equal x y)
   | App (Eq, [ a; Bool true ]) | App (Eq, [ Bool true; a ]) -> a
   | App (Eq, [ a; Bool false ]) | App (Eq, [ Bool false; a ]) -> not_t a
   | App (Not, [ a ]) -> not_t a

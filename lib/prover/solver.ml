@@ -27,6 +27,10 @@ let new_stats () = { branches = 0; cc_closed = 0; la_closed = 0 }
 let elaborate_divmod (facts : Term.t list) : Term.t list =
   let counter = ref 0 in
   let table : (Term.t * (Term.t * Term.t)) list ref = ref [] in
+  (* association by [Term.equal], not the polymorphic equality *)
+  let assoc_term key l =
+    List.find_map (fun (k, v) -> if Term.equal k key then Some v else None) l
+  in
   let extra = ref [] in
   let rec walk (t : Term.t) : Term.t =
     match t with
@@ -34,7 +38,7 @@ let elaborate_divmod (facts : Term.t list) : Term.t list =
       let a = walk a in
       let key = App (Div, [ a; divisor ]) in
       let q, r =
-        match List.assoc_opt key !table with
+        match assoc_term key !table with
         | Some qr -> qr
         | None ->
           incr counter;
@@ -202,8 +206,9 @@ let default_budget = { max_branches = 40000; deadline_s = None }
 let budget = ref default_budget
 
 (* How many times a proof attempt ran out of budget (for `acc stats` /
-   degradation reporting).  Reset by the driver per run. *)
-let exhaustions = ref 0
+   degradation reporting).  Reset by the driver per run; atomic because
+   the driver's worker domains prove goals concurrently. *)
+let exhaustions = Atomic.make 0
 
 (* Test-only fault injection: answers [true] to abort the current proof
    attempt as if the budget had run out (a simulated solver timeout). *)
@@ -214,11 +219,17 @@ let set_fault_hook h = fault_hook := h
 exception Too_hard
 
 (* Absolute deadline for the goal currently being proved; [prove] is not
-   reentrant (nothing in the code base re-enters it). *)
-let current_deadline : float option ref = ref None
+   reentrant (nothing in the code base re-enters it), but the parallel
+   driver does prove goals in several domains at once, so the deadline is
+   domain-local.  Wall clock, not [Sys.time]: process CPU time advances
+   [jobs] times faster than the wall when every worker is busy, which
+   would make per-goal deadlines fire early. *)
+let deadline_key : float option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
 let out_of_time () =
-  match !current_deadline with None -> false | Some d -> Sys.time () > d
+  match Domain.DLS.get deadline_key with
+  | None -> false
+  | Some d -> Unix.gettimeofday () > d
 
 let rec refute (stats : stats) (pending : Term.t list) (lits : Term.t list) : bool =
   stats.branches <- stats.branches + 1;
@@ -248,16 +259,19 @@ let rec refute (stats : stats) (pending : Term.t list) (lits : Term.t list) : bo
       with
       | Some c ->
         let with_c =
-          c :: List.map (fun l -> Simp.normalize (resolve_ite c true l)) lits
+          c :: List.map (fun l -> hc (Simp.normalize (resolve_ite c true l))) lits
         in
         let without_c =
-          not_t c :: List.map (fun l -> Simp.normalize (resolve_ite c false l)) lits
+          not_t c :: List.map (fun l -> hc (Simp.normalize (resolve_ite c false l))) lits
         in
         refute stats with_c [] && refute stats without_c []
       | None -> false
     end
   | f :: rest -> (
-    let f = Simp.normalize f in
+    (* Normalised facts are hash-consed: branch literals end up maximally
+       shared, so the membership tests above ([complementary], the literal
+       lookups) hit [Term.equal]'s physical fast path. *)
+    let f = hc (Simp.normalize f) in
     match f with
     | Bool true -> refute stats rest lits
     | Bool false -> true
@@ -276,7 +290,11 @@ let rec refute (stats : stats) (pending : Term.t list) (lits : Term.t list) : bo
 let try_refute ?(attempts = 400) (hyps : Term.t list) (goal : Term.t) :
     (string * Term.value) list option =
   let vars =
-    List.sort_uniq compare (List.concat_map var_sorts (goal :: hyps))
+    List.sort_uniq
+      (fun (x, s) (y, u) ->
+        let c = String.compare x y in
+        if c <> 0 then c else sort_compare s u)
+      (List.concat_map var_sorts (goal :: hyps))
   in
   let rand = Random.State.make [| 0xBEEF |] in
   let sample (s : sort) : Term.value =
@@ -301,10 +319,10 @@ let try_refute ?(attempts = 400) (hyps : Term.t list) (goal : Term.t) :
     else begin
       let env = List.map (fun (x, s) -> (x, sample s)) vars in
       let interp = Seq.interp in
-      match
-        List.for_all (fun h -> Term.eval ~interp env h = Vbool true) hyps
-        && Term.eval ~interp env goal = Vbool false
-      with
+      let is_bool b t =
+        match Term.eval ~interp env t with Vbool b' -> Bool.equal b b' | _ -> false
+      in
+      match List.for_all (is_bool true) hyps && is_bool false goal with
       | true -> Some env
       | false -> go (n - 1)
       | exception Term.Eval_failed _ -> go (n - 1)
@@ -316,17 +334,19 @@ let try_refute ?(attempts = 400) (hyps : Term.t list) (goal : Term.t) :
 
 let prove ?(hyps = []) (goal : Term.t) : outcome * stats =
   let stats = new_stats () in
-  current_deadline :=
-    Option.map (fun d -> Sys.time () +. d) !budget.deadline_s;
-  let facts = elaborate_divmod (List.map Simp.normalize (not_t goal :: hyps)) in
+  Domain.DLS.set deadline_key
+    (Option.map (fun d -> Unix.gettimeofday () +. d) !budget.deadline_s);
+  let facts =
+    List.map hc (elaborate_divmod (List.map Simp.normalize (not_t goal :: hyps)))
+  in
   let refuted =
     match refute stats facts [] with
     | r -> r
     | exception Too_hard ->
-      incr exhaustions;
+      Atomic.incr exhaustions;
       false
   in
-  current_deadline := None;
+  Domain.DLS.set deadline_key None;
   match refuted with
   | true -> (Proved, stats)
   | false -> (

@@ -20,6 +20,13 @@ let rec sort_equal a b =
   | Sarr x, Sarr y -> sort_equal x y
   | (Sint | Sbool | Sarr _ | Sseq), _ -> false
 
+(* Total order on sorts, consistent with [sort_equal]. *)
+let rec sort_compare a b =
+  let rank = function Sint -> 0 | Sbool -> 1 | Sarr _ -> 2 | Sseq -> 3 in
+  match (a, b) with
+  | Sarr x, Sarr y -> sort_compare x y
+  | _ -> Int.compare (rank a) (rank b)
+
 let rec pp_sort fmt = function
   | Sint -> Format.pp_print_string fmt "int"
   | Sbool -> Format.pp_print_string fmt "bool"
@@ -70,6 +77,26 @@ let sym_name = function
   | Store -> "store"
   | Uf f -> f
 
+(* Explicit equality and order on symbols: [Uf] carries a string, and the
+   constant constructors get a fixed rank, so neither relies on the
+   polymorphic primitives (a requirement for anything used as a hash-cons
+   or map key — see [compare_t]/[hash_t] below). *)
+let sym_equal f g =
+  match (f, g) with
+  | Uf a, Uf b -> String.equal a b
+  | Uf _, _ | _, Uf _ -> false
+  | _ -> f = g (* both constant constructors: immediate *)
+
+let sym_rank = function
+  | Add -> 0 | Sub -> 1 | Neg -> 2 | Mul -> 3 | Div -> 4 | Mod -> 5
+  | Le -> 6 | Lt -> 7 | Eq -> 8 | Not -> 9 | And -> 10 | Or -> 11
+  | Imp -> 12 | Ite -> 13 | Select -> 14 | Store -> 15 | Uf _ -> 16
+
+let sym_compare f g =
+  match (f, g) with
+  | Uf a, Uf b -> String.compare a b
+  | _ -> Int.compare (sym_rank f) (sym_rank g)
+
 type t =
   | Int of B.t
   | Bool of bool
@@ -85,35 +112,153 @@ let int_of n = Int (B.of_int n)
 (* ------------------------------------------------------------------ *)
 (* Structure. *)
 
+(* The physical fast path makes equality O(1) on hash-consed terms (see
+   [hc] below): two interned terms are equal iff they are the same node,
+   and structurally-compared terms short-circuit on shared subterms. *)
 let rec equal a b =
+  a == b
+  ||
   match (a, b) with
   | Int x, Int y -> B.equal x y
-  | Bool x, Bool y -> x = y
+  | Bool x, Bool y -> Bool.equal x y
   | Var (x, s), Var (y, u) -> String.equal x y && sort_equal s u
   | App (f, xs), App (g, ys) ->
-    f = g && List.length xs = List.length ys && List.for_all2 equal xs ys
+    sym_equal f g && List.length xs = List.length ys && List.for_all2 equal xs ys
   | (Int _ | Bool _ | Var _ | App _), _ -> false
 
+(* Total order, consistent with [equal]: [compare_t a b = 0 <=> equal a b].
+   In particular variables are ordered by name *and then sort*, matching
+   the name-and-sort equality above (two same-named variables of different
+   sorts must not collapse in a [compare_t]-keyed map), and no case falls
+   back to the polymorphic primitives. *)
 let rec compare_t a b =
-  match (a, b) with
-  | Int x, Int y -> B.compare x y
-  | Bool x, Bool y -> Stdlib.compare x y
-  | Var (x, _), Var (y, _) -> String.compare x y
-  | App (f, xs), App (g, ys) ->
-    let c = Stdlib.compare f g in
-    if c <> 0 then c
-    else begin
-      let c = Stdlib.compare (List.length xs) (List.length ys) in
+  if a == b then 0
+  else
+    match (a, b) with
+    | Int x, Int y -> B.compare x y
+    | Bool x, Bool y -> Bool.compare x y
+    | Var (x, s), Var (y, u) ->
+      let c = String.compare x y in
+      if c <> 0 then c else sort_compare s u
+    | App (f, xs), App (g, ys) ->
+      let c = sym_compare f g in
       if c <> 0 then c
-      else
-        List.fold_left2 (fun acc x y -> if acc <> 0 then acc else compare_t x y) 0 xs ys
-    end
-  | Int _, _ -> -1
-  | _, Int _ -> 1
-  | Bool _, _ -> -1
-  | _, Bool _ -> 1
-  | Var _, _ -> -1
-  | _, Var _ -> 1
+      else begin
+        let c = Int.compare (List.length xs) (List.length ys) in
+        if c <> 0 then c
+        else
+          List.fold_left2 (fun acc x y -> if acc <> 0 then acc else compare_t x y) 0 xs ys
+      end
+    | Int _, _ -> -1
+    | _, Int _ -> 1
+    | Bool _, _ -> -1
+    | _, Bool _ -> 1
+    | Var _, _ -> -1
+    | _, Var _ -> 1
+
+(* Structural hash, consistent with [equal]: integer leaves go through
+   [B.hash] (the polymorphic hash would be wrong on any non-canonical
+   bignum representation), and traversal is depth-bounded so hashing stays
+   O(1) on huge terms — deep terms that agree near the root collide, and
+   the collision is resolved by [equal]'s shared-subterm fast path. *)
+let hash_t (t : t) : int =
+  let comb acc h = ((acc * 65599) + h) land max_int in
+  let rec go d acc t =
+    if d = 0 then comb acc 7
+    else
+      match t with
+      | Int n -> comb acc (B.hash n)
+      | Bool b -> comb acc (if b then 3 else 5)
+      | Var (x, s) -> comb (comb acc (Hashtbl.hash x)) (Hashtbl.hash s)
+      | App (f, xs) ->
+        List.fold_left (go (d - 1))
+          (comb (comb acc (Hashtbl.hash (sym_name f))) (List.length xs))
+          xs
+  in
+  go 4 17 t land max_int
+
+(* Hashtables keyed on terms (structural equality, [B]-aware hash).  Used
+   by the hash-cons table below and by the congruence closure's term
+   index. *)
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash_t
+end)
+
+(* ------------------------------------------------------------------ *)
+(* Hash-consing.
+
+   [hc] returns the canonical, maximally-shared representative of a term:
+   for any [a] and [b], [hc a == hc b <=> equal a b] (within one domain).
+   Canonical nodes also carry a unique id ([hc_id]), usable as a cheap
+   hash key.  This is a pure performance layer: nothing in the kernel or
+   the prover *relies* on sharing for soundness — the tables live outside
+   any trusted code, and [equal] falls back to the structural walk for
+   non-interned terms.
+
+   The state is domain-local (each worker of the parallel driver interns
+   into its own table), so no locking is needed and physical-identity
+   claims never cross domains.  The driver clears the main domain's table
+   per run; worker tables die with their domain. *)
+
+type hc_state = {
+  hc_tbl : t Tbl.t; (* structural term -> canonical representative *)
+  hc_ids : int Tbl.t; (* canonical representative -> unique id *)
+  mutable hc_next : int;
+}
+
+let hc_key =
+  Domain.DLS.new_key (fun () ->
+      { hc_tbl = Tbl.create 1024; hc_ids = Tbl.create 1024; hc_next = 0 })
+
+(* A/B switch for the bench harness: with interning off, [hc] is the
+   identity, [equal]/[compare_t] lose their physical fast path on solver
+   terms, and the pipeline behaves as it did before hash-consing — the
+   honest baseline a speedup is measured against.  Everything stays
+   correct either way ([equal] always falls back to the structural
+   walk). *)
+let hc_enabled = ref true
+
+let rec intern (t : t) : t =
+  let st = Domain.DLS.get hc_key in
+  match Tbl.find_opt st.hc_tbl t with
+  | Some c -> c
+  | None ->
+    (* Not interned: canonicalise the children (sharing them), then intern
+       the rebuilt node.  The rebuilt node is structurally equal to [t],
+       so it lands in the same bucket the lookup above missed in. *)
+    let c =
+      match t with
+      | Int _ | Bool _ | Var _ -> t
+      | App (f, xs) ->
+        let xs' = List.map intern xs in
+        if List.for_all2 ( == ) xs xs' then t else App (f, xs')
+    in
+    Tbl.replace st.hc_tbl c c;
+    st.hc_next <- st.hc_next + 1;
+    Tbl.replace st.hc_ids c st.hc_next;
+    c
+
+let hc (t : t) : t = if !hc_enabled then intern t else t
+
+(* The unique id of a term's canonical representative (interns [t] even
+   when the [hc] fast path is switched off, so ids are always total). *)
+let hc_id (t : t) : int =
+  let st = Domain.DLS.get hc_key in
+  match Tbl.find_opt st.hc_ids (intern t) with Some i -> i | None -> assert false
+
+(* Number of distinct terms interned in this domain's table. *)
+let hc_size () = Tbl.length (Domain.DLS.get hc_key).hc_tbl
+
+(* Drop this domain's table (the driver calls this per run, so canonical
+   nodes — and their ids — never leak across runs). *)
+let hc_clear () =
+  let st = Domain.DLS.get hc_key in
+  Tbl.reset st.hc_tbl;
+  Tbl.reset st.hc_ids;
+  st.hc_next <- 0
 
 let children = function App (_, xs) -> xs | _ -> []
 
@@ -229,7 +374,7 @@ exception Eval_failed of string
 let rec veq a b =
   match (a, b) with
   | Vint x, Vint y -> B.equal x y
-  | Vbool x, Vbool y -> x = y
+  | Vbool x, Vbool y -> Bool.equal x y
   | Varr (xs, dx), Varr (ys, dy) ->
     (* compare on the union of defined indices *)
     let keys = List.sort_uniq B.compare (List.map fst xs @ List.map fst ys) in

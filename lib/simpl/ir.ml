@@ -57,6 +57,35 @@ type stmt =
   | Try of stmt * stmt (* TRY body CATCH handler END *)
   | Call of string option * string * E.t list (* dest local, callee, args *)
 
+(* Explicit structural equality with a physical fast path.  Not the
+   polymorphic [=]: statements carry expressions whose [Value.t] leaves
+   hold bignums, and those compare via [B.equal] (representation-proof),
+   not field-by-field. *)
+let rec stmt_equal a b =
+  a == b
+  ||
+  match (a, b) with
+  | Skip, Skip | Throw, Throw -> true
+  | Seq (x1, y1), Seq (x2, y2) | Try (x1, y1), Try (x2, y2) ->
+    stmt_equal x1 x2 && stmt_equal y1 y2
+  | Local_set (x, e1), Local_set (y, e2) | Global_set (x, e1), Global_set (y, e2) ->
+    String.equal x y && E.equal e1 e2
+  | Heap_write (c1, p1, v1), Heap_write (c2, p2, v2) ->
+    Ty.cty_equal c1 c2 && E.equal p1 p2 && E.equal v1 v2
+  | Retype (c1, e1), Retype (c2, e2) -> Ty.cty_equal c1 c2 && E.equal e1 e2
+  | Cond (c1, x1, y1), Cond (c2, x2, y2) ->
+    E.equal c1 c2 && stmt_equal x1 x2 && stmt_equal y1 y2
+  | While (c1, b1), While (c2, b2) -> E.equal c1 c2 && stmt_equal b1 b2
+  | Guard (k1, e1), Guard (k2, e2) ->
+    k1 = k2 (* constant constructors: immediate *) && E.equal e1 e2
+  | Call (d1, f1, a1), Call (d2, f2, a2) ->
+    Option.equal String.equal d1 d2 && String.equal f1 f2
+    && List.length a1 = List.length a2 && List.for_all2 E.equal a1 a2
+  | ( ( Skip | Seq _ | Local_set _ | Global_set _ | Heap_write _ | Retype _ | Cond _
+      | While _ | Guard _ | Throw | Try _ | Call _ ),
+      _ ) ->
+    false
+
 type func = {
   name : string;
   params : (string * Ty.t) list;

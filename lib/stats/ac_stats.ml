@@ -50,12 +50,14 @@ let measure ?options ~name (source : string) : row * Driver.result =
     | Some o -> o
     | None -> { Driver.default_options with Driver.keep_going = true }
   in
-  let t0 = Sys.time () in
+  (* Wall clock, not [Sys.time]: process CPU time advances [jobs]× faster
+     than elapsed time once the driver runs functions on worker domains. *)
+  let t0 = Unix.gettimeofday () in
   let simpl = Ac_simpl.C2simpl.parse source in
-  let parse_time = Sys.time () -. t0 in
-  let t1 = Sys.time () in
+  let parse_time = Unix.gettimeofday () -. t0 in
+  let t1 = Unix.gettimeofday () in
   let res = Driver.run ~options source in
-  let autocorres_time = Sys.time () -. t1 in
+  let autocorres_time = Unix.gettimeofday () -. t1 in
   let funcs = simpl.Ir.funcs in
   let n = max 1 (List.length funcs) in
   let parser_spec_lines =
@@ -151,3 +153,21 @@ let table5_header =
   [ "Program"; "LoC"; "Fns"; "Parse(s)"; "AC(s)"; "SpecLn(P)"; "SpecLn(AC)";
     "Term(P)"; "Term(AC)"; "SpecLn↓"; "Term↓"; "Guards(P)"; "Guards(AC)"; "Guards↓";
     "S/1/2/H/W"; "BudgetX" ]
+
+(* ------------------------------------------------------------------ *)
+(* Per-phase profile rendering (`acc stats --profile`).  Wall seconds
+   are cumulative across worker domains, so with --jobs > 1 a phase can
+   exceed the run's elapsed time. *)
+
+let profile_header = [ "Phase"; "Calls"; "Wall(s)"; "Alloc(MB)" ]
+
+let profile_rows (entries : Autocorres.Profile.entry list) : string list list =
+  List.map
+    (fun (e : Autocorres.Profile.entry) ->
+      [
+        e.Autocorres.Profile.phase;
+        string_of_int e.Autocorres.Profile.calls;
+        Printf.sprintf "%.3f" e.Autocorres.Profile.wall_s;
+        Printf.sprintf "%.1f" (e.Autocorres.Profile.alloc_bytes /. 1_048_576.);
+      ])
+    entries

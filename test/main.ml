@@ -17,4 +17,5 @@ let () =
       ("props", Test_props.suite);
       ("analysis", Test_analysis.suite);
       ("robustness", Test_robustness.suite);
+      ("perf_layer", Test_perf_layer.suite);
     ]

@@ -190,11 +190,11 @@ let test_solver_budget () =
     (Solver.is_proved (fst (Solver.prove goal)));
   let saved = !Solver.budget in
   Solver.budget := { Solver.max_branches = 0; deadline_s = None };
-  Solver.exhaustions := 0;
+  Atomic.set Solver.exhaustions 0;
   let out = fst (Solver.prove goal) in
   Solver.budget := saved;
   Alcotest.(check bool) "not proved when starved" false (Solver.is_proved out);
-  Alcotest.(check bool) "exhaustion counted" true (!Solver.exhaustions > 0)
+  Alcotest.(check bool) "exhaustion counted" true (Atomic.get Solver.exhaustions > 0)
 
 let test_solver_deadline () =
   let goal =
@@ -203,11 +203,11 @@ let test_solver_deadline () =
   in
   let saved = !Solver.budget in
   Solver.budget := { Solver.max_branches = 40000; deadline_s = Some (-1.0) };
-  Solver.exhaustions := 0;
+  Atomic.set Solver.exhaustions 0;
   let out = fst (Solver.prove goal) in
   Solver.budget := saved;
   Alcotest.(check bool) "not proved past the deadline" false (Solver.is_proved out);
-  Alcotest.(check bool) "exhaustion counted" true (!Solver.exhaustions > 0)
+  Alcotest.(check bool) "exhaustion counted" true (Atomic.get Solver.exhaustions > 0)
 
 let test_solver_fault () =
   Fun.protect ~finally:uninstall_hooks (fun () ->
@@ -222,7 +222,7 @@ let test_cc_budget () =
   let module Cc = Ac_prover.Cc in
   let saved = !Cc.merge_budget in
   Cc.merge_budget := 0;
-  Cc.exhaustions := 0;
+  Atomic.set Cc.exhaustions 0;
   let cc = Cc.create () in
   let a = T.Var ("a", T.Sint) and b = T.Var ("b", T.Sint) in
   Cc.assert_eq cc a b;
@@ -232,7 +232,7 @@ let test_cc_budget () =
      goal stays open), no contradiction is invented. *)
   Alcotest.(check bool) "merge skipped" false merged;
   Alcotest.(check bool) "no contradiction invented" false (Cc.inconsistent cc);
-  Alcotest.(check bool) "exhaustion counted" true (!Cc.exhaustions > 0)
+  Alcotest.(check bool) "exhaustion counted" true (Atomic.get Cc.exhaustions > 0)
 
 let test_analysis_budget () =
   (* Starving the fixpoint keeps the guards (no discharge) but must not
