@@ -603,6 +603,27 @@ let robustness () =
    Results go to BENCH_pr3.json in the working directory.  Wall-clock
    speedup from --jobs naturally depends on the cores available; the
    JSON records the machine's core count next to the numbers. *)
+
+(* Best-of-N wall clock, with the competing configurations interleaved
+   round-robin: background load then hits every configuration in each
+   round instead of skewing whichever one happened to run while the
+   machine was busy, so the recorded ratios are stable under noise. *)
+let time_min_all ~reps (fs : (unit -> 'a) list) : ('a * float) list =
+  let n = List.length fs in
+  let best = Array.make n infinity in
+  let last = Array.make n None in
+  for _ = 1 to reps do
+    List.iteri
+      (fun i f ->
+        let t0 = Unix.gettimeofday () in
+        let v = f () in
+        let dt = Unix.gettimeofday () -. t0 in
+        last.(i) <- Some v;
+        if dt < best.(i) then best.(i) <- dt)
+      fs
+  done;
+  List.init n (fun i -> (Option.get last.(i), best.(i)))
+
 let perf () =
   header "Perf: hash-consing, check cache, parallel translation (PR 3)";
   let workloads =
@@ -610,18 +631,6 @@ let perf () =
   in
   let opts ?(l2_memo = true) jobs =
     { Driver.default_options with Driver.keep_going = true; jobs; l2_memo }
-  in
-  (* Best-of-N wall clock: robust against scheduler noise. *)
-  let time_min ~reps f =
-    let best = ref infinity in
-    let last = ref None in
-    for _ = 1 to reps do
-      let t0 = Unix.gettimeofday () in
-      last := Some (f ());
-      let dt = Unix.gettimeofday () -. t0 in
-      if dt < !best then best := dt
-    done;
-    (Option.get !last, !best)
   in
   (* Everything observable about a run: per-function level, chain
      presence, printed final body, skip list, diagnostics, budget hits. *)
@@ -651,14 +660,22 @@ let perf () =
   let translate_all ?l2_memo jobs () =
     List.map (fun (_, src) -> Driver.run ~options:(opts ?l2_memo jobs) src) workloads
   in
-  let reps = 3 in
+  let reps = 5 in
   (* The pre-PR baseline: structural equality everywhere, every fixpoint
      round re-converting every function, one domain. *)
-  T.hc_enabled := false;
-  let baseline_results, baseline_s = time_min ~reps (translate_all ~l2_memo:false 1) in
-  T.hc_enabled := true;
-  let seq_results, seq_s = time_min ~reps (translate_all 1) in
-  let par_results, par_s = time_min ~reps (translate_all 4) in
+  let baseline_thunk () =
+    T.hc_enabled := false;
+    Fun.protect
+      ~finally:(fun () -> T.hc_enabled := true)
+      (translate_all ~l2_memo:false 1)
+  in
+  let ( (baseline_results, baseline_s), (seq_results, seq_s), (par_results, par_s) ) =
+    match
+      time_min_all ~reps [ baseline_thunk; translate_all 1; translate_all 4 ]
+    with
+    | [ b; s; p ] -> (b, s, p)
+    | _ -> assert false
+  in
   let fps l = List.map fingerprint l in
   let divergence =
     fps baseline_results <> fps seq_results || fps seq_results <> fps par_results
@@ -667,8 +684,11 @@ let perf () =
   let check_mode cached () =
     List.for_all (fun res -> Driver.check_all ~cached res = Ok ()) par_results
   in
-  let check_ok_uncached, uncached_s = time_min ~reps:5 (check_mode false) in
-  let check_ok_cached, cached_s = time_min ~reps:5 (check_mode true) in
+  let (check_ok_uncached, uncached_s), (check_ok_cached, cached_s) =
+    match time_min_all ~reps:9 [ check_mode false; check_mode true ] with
+    | [ u; c ] -> (u, c)
+    | _ -> assert false
+  in
   let speedup a b = if b > 0. then a /. b else 1. in
   let cores = Domain.recommended_domain_count () in
   let rows =

@@ -9,45 +9,78 @@ module Thm = Ac_kernel.Thm
    theorem holds the per-phase theorems as premises, and the rewrite
    engine's transitivity spine shares sub-derivations liberally, so the
    same physical node is re-walked once per occurrence.  This module
-   memoizes the walk on the *physical identity* of theorem nodes, which is
-   sound because a [Thm.t] is immutable and, under one inference context,
+   memoizes the walk on the *identity* of theorem nodes, which is sound
+   because a [Thm.t] is immutable and, under one inference context,
    re-checking the same node always yields the same verdict.
 
-   Mechanism: every cache gets a process-unique generation number, and a
-   node that checked out Ok is stamped with it ([Thm.set_mark]); a
-   revisit is then a single integer compare, with no hashing and no
-   allocation.  Only successes are stamped — a failing node fails the
-   whole audit immediately, so there is nothing to memoize.
+   Mechanism: every cache owns a private set of the [Thm.id]s (the
+   kernel's read-only per-node key) that checked out Ok; a revisit is
+   then one set lookup.  The set is open-addressing over a flat int
+   array — ids are allocated densely, so [id land mask] spreads nearly
+   collision-free and a lookup is typically a single array read, with
+   capacity proportional to the nodes this cache actually verified (ids
+   are process-wide and ever-growing, so anything indexed from 0 would
+   pay for every theorem ever allocated).  Only successes are recorded —
+   a failing node fails the whole audit immediately, so there is nothing
+   to memoize.  The set is private to the cache value, so nothing
+   outside this module can pre-seed it: the only way a node gets
+   recorded is this module re-running its inference.
 
-   Deliberately OUTSIDE the kernel (see DESIGN.md): a cache bug (or a
-   forged mark) can only affect this module's answer — it cannot mint a
-   theorem, and the uncached [Thm.check] remains available as the ground
-   truth (the test suite runs both on every corpus theorem).
+   Deliberately OUTSIDE the kernel (see DESIGN.md): a cache bug can only
+   affect this module's answer — it cannot mint a theorem (the kernel
+   exposes no constructor that bypasses [Rules.infer], and [Thm.id] is
+   read-only), and the uncached [Thm.check] remains available as the
+   ground truth (the test suite runs both on every corpus theorem).
 
    A cache is bound to the [Rules.ctx] it was created with, because the
    verdict of a node depends on the context ([wvars] for the W_* rules);
    callers create one cache per context and drop it when the run ends
-   (per-run invalidation — a fresh cache's generation matches no existing
-   stamp). *)
-
-(* Generation 0 is reserved: fresh theorem nodes carry mark 0. *)
-let next_generation = Atomic.make 1
+   (per-run invalidation — the memo dies with the cache, so no verdict
+   survives into a later run). *)
 
 type t = {
   ctx : Rules.ctx;
-  generation : int;
+  mutable slots : int array; (* -1 = empty; linear probing *)
+  mutable mask : int; (* capacity - 1; capacity a power of two *)
+  mutable count : int;
   mutable hits : int;
   mutable misses : int;
 }
 
+(* Small initial capacity: the driver creates one cache per function
+   group, and most groups verify a few hundred nodes at most — growth
+   doubles with rehash, so a large group amortizes to O(1) anyway. *)
 let create (ctx : Rules.ctx) : t =
-  { ctx; generation = Atomic.fetch_and_add next_generation 1; hits = 0; misses = 0 }
+  { ctx; slots = Array.make 256 (-1); mask = 255; count = 0; hits = 0; misses = 0 }
 
 let hits c = c.hits
 let misses c = c.misses
 
+let rec probe slots mask id i =
+  let v = Array.unsafe_get slots i in
+  if v = id then true else v >= 0 && probe slots mask id ((i + 1) land mask)
+
+let seen c id = probe c.slots c.mask id (id land c.mask)
+
+let rec insert slots mask id i =
+  if Array.unsafe_get slots i >= 0 then insert slots mask id ((i + 1) land mask)
+  else Array.unsafe_set slots i id
+
+let record c id =
+  (* Keep the load factor under 1/2 so probe chains stay short. *)
+  if 2 * (c.count + 1) > c.mask + 1 then begin
+    let mask' = (2 * (c.mask + 1)) - 1 in
+    let slots' = Array.make (mask' + 1) (-1) in
+    Array.iter (fun v -> if v >= 0 then insert slots' mask' v (v land mask')) c.slots;
+    c.slots <- slots';
+    c.mask <- mask'
+  end;
+  insert c.slots c.mask id (id land c.mask);
+  c.count <- c.count + 1
+
 let rec check (c : t) (thm : Thm.t) : (unit, string) result =
-  if Thm.mark thm = c.generation then begin
+  let id = Thm.id thm in
+  if seen c id then begin
     c.hits <- c.hits + 1;
     Result.ok ()
   end
@@ -55,7 +88,7 @@ let rec check (c : t) (thm : Thm.t) : (unit, string) result =
     c.misses <- c.misses + 1;
     match check_node c thm with
     | Result.Ok () as ok ->
-      Thm.set_mark thm c.generation;
+      record c id;
       ok
     | Result.Error _ as e -> e
   end

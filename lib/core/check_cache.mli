@@ -3,16 +3,17 @@
     Derivations are DAGs — the end-to-end chain theorems hold the per-phase
     theorems as premises — so the plain [Thm.check] re-walks shared
     sub-derivations once per occurrence.  A cache memoizes the walk on the
-    physical identity of theorem nodes — nodes that check out Ok are
-    stamped with the cache's process-unique generation number
-    ([Thm.set_mark]), making a revisit one integer compare — so each node
-    is re-inferred once per run.
+    identity of theorem nodes — the ids ([Thm.id], the kernel's read-only
+    per-node key) of nodes that check out Ok are recorded in a flat int
+    set private to the cache, making a revisit one set lookup — so each
+    node is re-inferred once per run.
 
     The cache lives outside the kernel's trusted core: it can only make
     auditing faster or wrongly report a failure, never mint a theorem, and
     the uncached [Thm.check] remains the ground truth.  A cache is bound
     to the inference context given at [create] (node verdicts depend on
-    it); create one per context and drop it at the end of the run. *)
+    it); create one per context and drop it at the end of the run — its
+    memo table dies with it. *)
 
 type t
 

@@ -117,6 +117,10 @@ type func_result = {
   fr_wa : M.func option;
   fr_wa_thm : Thm.t option; (* the abs_w_stmt step *)
   fr_wa_thms : Thm.t list;
+  fr_wa_wvars : (string * (Ty.sign * Ty.width)) list;
+      (* the word-abstraction variable registration the W_* derivations
+         and the chain were built under; [check_all] re-checks them under
+         [res.ctx] extended with exactly this *)
   fr_chain : Thm.t option; (* the end-to-end Fn_refines theorem *)
   fr_final : M.func;
   fr_skipped : (string * string) list; (* phase, reason *)
@@ -585,10 +589,9 @@ let run ?(options = default_options) (source : string) : result =
            equivalence, heap abstraction, word abstraction — the paper's
            "chain of proofs linking the original C-Simpl input to the
            final AutoCorres output". *)
+        let wa_wvars = Wa.collect_wvars ctx.Rules.fsigs after_hl in
         let chain =
-          let wa_chain_ctx =
-            { ctx with Rules.wvars = Wa.collect_wvars ctx.Rules.fsigs after_hl }
-          in
+          let wa_chain_ctx = { ctx with Rules.wvars = wa_wvars } in
           match
             Profile.record "chain" (fun () ->
                 attempt ~keep_going ~phase:Diag.Chain ~fname:name ~recoverable:true diags
@@ -617,6 +620,7 @@ let run ?(options = default_options) (source : string) : result =
           fr_wa = Option.map fst wa;
           fr_wa_thm = (match wa with Some (_, t :: _) -> Some t | _ -> None);
           fr_wa_thms = wa_thms;
+          fr_wa_wvars = wa_wvars;
           fr_chain = chain;
           fr_final = final;
           fr_skipped = List.rev !skipped;
@@ -659,9 +663,13 @@ let run ?(options = default_options) (source : string) : result =
    L1/L2/HL components under [res.ctx]: the two contexts differ only in
    [Rules.wvars], which [Rules.infer] consults solely in the W_* rules,
    and those appear only in derivations built under that same [wvars].
-   Grouping this way lets the cached mode share one memo table between a
-   function's component theorems and its chain — the chain holds the
-   components as physical premises, so its re-walk is pure cache hits.
+   That wvars-locality invariant is stated (and must be maintained) next
+   to [Rules.infer] in rules.ml, and the test suite pins it down by also
+   checking every component theorem under [res.ctx] ("components check
+   under the run context" in test_perf_layer.ml).  Grouping this way lets
+   the cached mode share one memo table between a function's component
+   theorems and its chain — the chain holds the components as physical
+   premises, so its re-walk is pure cache hits.
 
    [cached] routes the walk through [Check_cache] (memoized on physical
    node identity, one cache per context, dropped when this call returns).
@@ -687,13 +695,10 @@ let check_all ?(cached = true) (res : result) : (unit, string) Result.t =
   let groups =
     List.map
       (fun fr ->
-        (* The word-abstraction derivation was built under the function's
-           variable registration; recompute it (deterministically) for the
-           re-check. *)
-        let wa_ctx =
-          let base = match fr.fr_hl with Some hf -> hf | None -> fr.fr_l2 in
-          { res.ctx with Rules.wvars = Wa.collect_wvars res.ctx.Rules.fsigs base }
-        in
+        (* The word-abstraction derivations were built under the
+           function's variable registration, recorded in [fr_wa_wvars] at
+           translation time; re-check under exactly that. *)
+        let wa_ctx = { res.ctx with Rules.wvars = fr.fr_wa_wvars } in
         ( wa_ctx,
           [ fr.fr_l1_thm; fr.fr_l2_thm ] @ fr.fr_hl_thms @ fr.fr_wa_thms
           @ match fr.fr_chain with Some t -> [ t ] | None -> [] ))

@@ -96,6 +96,10 @@ type func_result = {
   fr_wa : M.func option;  (** after word abstraction, when selected *)
   fr_wa_thm : Thm.t option;  (** the [Abs_w_stmt] step *)
   fr_wa_thms : Thm.t list;
+  fr_wa_wvars : (string * (Ty.sign * Ty.width)) list;
+      (** the word-abstraction variable registration the W_* derivations and
+          the chain were built under ([check_all] audits them under [ctx]
+          extended with exactly this) *)
   fr_chain : Thm.t option;
       (** the end-to-end [Fn_refines] theorem: the final output refines the
           Simpl input through every phase *)

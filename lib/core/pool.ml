@@ -38,7 +38,16 @@ let worker_loop (t : t) () =
   let gen = ref 0 in
   let rec loop () =
     Mutex.lock t.mu;
-    while (not t.stop) && t.generation = !gen do
+    (* Proceed only on a NEW map whose task is still installed.  A worker
+       can sleep through an entire map: [map_on] waits only for workers
+       that entered the task ([t.active]), so if every item was drained
+       before this worker woke, the map is torn down ([t.task = None])
+       with [t.generation] already bumped.  Waking on generation alone
+       would then crash on the missing task — treat it as a missed map
+       and go back to waiting for the next one.  (Committing is safe:
+       task and generation are read and [active] is bumped under the same
+       lock [map_on] needs to observe [active = 0].) *)
+    while (not t.stop) && (t.generation = !gen || Option.is_none t.task) do
       Condition.wait t.work_ready t.mu
     done;
     if t.stop then Mutex.unlock t.mu

@@ -743,7 +743,19 @@ let guard_if kind (p : E.t) (m : M.t) : M.t =
   if E.equal p E.true_e then m else M.Bind (M.Guard (kind, p), M.Pwild, m)
 
 (* ------------------------------------------------------------------ *)
-(* The inference function: rule + premise conclusions -> conclusion. *)
+(* The inference function: rule + premise conclusions -> conclusion.
+
+   INVARIANT (wvars locality): [ctx.wvars] is consulted ONLY by the word
+   rules — the [W_*] cases below and the [Fn_chain] fold over their
+   conclusions — via [wvar_conv]/[mentions_wvar]/[abs_pat]/[pat_conv]
+   above.  [Driver.check_all] relies on this: it re-checks each
+   function's L1/L2/HL component theorems under that function's
+   recomputed word-abstraction context, which is sound precisely because
+   those derivations contain no wvars-sensitive rule and the two contexts
+   differ only in [wvars].  If you make any non-W_* rule read
+   [ctx.wvars], revisit the grouping in [Driver.check_all] (the
+   "components check under the run context" test in
+   [test/test_perf_layer.ml] guards this and will fail). *)
 
 let rec infer (ctx : ctx) (rule : rule) (prems : judgment list) : (judgment, string) result =
   match rule with

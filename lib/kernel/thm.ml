@@ -16,13 +16,9 @@ type t = {
       (* Unique per node (process-wide, atomic), so external tooling — the
          memoized checker in particular — can key hash tables on theorem
          nodes in O(1) instead of hashing the judgment structurally.  The
-         id carries no logical content: checking never consults it. *)
-  mutable mark : int;
-      (* Scratch stamp for external audit tooling ([Ac_core.Check_cache]
-         stamps nodes it has verified with its generation number).  Like
-         [id] it carries no logical content and the kernel never reads
-         it: a forged mark can only fool the untrusted cache, never
-         [check], which stays the ground truth. *)
+         id carries no logical content: checking never consults it, and
+         it is read-only, so nothing outside the kernel can alter a
+         theorem node in any way. *)
 }
 
 exception Kernel_error of string
@@ -34,15 +30,6 @@ let rule_name t = Rules.rule_name t.rule
 let rule t = t.rule
 let premises t = t.prems
 let id t = t.id
-let mark t = t.mark
-let set_mark t g = t.mark <- g
-
-(* Test-only escape hatch: constructs a node without consulting
-   [Rules.infer].  Exists solely so the corruption-injection tests can
-   verify that [check] (and the external cached checker) reject invalid
-   derivations.  See the interface warning. *)
-let forge_for_tests concl rule prems =
-  { concl; rule; prems; id = Atomic.fetch_and_add next_id 1; mark = 0 }
 
 (* Test-only fault injection: when installed, the hook is consulted before
    every proof-constructing inference ([by]/[by_opt]) and, by answering
@@ -62,7 +49,7 @@ let by (ctx : Rules.ctx) (rule : Rules.rule) (prems : t list) : t =
   if injected rule then
     raise (Kernel_error (Printf.sprintf "%s: injected fault" (Rules.rule_name rule)));
   match Rules.infer ctx rule (List.map (fun p -> p.concl) prems) with
-  | Result.Ok concl -> { concl; rule; prems; id = Atomic.fetch_and_add next_id 1; mark = 0 }
+  | Result.Ok concl -> { concl; rule; prems; id = Atomic.fetch_and_add next_id 1 }
   | Result.Error msg ->
     raise (Kernel_error (Printf.sprintf "%s: %s" (Rules.rule_name rule) msg))
 
@@ -70,7 +57,7 @@ let by_opt ctx rule prems =
   if injected rule then None
   else
     match Rules.infer ctx rule (List.map (fun p -> p.concl) prems) with
-    | Result.Ok concl -> Some { concl; rule; prems; id = Atomic.fetch_and_add next_id 1; mark = 0 }
+    | Result.Ok concl -> Some { concl; rule; prems; id = Atomic.fetch_and_add next_id 1 }
     | Result.Error _ -> None
 
 (* Re-validate an entire derivation bottom-up. *)

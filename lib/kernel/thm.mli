@@ -21,18 +21,11 @@ val premises : t -> t list
 val rule : t -> Rules.rule
 
 (** A unique id per theorem node (process-wide), usable as an O(1) hash
-    key by external tooling.  Carries no logical content. *)
+    key by external tooling — the memoized checker in
+    [Ac_core.Check_cache] keys its per-run memo table on it.  Carries no
+    logical content, and is read-only: external tooling can observe
+    theorem nodes through it but cannot alter them. *)
 val id : t -> int
-
-(** Scratch stamp for external audit tooling: the memoized checker in
-    [Ac_core.Check_cache] stamps nodes it has verified with its own
-    generation number, making the re-walk of a shared sub-derivation a
-    single integer compare.  The mark carries no logical content and the
-    kernel never reads it — a forged mark can only fool the (untrusted)
-    cache, never {!check}.  Fresh nodes start at mark 0. *)
-val mark : t -> int
-
-val set_mark : t -> int -> unit
 
 (** Apply a kernel rule to premise theorems.
     @raise Kernel_error if the rule's side conditions fail. *)
@@ -48,14 +41,15 @@ val by_opt : Rules.ctx -> Rules.rule -> t list -> t option
     uninstall. *)
 val set_fault_hook : (string -> bool) option -> unit
 
-(** Test-only: build a theorem node WITHOUT running the kernel's inference.
-    This deliberately violates the LCF discipline so the test suite can
-    hand both [check] and the external cached checker a corrupted
-    derivation and assert that both reject it.  Never call this outside
-    tests — a forged theorem proves nothing. *)
-val forge_for_tests : Judgment.judgment -> Rules.rule -> t list -> t
+(** Independently re-validate the entire stored derivation.
 
-(** Independently re-validate the entire stored derivation. *)
+    There is deliberately NO constructor that bypasses [Rules.infer] —
+    not even a test-only one — so linked code cannot mint a theorem: the
+    trusted surface is forgery-free by construction.  The corruption
+    tests exercise the rejection paths by re-checking genuine derivations
+    under a context other than the one they were built with (a theorem
+    certifies its judgment only relative to its context, so a
+    wrong-context derivation is exactly a corrupted certificate). *)
 val check : Rules.ctx -> t -> (unit, string) result
 
 (** Number of rule applications in the derivation. *)

@@ -156,26 +156,46 @@ let rec compare_t a b =
     | Var _, _ -> -1
     | _, Var _ -> 1
 
-(* Structural hash, consistent with [equal]: integer leaves go through
-   [B.hash] (the polymorphic hash would be wrong on any non-canonical
-   bignum representation), and traversal is depth-bounded so hashing stays
-   O(1) on huge terms — deep terms that agree near the root collide, and
-   the collision is resolved by [equal]'s shared-subterm fast path. *)
-let hash_t (t : t) : int =
-  let comb acc h = ((acc * 65599) + h) land max_int in
-  let rec go d acc t =
-    if d = 0 then comb acc 7
-    else
-      match t with
-      | Int n -> comb acc (B.hash n)
-      | Bool b -> comb acc (if b then 3 else 5)
-      | Var (x, s) -> comb (comb acc (Hashtbl.hash x)) (Hashtbl.hash s)
-      | App (f, xs) ->
-        List.fold_left (go (d - 1))
-          (comb (comb acc (Hashtbl.hash (sym_name f))) (List.length xs))
-          xs
-  in
-  go 4 17 t land max_int
+(* Hashtables keyed on *physical* identity.  [Hashtbl.hash] is fine as
+   the bucket function: it bounds its own traversal (so it is O(1) even
+   on deep terms), and any collision is resolved by a pointer compare. *)
+module PhysTbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+(* Per-domain memo of the full structural hash of interned nodes (see the
+   hash-consing section below; [intern] populates it, [hc_clear] drops
+   it).  A node is in this table iff it is this domain's canonical
+   representative — [intern] also uses membership as its O(1) fast path. *)
+let hash_memo_key : int PhysTbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> PhysTbl.create 1024)
+
+(* Full structural hash, consistent with [equal]: integer leaves go
+   through [B.hash] (the polymorphic hash would be wrong on any
+   non-canonical bignum representation).  The traversal is NOT
+   depth-bounded — truncating made every deep term that agrees near the
+   root land in one bucket, degrading the hash-cons table and the cc
+   index to linear scans — instead the hash of every interned node is
+   memoized, so hashing a term built from interned children is O(arity),
+   and interning a fresh term is O(1) amortized per node. *)
+let comb acc h = ((acc * 65599) + h) land max_int
+
+let rec hash_t (t : t) : int =
+  match PhysTbl.find_opt (Domain.DLS.get hash_memo_key) t with
+  | Some h -> h
+  | None -> (
+    match t with
+    | Int n -> comb 3 (B.hash n)
+    | Bool b -> if b then 5 else 7
+    | Var (x, s) -> comb (comb 11 (Hashtbl.hash x)) (Hashtbl.hash s)
+    | App (f, xs) ->
+      List.fold_left
+        (fun acc x -> comb acc (hash_t x))
+        (comb (comb 13 (Hashtbl.hash (sym_name f))) (List.length xs))
+        xs)
 
 (* Hashtables keyed on terms (structural equality, [B]-aware hash).  Used
    by the hash-cons table below and by the congruence closure's term
@@ -222,13 +242,12 @@ let hc_key =
 let hc_enabled = ref true
 
 let rec intern (t : t) : t =
-  let st = Domain.DLS.get hc_key in
-  match Tbl.find_opt st.hc_tbl t with
-  | Some c -> c
-  | None ->
-    (* Not interned: canonicalise the children (sharing them), then intern
-       the rebuilt node.  The rebuilt node is structurally equal to [t],
-       so it lands in the same bucket the lookup above missed in. *)
+  let memo = Domain.DLS.get hash_memo_key in
+  if PhysTbl.mem memo t then t (* already this domain's canonical node *)
+  else begin
+    (* Canonicalise the children first (sharing them), THEN look the
+       rebuilt node up: its children are interned, so hashing it costs
+       O(arity) via the memo rather than a full structural walk. *)
     let c =
       match t with
       | Int _ | Bool _ | Var _ -> t
@@ -236,10 +255,16 @@ let rec intern (t : t) : t =
         let xs' = List.map intern xs in
         if List.for_all2 ( == ) xs xs' then t else App (f, xs')
     in
-    Tbl.replace st.hc_tbl c c;
-    st.hc_next <- st.hc_next + 1;
-    Tbl.replace st.hc_ids c st.hc_next;
-    c
+    let st = Domain.DLS.get hc_key in
+    match Tbl.find_opt st.hc_tbl c with
+    | Some canon -> canon
+    | None ->
+      Tbl.replace st.hc_tbl c c;
+      st.hc_next <- st.hc_next + 1;
+      Tbl.replace st.hc_ids c st.hc_next;
+      PhysTbl.replace memo c (hash_t c);
+      c
+  end
 
 let hc (t : t) : t = if !hc_enabled then intern t else t
 
@@ -258,7 +283,8 @@ let hc_clear () =
   let st = Domain.DLS.get hc_key in
   Tbl.reset st.hc_tbl;
   Tbl.reset st.hc_ids;
-  st.hc_next <- 0
+  st.hc_next <- 0;
+  PhysTbl.reset (Domain.DLS.get hash_memo_key)
 
 let children = function App (_, xs) -> xs | _ -> []
 

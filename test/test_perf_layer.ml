@@ -132,6 +132,20 @@ let test_pool_reuse () =
         (List.map (fun x -> x * 3) xs)
         (Pool.map_on pool (fun x -> x * 3) xs))
 
+(* Regression for the missed-wakeup race: a worker that slept through an
+   entire map (every item drained before it woke) used to exit its wait
+   loop after [map_on] had torn the task down and die on the missing
+   task, which poisoned the next [shutdown].  Many tiny maps on a pool
+   much wider than the work make missed maps overwhelmingly likely. *)
+let test_pool_missed_wakeup () =
+  let pool = Pool.create ~jobs:8 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      for i = 1 to 200 do
+        Alcotest.(check (list int)) "tiny map" [ i ] (Pool.map_on pool Fun.id [ i ])
+      done)
+
 (* ------------------------------------------------------------------ *)
 (* The parallel driver is observably the sequential driver.  Everything
    the caller can see must match: per-function levels, final bodies,
@@ -219,27 +233,38 @@ let test_check_differential () =
         (Driver.check_all ~cached:true res = Ok ()))
     Csources.all
 
+(* The kernel deliberately exposes no way to build a theorem without
+   running [Rules.infer] — not even for tests — so the corrupted
+   certificate the auditors must catch is a *genuine* derivation
+   presented under the wrong context: gcd's end-to-end chain was built
+   under its word-abstraction context (whose [wvars] the W_* steps
+   depend on), so auditing it under the run context, whose [wvars] are
+   empty, re-runs the same inferences against premises they cannot
+   reproduce.  Both the uncached and the cached checker must reject. *)
 let test_check_rejects_corruption () =
   let res = Driver.run ~options:(opts 1) Csources.gcd_c in
   let fr = List.hd res.Driver.funcs in
-  let good = fr.Driver.fr_l2_thm in
-  (* Forge a node claiming the L1 theorem's conclusion from the L2
-     theorem's derivation: the final inference cannot produce it. *)
-  let forged =
-    Thm.forge_for_tests
-      (Thm.concl fr.Driver.fr_l1_thm)
-      (Thm.rule good) (Thm.premises good)
+  let chain =
+    match fr.Driver.fr_chain with
+    | Some t -> t
+    | None -> Alcotest.fail "gcd produced no end-to-end chain theorem"
   in
+  (* Sanity: the derivation is genuine — under the context it was built
+     with (recomputed by check_all), everything accepts. *)
+  Alcotest.(check bool) "derivation is genuine" true
+    (Driver.check_all ~cached:false res = Ok ());
   let is_err = function Error _ -> true | Ok () -> false in
   Alcotest.(check bool)
-    "kernel check rejects the forgery" true
-    (is_err (Thm.check res.Driver.ctx forged));
+    "kernel check rejects the wrong-context derivation" true
+    (is_err (Thm.check res.Driver.ctx chain));
   let cache = Check_cache.create res.Driver.ctx in
   Alcotest.(check bool)
-    "cached check rejects the forgery" true
-    (is_err (Check_cache.check cache forged));
-  (* And a fresh cache re-validates from scratch: marks stamped by an
-     earlier cache's generation are never trusted by a later one. *)
+    "cached check rejects the wrong-context derivation" true
+    (is_err (Check_cache.check cache chain));
+  (* And a fresh cache re-validates from scratch: its memo table is
+     private and dies with it, so nothing an earlier cache (or anyone
+     else) did can pre-seed a later one. *)
+  let good = fr.Driver.fr_l2_thm in
   let c1 = Check_cache.create res.Driver.ctx in
   Alcotest.(check bool) "first cache accepts" true
     (Check_cache.check c1 good = Ok ());
@@ -249,14 +274,41 @@ let test_check_rejects_corruption () =
   Alcotest.(check bool) "second cache re-walked the derivation" true
     (Check_cache.misses c2 > 0)
 
+(* Pin down the wvars-locality invariant stated next to [Rules.infer]
+   (and relied on by [Driver.check_all]'s per-function grouping): the
+   L1/L2/HL component derivations contain no wvars-sensitive rule, so
+   they must check under the run context too, not only under the
+   function's recomputed word-abstraction context.  If a rule outside
+   the W_* family starts reading [ctx.wvars], this fails. *)
+let test_components_check_under_run_ctx () =
+  List.iter
+    (fun (name, src) ->
+      let res = Driver.run ~options:(opts 1) src in
+      List.iter
+        (fun fr ->
+          List.iter
+            (fun t ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s/%s: %s checks under the run context" name
+                   fr.Driver.fr_name (Thm.rule_name t))
+                true
+                (Thm.check res.Driver.ctx t = Ok ()))
+            (fr.Driver.fr_l1_thm :: fr.Driver.fr_l2_thm :: fr.Driver.fr_hl_thms))
+        res.Driver.funcs)
+    Csources.all
+
 let suite =
   List.map QCheck_alcotest.to_alcotest props
   @ [
       ("pool map preserves order", `Quick, test_pool_map_order);
       ("pool re-raises the first failure", `Quick, test_pool_first_failure);
       ("pool survives reuse across maps", `Quick, test_pool_reuse);
+      ("pool survives missed wakeups", `Quick, test_pool_missed_wakeup);
       ("driver --jobs differential over corpus", `Slow, test_driver_jobs_differential);
       ("CLI --diag-json --jobs differential", `Slow, test_cli_jobs_differential);
       ("cached vs uncached check over corpus", `Slow, test_check_differential);
       ("both check modes reject corruption", `Quick, test_check_rejects_corruption);
+      ( "components check under the run context",
+        `Slow,
+        test_components_check_under_run_ctx );
     ]
