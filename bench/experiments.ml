@@ -15,6 +15,7 @@ module Solver = Ac_prover.Solver
 module Vc = Ac_hoare.Vc
 module Driver = Autocorres.Driver
 module Thm = Ac_kernel.Thm
+module Store = Ac_store.Store
 open Ac_cases
 
 let header title = Printf.printf "\n===================== %s =====================\n\n" title
@@ -615,6 +616,10 @@ let time_min_all ~reps (fs : (unit -> 'a) list) : ('a * float) list =
   for _ = 1 to reps do
     List.iteri
       (fun i f ->
+        (* Start every measurement from the same heap state: without this,
+           a configuration can be charged for the major-GC debt run up by
+           whichever thunk happened to precede it. *)
+        Gc.full_major ();
         let t0 = Unix.gettimeofday () in
         let v = f () in
         let dt = Unix.gettimeofday () -. t0 in
@@ -624,6 +629,31 @@ let time_min_all ~reps (fs : (unit -> 'a) list) : ('a * float) list =
   done;
   List.init n (fun i -> (Option.get last.(i), best.(i)))
 
+(* Everything observable about a run: per-function level, chain
+   presence, printed final body, skip list, diagnostics, budget hits. *)
+let fingerprint (res : Driver.result) : string =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun fr ->
+      Buffer.add_string b fr.Driver.fr_name;
+      Buffer.add_string b (Driver.level_name (Driver.level_of fr));
+      Buffer.add_string b (if fr.Driver.fr_chain = None then "-" else "+");
+      Buffer.add_string b (Mprint.func_to_string fr.Driver.fr_final);
+      List.iter
+        (fun (p, w) -> Buffer.add_string b (p ^ ":" ^ w))
+        fr.Driver.fr_skipped)
+    res.Driver.funcs;
+  List.iter
+    (fun (d : Driver.degraded) ->
+      Buffer.add_string b d.Driver.dg_name;
+      Buffer.add_string b (Driver.level_name (Driver.degraded_level d)))
+    res.Driver.degraded;
+  List.iter
+    (fun d -> Buffer.add_string b (Autocorres.Diag.to_string d))
+    res.Driver.diags;
+  Buffer.add_string b (string_of_int res.Driver.budget_hits);
+  Buffer.contents b
+
 let perf () =
   header "Perf: hash-consing, check cache, parallel translation (PR 3)";
   let workloads =
@@ -631,31 +661,6 @@ let perf () =
   in
   let opts ?(l2_memo = true) jobs =
     { Driver.default_options with Driver.keep_going = true; jobs; l2_memo }
-  in
-  (* Everything observable about a run: per-function level, chain
-     presence, printed final body, skip list, diagnostics, budget hits. *)
-  let fingerprint (res : Driver.result) : string =
-    let b = Buffer.create 4096 in
-    List.iter
-      (fun fr ->
-        Buffer.add_string b fr.Driver.fr_name;
-        Buffer.add_string b (Driver.level_name (Driver.level_of fr));
-        Buffer.add_string b (if fr.Driver.fr_chain = None then "-" else "+");
-        Buffer.add_string b (Mprint.func_to_string fr.Driver.fr_final);
-        List.iter
-          (fun (p, w) -> Buffer.add_string b (p ^ ":" ^ w))
-          fr.Driver.fr_skipped)
-      res.Driver.funcs;
-    List.iter
-      (fun (d : Driver.degraded) ->
-        Buffer.add_string b d.Driver.dg_name;
-        Buffer.add_string b (Driver.level_name (Driver.degraded_level d)))
-      res.Driver.degraded;
-    List.iter
-      (fun d -> Buffer.add_string b (Autocorres.Diag.to_string d))
-      res.Driver.diags;
-    Buffer.add_string b (string_of_int res.Driver.budget_hits);
-    Buffer.contents b
   in
   let translate_all ?l2_memo jobs () =
     List.map (fun (_, src) -> Driver.run ~options:(opts ?l2_memo jobs) src) workloads
@@ -731,6 +736,219 @@ let perf () =
   if divergence || not (check_ok_uncached && check_ok_cached) then
     failwith "perf: divergence between modes"
 
+(* ------------------------------------------------------------------ *)
+(* PR 4: the content-addressed proof store.  Three measurements:
+
+   - cold translation (empty store, so the run also records and saves
+     one derivation trace per function) vs warm translation (every
+     function replays its stored trace through the kernel instead of
+     re-translating) vs the no-store baseline, over the corpus plus
+     generated multi-function units — warm must be >= 2x faster than
+     cold, and all three byte-identical;
+   - the batch server: `acc serve` round-trip throughput in requests/sec
+     against a warm store;
+   - a divergence check like perf's: identical fingerprints across the
+     three translate configurations, and every replayed derivation must
+     re-validate under [Driver.check_all].
+
+   Results go to BENCH_pr4.json in the working directory. *)
+
+let store () =
+  header "Store: incremental translation via the proof store (PR 4)";
+  (* Fixed GC geometry for the whole experiment (restored on exit): a
+     minor heap large enough that a replay run's working set stays in it,
+     and a major-heap slack factor high enough that the measurement is
+     not dominated by when the collector happens to start a cycle.  Under
+     the default geometry the allocation-heavy cold runs drift 20-45%
+     between otherwise identical processes, which is noise on exactly the
+     quantity this experiment asserts a floor for. *)
+  let gc0 = Gc.get () in
+  Fun.protect ~finally:(fun () -> Gc.set gc0) @@ fun () ->
+  Gc.set { gc0 with Gc.minor_heap_size = 1 lsl 22; Gc.space_overhead = 200 };
+  (* Correctness sweep over everything: the whole test corpus plus four
+     generated multi-function units.  Timing runs on the three mid-size
+     generated units — multi-function translation units are the workload
+     incremental translation exists for; on a 10-line toy file both sides
+     of the ratio are dominated by per-run fixed costs, and on a
+     sub-100ms workload the cold/warm ratio is dominated by timer noise.
+     (ci.sh separately times the on-disk corpus/*.c files through the
+     CLI, with its own floor.) *)
+  let sweep_units =
+    [
+      ("echronos-like", Ac_codegen.generate Ac_codegen.echronos_like);
+      ("piccolo-like", Ac_codegen.generate Ac_codegen.piccolo_like);
+      ("capdl-like", Ac_codegen.generate Ac_codegen.capdl_like);
+      ("sel4-like", Ac_codegen.generate Ac_codegen.sel4_like);
+    ]
+  in
+  let units =
+    List.filter (fun (n, _) -> n <> "sel4-like") sweep_units
+  in
+  let workloads = Csources.all @ sweep_units in
+  let options = { Driver.default_options with Driver.keep_going = true } in
+  let mkdtemp () =
+    let d = Filename.temp_file "acc_bench_store" ".d" in
+    Sys.remove d;
+    d
+  in
+  let open_store dir =
+    match Store.open_ ~dir () with Ok st -> st | Error m -> failwith m
+  in
+  let run_all ?store srcs = List.map (fun (_, src) -> Driver.run ~options ?store src) srcs in
+  (* --- correctness: cold, warm and no-store must be byte-identical, and
+     every replayed derivation must re-validate. --- *)
+  let dir_sweep = mkdtemp () in
+  let sweep_cold = run_all ~store:(open_store dir_sweep) workloads in
+  let sweep_warm = run_all ~store:(open_store dir_sweep) workloads in
+  let sweep_nostore = run_all workloads in
+  let fps l = List.map fingerprint l in
+  let divergence =
+    fps sweep_cold <> fps sweep_warm || fps sweep_warm <> fps sweep_nostore
+  in
+  let sum f l = List.fold_left (fun a r -> a + f r) 0 l in
+  let warm_hits = sum (fun r -> r.Driver.store_hits) sweep_warm in
+  let warm_misses = sum (fun r -> r.Driver.store_misses) sweep_warm in
+  let cold_misses = sum (fun r -> r.Driver.store_misses) sweep_cold in
+  let replays_check =
+    List.for_all (fun res -> Driver.check_all res = Ok ()) sweep_warm
+  in
+  (* --- timing: cold (empty store, so the run also records and saves one
+     derivation trace per function) vs warm (every function replays its
+     stored trace through the kernel) vs no store, over the units.
+
+     Methodology, tuned for a stable ratio rather than a lucky one: the
+     configurations are timed in PAIRED rounds — each round times one
+     cold rep immediately followed by one warm rep — and the reported
+     speedup is the MEDIAN of the per-round ratios.  On a shared machine
+     the wall clock runs in multi-second fast and slow epochs; an epoch
+     covers both members of a round, so it cancels in that round's ratio,
+     where separate per-configuration blocks hand whichever one collides
+     with a slow epoch a 25% penalty.  Medians rather than best-of for
+     the same reason: the ratio of two minima is at the mercy of one
+     GC-quiet repetition on either side.  The timing runs after the
+     correctness sweep above, so the rounds see the steady process state
+     a long-lived driver (`acc serve`, a build daemon) actually runs
+     in. *)
+  let time1 f =
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    Unix.gettimeofday () -. t0
+  in
+  let median l =
+    let sorted = List.sort compare l in
+    List.nth sorted (List.length l / 2)
+  in
+  let dir_cold = mkdtemp () and dir_warm = mkdtemp () in
+  let cold_thunk () =
+    (match Store.clear ~dir:dir_cold with Ok _ -> () | Error _ -> ());
+    run_all ~store:(open_store dir_cold) units
+  in
+  let warm_thunk () = run_all ~store:(open_store dir_warm) units in
+  let nostore_thunk () = run_all units in
+  ignore (run_all ~store:(open_store dir_warm) units);
+  let rounds =
+    List.init 9 (fun _ ->
+        let c = time1 cold_thunk in
+        let w = time1 warm_thunk in
+        let n = time1 nostore_thunk in
+        (c, w, n))
+  in
+  let cold_s = median (List.map (fun (c, _, _) -> c) rounds) in
+  let warm_s = median (List.map (fun (_, w, _) -> w) rounds) in
+  let nostore_s = median (List.map (fun (_, _, n) -> n) rounds) in
+  let speedup = median (List.map (fun (c, w, _) -> c /. w) rounds) in
+  (* Batch-server round-trip throughput, against the warm store: one
+     process, N translate requests over a rotating set of files, one JSON
+     response line each. *)
+  let acc_exe =
+    let candidates =
+      [ "_build/default/bin/acc.exe"; "../bin/acc.exe"; "bin/acc.exe" ]
+    in
+    let find () = List.find_opt Sys.file_exists candidates in
+    match find () with
+    | Some p -> p
+    | None -> (
+        ignore (Sys.command "dune build bin/acc.exe > /dev/null 2>&1");
+        match find () with
+        | Some p -> p
+        | None -> failwith "store bench: cannot locate acc.exe")
+  in
+  let req_files =
+    List.filteri (fun i _ -> i < 3) Csources.all
+    |> List.map (fun (name, src) ->
+           let f = Filename.temp_file ("acc_serve_" ^ name) ".c" in
+           let oc = open_out f in
+           output_string oc src;
+           close_out oc;
+           f)
+  in
+  let dir_serve = mkdtemp () in
+  let cmd =
+    Printf.sprintf "%s serve --store %s 2> /dev/null" (Filename.quote acc_exe)
+      (Filename.quote dir_serve)
+  in
+  let ic, oc = Unix.open_process cmd in
+  let request f =
+    output_string oc ("translate " ^ f ^ "\n");
+    flush oc;
+    input_line ic
+  in
+  (* Warm the server's store (and hash-cons tables) first. *)
+  List.iter (fun f -> ignore (request f)) req_files;
+  let n_requests = 60 in
+  let ok_responses = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to n_requests do
+    let f = List.nth req_files (i mod List.length req_files) in
+    let line = request f in
+    if String.length line >= 11 && String.sub line 0 11 = "{\"ok\":true," then
+      incr ok_responses
+  done;
+  let serve_s = Unix.gettimeofday () -. t0 in
+  ignore (Unix.close_process (ic, oc));
+  List.iter Sys.remove req_files;
+  let req_per_s = if serve_s > 0. then float_of_int n_requests /. serve_s else 0. in
+  let rows =
+    [
+      [ "translate, no store"; Printf.sprintf "%.3f" nostore_s; "" ];
+      [ "translate, cold store (record + save)"; Printf.sprintf "%.3f" cold_s; "1.00x" ];
+      [ "translate, warm store (kernel replay)"; Printf.sprintf "%.3f" warm_s;
+        Printf.sprintf "%.2fx" speedup ];
+    ]
+  in
+  print_string
+    (Ac_stats.render_table ~header:[ "Configuration"; "Best wall (s)"; "Speedup" ] rows);
+  Printf.printf
+    "\n%d workload(s) swept, %d unit(s) timed; warm sweep: %d replayed, %d\n\
+     re-translated (cold recorded %d); divergence between modes: %s;\n\
+     replayed derivations re-validate: %s;\n\
+     serve: %d/%d requests ok, %.1f req/s round-trip.\n"
+    (List.length workloads) (List.length units) warm_hits warm_misses cold_misses
+    (if divergence then "DIVERGED" else "none")
+    (if replays_check then "yes" else "NO")
+    !ok_responses n_requests req_per_s;
+  let json =
+    Printf.sprintf
+      "{\"experiment\":\"store\",\"workloads\":%d,\n\
+       \ \"translate_nostore_s\":%.6f,\"translate_cold_s\":%.6f,\"translate_warm_s\":%.6f,\n\
+       \ \"warm_speedup_vs_cold\":%.3f,\"warm_hits\":%d,\"warm_misses\":%d,\n\
+       \ \"divergence\":%b,\"replays_check\":%b,\n\
+       \ \"serve_requests\":%d,\"serve_ok\":%d,\"serve_s\":%.6f,\"serve_req_per_s\":%.1f}\n"
+      (List.length workloads) nostore_s cold_s warm_s speedup warm_hits warm_misses
+      divergence replays_check n_requests !ok_responses serve_s req_per_s
+  in
+  let out = open_out "BENCH_pr4.json" in
+  output_string out json;
+  close_out out;
+  print_endline "wrote BENCH_pr4.json";
+  if divergence then failwith "store: warm output diverged from cold";
+  if not replays_check then failwith "store: a replayed derivation failed re-validation";
+  if speedup < 2. then
+    failwith
+      (Printf.sprintf "store: warm run only %.2fx faster than cold (floor: 2x)" speedup);
+  if !ok_responses <> n_requests then failwith "store: serve dropped requests"
+
 let all : (string * (unit -> unit)) list =
   [
     ("fig1", fig1); ("fig2", fig2); ("table1", table1); ("table2", table2);
@@ -738,5 +956,5 @@ let all : (string * (unit -> unit)) list =
     ("fig5", fig5); ("footnote2", footnote2); ("suzuki", suzuki); ("fig6", fig6);
     ("fig8", fig8); ("table5", table5); ("table6", table6); ("memset", memset);
     ("custom_rule", custom_rule); ("ablation", ablation); ("analysis", analysis);
-    ("robustness", robustness); ("perf", perf);
+    ("robustness", robustness); ("perf", perf); ("store", store);
   ]

@@ -4,21 +4,27 @@
      acc check file.c                re-check derivations + differential test
      acc stats file.c                Table 5-style pipeline statistics
      acc lint file.c                 report refutable UB guards (likely bugs)
+     acc serve                       long-lived batch mode (requests on stdin)
+     acc cache stat|clear|gc         manage the persistent proof store
 
    Options select the paper's per-function abstraction switches, fault
-   isolation (--keep-going) and resource budgets (--timeout, --solver-branches,
-   --analysis-steps, --analysis-rounds, --rewrite-fuel).
+   isolation (--keep-going), resource budgets (--timeout, --solver-branches,
+   --analysis-steps, --analysis-rounds, --rewrite-fuel), and the persistent
+   proof store (--store DIR / $ACC_STORE / --no-store).
 
    Exit-code contract (kept by every subcommand, on every input):
      0  success (for lint: no findings)
      1  findings: lint warnings, a failed check, or functions that degraded
-        below L2 during translation
+        below L2 during translation; also an unusable proof store (it is a
+        structured [Diag.Error], not an internal error)
      2  usage or input errors (unreadable file, parse or type error) and
         internal errors — always a one-line diagnostic, never a stack trace. *)
 
 open Cmdliner
 module Driver = Autocorres.Driver
 module Diag = Autocorres.Diag
+module Pool = Autocorres.Pool
+module Store = Ac_store.Store
 
 (* Usage errors: one-line diagnostic on stderr, exit 2. *)
 let usage_error fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt
@@ -77,6 +83,43 @@ let options_of ?(no_discharge = false) ?(keep_going = false)
 
 let file_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"C source file")
+
+(* ------------------------------------------------------------------ *)
+(* The persistent proof store (--store DIR / $ACC_STORE / --no-store). *)
+
+let store_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Persistent proof store: reuse certified per-function translation \
+           results across runs.  Entries are replayed through the kernel on \
+           every load, so the store is never trusted.  Defaults to \
+           \\$ACC_STORE when set.")
+
+let no_store_arg =
+  Arg.(
+    value & flag
+    & info [ "no-store" ]
+        ~doc:"Ignore --store and \\$ACC_STORE; translate from scratch")
+
+(* Resolve the store handle.  An unusable store directory is a structured
+   diagnostic (exit 1 via [protect]), not an internal error: the store is
+   part of the user's configuration, and the failure mode must match the
+   exit contract. *)
+let store_of ~store_dir ~no_store : Store.t option =
+  let dir =
+    if no_store then None
+    else
+      match store_dir with Some d -> Some d | None -> Sys.getenv_opt "ACC_STORE"
+  in
+  match dir with
+  | None -> None
+  | Some d -> (
+    match Store.open_ ~dir:d () with
+    | Ok st -> Some st
+    | Error m -> raise (Diag.Error (Diag.make ~severity:Diag.Error Diag.Store m)))
 
 let no_heap =
   Arg.(value & flag & info [ "no-heap-abs" ] ~doc:"Disable heap abstraction (Sec 4)")
@@ -198,8 +241,8 @@ let with_funcs res func_filter f =
 
 (* Front-end errors carry positions; render them the way compilers do, on
    stderr, and exit 2 (a problem with the input, not a finding). *)
-let run_frontend ~file ~options source =
-  try Driver.run ~options source with
+let run_frontend ?store ?pool ?fresh_tables ~file ~options source =
+  try Driver.run ~options ?store ?pool ?fresh_tables source with
   | Ac_cfront.Lexer.Lex_error (m, pos) ->
     usage_error "%s:%d:%d: lexical error: %s" file pos.Ac_cfront.Ast.line pos.Ac_cfront.Ast.col m
   | Ac_cfront.Parser.Parse_error (m, pos) ->
@@ -223,17 +266,19 @@ let result_json ~file (res : Driver.result) : string =
         res.Driver.degraded
   in
   Printf.sprintf
-    "{\"file\":\"%s\",\"functions\":[%s],\"budget_exhaustions\":%d,\"diagnostics\":%s}"
+    "{\"file\":\"%s\",\"functions\":[%s],\"budget_exhaustions\":%d,\"store\":{\"hits\":%d,\"misses\":%d},\"diagnostics\":%s}"
     (Diag.json_escape file) (String.concat "," funcs) res.Driver.budget_hits
+    res.Driver.store_hits res.Driver.store_misses
     (Diag.list_to_json res.Driver.diags)
 
 let translate file no_heap no_word no_discharge keep_low stage func_filter keep_going
-    diag_json budgets jobs =
+    diag_json budgets jobs store_dir no_store =
   let source = read_file file in
   let options =
     options_of ~no_discharge ~keep_going ~budgets ~jobs ~no_heap ~no_word ~keep_low ()
   in
-  let res = run_frontend ~file ~options source in
+  let store = store_of ~store_dir ~no_store in
+  let res = run_frontend ?store ~file ~options source in
   if diag_json then print_endline (result_json ~file res)
   else begin
     with_funcs res func_filter (fun fr ->
@@ -259,12 +304,20 @@ let translate file no_heap no_word no_discharge keep_low stage func_filter keep_
   if res.Driver.degraded <> [] then exit 1
 
 let check file no_heap no_word no_discharge keep_low keep_going budgets cases jobs
-    uncached =
+    uncached store_dir no_store =
   let source = read_file file in
   let options =
     options_of ~no_discharge ~keep_going ~budgets ~jobs ~no_heap ~no_word ~keep_low ()
   in
-  let res = run_frontend ~file ~options source in
+  let store = store_of ~store_dir ~no_store in
+  let res = run_frontend ?store ~file ~options source in
+  (* In an audit run, a store entry that had to be rejected (unreadable,
+     corrupt, stale) is itself a finding: report it structured and exit 1,
+     even though the translation degraded gracefully past it. *)
+  let store_problems =
+    List.filter (fun (d : Diag.t) -> d.Diag.d_phase = Diag.Store) res.Driver.diags
+  in
+  List.iter (fun d -> prerr_endline (Diag.to_string ~file d)) store_problems;
   (match Driver.check_all ~cached:(not uncached) res with
   | Ok () -> Printf.printf "kernel: all refinement derivations re-validated\n"
   | Error e ->
@@ -287,17 +340,21 @@ let check file no_heap no_word no_discharge keep_low keep_going budgets cases jo
           (Driver.level_name (Driver.degraded_level d)))
       res.Driver.degraded;
     exit 1
-  end
+  end;
+  if store_problems <> [] then exit 1
 
-let stats file profile profile_json jobs =
+let stats file profile profile_json jobs store_dir no_store =
   let source = read_file file in
   (* Run the front end once under [run_frontend] so lexical/parse/type
      errors render compiler-style and exit 2 before measuring. *)
   let options =
     { Driver.default_options with Driver.keep_going = true; jobs = max 1 jobs }
   in
+  let store = store_of ~store_dir ~no_store in
   let (_ : Driver.result) = run_frontend ~file ~options source in
-  let row, res = Ac_stats.measure ~options ~name:(Filename.basename file) source in
+  let row, res =
+    Ac_stats.measure ~options ?store ~name:(Filename.basename file) source
+  in
   (* Include derivation checking in the profile, as in a full audit run. *)
   if profile || profile_json then ignore (Driver.check_all res);
   if profile_json then print_endline (Autocorres.Profile.to_json ())
@@ -309,7 +366,9 @@ let stats file profile profile_json jobs =
       print_newline ();
       print_string
         (Ac_stats.render_table ~header:Ac_stats.profile_header
-           (Ac_stats.profile_rows (Autocorres.Profile.snapshot ())))
+           (Ac_stats.profile_rows (Autocorres.Profile.snapshot ())));
+      Printf.printf "\nstore: %d hits, %d misses\n" res.Driver.store_hits
+        res.Driver.store_misses
     end
   end
 
@@ -317,10 +376,11 @@ let stats file profile profile_json jobs =
    executions would dereference NULL, divide by zero, ... — likely UB) plus
    possibly-uninitialised reads, with positions from the front end.  Exit 1
    when there are findings, 0 otherwise. *)
-let lint file no_heap no_word keep_low =
+let lint file no_heap no_word keep_low jobs store_dir no_store =
   let source = read_file file in
-  let options = options_of ~keep_going:true ~no_heap ~no_word ~keep_low () in
-  let res = run_frontend ~file ~options source in
+  let options = options_of ~keep_going:true ~jobs ~no_heap ~no_word ~keep_low () in
+  let store = store_of ~store_dir ~no_store in
+  let res = run_frontend ?store ~file ~options source in
   let lenv = res.Driver.ctx.Ac_kernel.Rules.lenv in
   let guard_findings =
     List.concat_map
@@ -353,6 +413,127 @@ let lint file no_heap no_word keep_low =
   if findings <> [] then exit 1;
   Printf.printf "%s: no findings\n" file
 
+(* ------------------------------------------------------------------ *)
+(* `acc serve`: a long-lived batch mode.  Requests are newline-delimited
+   on stdin — `translate FILE`, `check FILE` or `lint FILE` — and each
+   produces exactly one JSON response line on stdout, in request order.
+   The proof store, the worker pool and the hash-consing tables stay warm
+   across requests, so a serve session amortises everything a one-shot
+   invocation pays per run.  A bad request never kills the session (the
+   response carries "ok":false); EOF ends it. *)
+let serve jobs store_dir no_store =
+  let jobs = max 1 jobs in
+  let store = store_of ~store_dir ~no_store in
+  let pool = if jobs > 1 then Some (Pool.create ~jobs) else None in
+  Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown pool) @@ fun () ->
+  let options =
+    options_of ~keep_going:true ~jobs ~no_heap:false ~no_word:false ~keep_low:[] ()
+  in
+  let respond line =
+    print_string line;
+    print_newline ();
+    flush stdout
+  in
+  let err_json msg =
+    respond (Printf.sprintf "{\"ok\":false,\"error\":\"%s\"}" (Diag.json_escape msg))
+  in
+  let read_source file =
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let handle line =
+    let line = String.trim line in
+    if line = "" then ()
+    else begin
+      match String.index_opt line ' ' with
+      | None ->
+        err_json (Printf.sprintf "bad request %S (want: translate|check|lint FILE)" line)
+      | Some i -> (
+        let cmd = String.sub line 0 i in
+        let file = String.trim (String.sub line i (String.length line - i)) in
+        let run () =
+          Driver.run ~options ?store ?pool ~fresh_tables:false (read_source file)
+        in
+        match cmd with
+        | "translate" ->
+          let res = run () in
+          respond
+            (Printf.sprintf "{\"ok\":true,\"cmd\":\"translate\",\"result\":%s}"
+               (result_json ~file res))
+        | "check" ->
+          let res = run () in
+          let kernel =
+            match Driver.check_all res with
+            | Ok () -> "\"ok\""
+            | Error e -> Printf.sprintf "\"failed: %s\"" (Diag.json_escape e)
+          in
+          respond
+            (Printf.sprintf
+               "{\"ok\":true,\"cmd\":\"check\",\"file\":\"%s\",\"kernel\":%s,\"degraded\":%d,\"store\":{\"hits\":%d,\"misses\":%d}}"
+               (Diag.json_escape file) kernel
+               (List.length res.Driver.degraded)
+               res.Driver.store_hits res.Driver.store_misses)
+        | "lint" ->
+          let res = run () in
+          let lenv = res.Driver.ctx.Ac_kernel.Rules.lenv in
+          let findings =
+            List.concat_map
+              (fun fr ->
+                Ac_analysis.lint_func lenv ~simpl:fr.Driver.fr_simpl fr.Driver.fr_l2)
+              res.Driver.funcs
+          in
+          let fjson (f : Ac_analysis.finding) =
+            Printf.sprintf "{\"function\":\"%s\",\"message\":\"%s\"}"
+              (Diag.json_escape f.Ac_analysis.lf_func)
+              (Diag.json_escape f.Ac_analysis.lf_msg)
+          in
+          respond
+            (Printf.sprintf "{\"ok\":true,\"cmd\":\"lint\",\"file\":\"%s\",\"findings\":[%s]}"
+               (Diag.json_escape file)
+               (String.concat "," (List.map fjson findings)))
+        | other -> err_json (Printf.sprintf "unknown command %S" other))
+    end
+  in
+  let rec loop () =
+    match input_line stdin with
+    | exception End_of_file -> ()
+    | line ->
+      (* One failing request (missing file, parse error, even an internal
+         error) answers with ok:false and the session continues. *)
+      (match handle line with
+      | () -> ()
+      | exception Diag.Error d -> err_json (Diag.to_string d)
+      | exception Sys_error m -> err_json m
+      | exception e -> err_json (Diag.message_of_exn e));
+      loop ()
+  in
+  loop ()
+
+(* `acc cache stat|clear|gc`: maintenance of the persistent proof store. *)
+let cache action store_dir max_entries =
+  let dir =
+    match store_dir with Some d -> Some d | None -> Sys.getenv_opt "ACC_STORE"
+  in
+  match dir with
+  | None -> usage_error "acc cache: no store directory (use --store DIR or $ACC_STORE)"
+  | Some dir -> (
+    let or_die = function
+      | Ok v -> v
+      | Error m -> raise (Diag.Error (Diag.make ~severity:Diag.Error Diag.Store m))
+    in
+    match action with
+    | `Stat ->
+      let s = or_die (Store.stat ~dir) in
+      Printf.printf "%s: %d entries, %d bytes\n" dir s.Store.entries s.Store.bytes
+    | `Clear ->
+      let n = or_die (Store.clear ~dir) in
+      Printf.printf "%s: removed %d entries\n" dir n
+    | `Gc ->
+      let n = or_die (Store.gc ~dir ~max_entries) in
+      Printf.printf "%s: removed %d entries (kept newest %d)\n" dir n max_entries)
+
 (* Wrap a fully-applied command body in [protect], keeping cmdliner's
    n-ary term application readable. *)
 let protected term = Term.(const protect $ term $ const ())
@@ -362,9 +543,9 @@ let translate_cmd =
     (Cmd.info "translate" ~doc:"Abstract a C file and print the result")
     (protected
        Term.(
-         const (fun a b c d e f g h i j k () -> translate a b c d e f g h i j k)
+         const (fun a b c d e f g h i j k l m () -> translate a b c d e f g h i j k l m)
          $ file_arg $ no_heap $ no_word $ no_discharge $ keep_low $ stage $ func_filter
-         $ keep_going $ diag_json $ budgets_term $ jobs))
+         $ keep_going $ diag_json $ budgets_term $ jobs $ store_dir_arg $ no_store_arg))
 
 let check_cmd =
   let cases =
@@ -383,9 +564,9 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Re-validate derivations and differential-test the abstraction")
     (protected
        Term.(
-         const (fun a b c d e f g h i j () -> check a b c d e f g h i j)
+         const (fun a b c d e f g h i j k l () -> check a b c d e f g h i j k l)
          $ file_arg $ no_heap $ no_word $ no_discharge $ keep_low $ keep_going
-         $ budgets_term $ cases $ jobs $ uncached))
+         $ budgets_term $ cases $ jobs $ uncached $ store_dir_arg $ no_store_arg))
 
 let stats_cmd =
   let profile =
@@ -406,19 +587,54 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Pipeline statistics (Table 5 metrics)")
     (protected
        Term.(
-         const (fun a b c d () -> stats a b c d)
-         $ file_arg $ profile $ profile_json $ jobs))
+         const (fun a b c d e f () -> stats a b c d e f)
+         $ file_arg $ profile $ profile_json $ jobs $ store_dir_arg $ no_store_arg))
 
 let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Report statically refutable UB guards and uninitialised reads")
     (protected
-       Term.(const (fun a b c d () -> lint a b c d) $ file_arg $ no_heap $ no_word $ keep_low))
+       Term.(
+         const (fun a b c d e f g () -> lint a b c d e f g)
+         $ file_arg $ no_heap $ no_word $ keep_low $ jobs $ store_dir_arg $ no_store_arg))
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-lived batch mode: read newline-delimited requests (translate FILE, \
+          check FILE, lint FILE) from stdin and answer each with one JSON line, \
+          keeping the proof store, worker pool and hash-cons tables warm")
+    (protected
+       Term.(
+         const (fun a b c () -> serve a b c) $ jobs $ store_dir_arg $ no_store_arg))
+
+let cache_cmd =
+  let action =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("stat", `Stat); ("clear", `Clear); ("gc", `Gc) ])) None
+      & info [] ~docv:"ACTION" ~doc:"stat, clear or gc")
+  in
+  let max_entries =
+    Arg.(
+      value & opt int 1024
+      & info [ "max-entries" ] ~docv:"N"
+          ~doc:"gc: keep only the newest $(docv) entries")
+  in
+  Cmd.v
+    (Cmd.info "cache" ~doc:"Manage the persistent proof store (stat, clear, gc)")
+    (protected
+       Term.(
+         const (fun a b c () -> cache a b c) $ action $ store_dir_arg $ max_entries))
 
 let () =
   let info =
     Cmd.info "acc" ~version:"1.0.0"
       ~doc:"Proof-producing abstraction of C code (AutoCorres, PLDI 2014)"
   in
-  exit (Cmd.eval (Cmd.group info [ translate_cmd; check_cmd; stats_cmd; lint_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ translate_cmd; check_cmd; stats_cmd; lint_cmd; serve_cmd; cache_cmd ]))

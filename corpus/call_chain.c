@@ -1,0 +1,31 @@
+/* A layered call graph for exercising the proof store's per-function
+   invalidation cones: clamp is a leaf, clamp3 calls clamp, sum3 calls
+   clamp3 (so editing clamp must invalidate all three), and scale is an
+   independent island whose entry must survive any edit to the chain. */
+
+int clamp(int lo, int hi, int v) {
+  if (v < lo) return lo;
+  if (hi < v) return hi;
+  return v;
+}
+
+int clamp3(int v) {
+  int r = 0;
+  r = clamp(0, 3, v);
+  return r;
+}
+
+int sum3(int a, int b, int c) {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+  x = clamp3(a);
+  y = clamp3(b);
+  z = clamp3(c);
+  return x + y + z;
+}
+
+int scale(int v) {
+  if (v < 0) return 0;
+  return v * 2;
+}

@@ -1,0 +1,26 @@
+/* Mutually recursive parity, plus a caller above the cycle: the store
+   key of each member of the recursion must cover the whole strongly
+   connected component (editing is_odd invalidates is_even and parity
+   too), which the cone-digest fixpoint handles without special-casing
+   cycles. */
+
+unsigned is_even(unsigned n) {
+  unsigned r = 0u;
+  if (n == 0u) return 1u;
+  r = is_odd(n - 1u);
+  return r;
+}
+
+unsigned is_odd(unsigned n) {
+  unsigned r = 0u;
+  if (n == 0u) return 0u;
+  r = is_even(n - 1u);
+  return r;
+}
+
+unsigned parity(unsigned n) {
+  unsigned e = 0u;
+  e = is_even(n);
+  if (e == 1u) return 0u;
+  return 1u;
+}

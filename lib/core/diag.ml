@@ -30,6 +30,7 @@ type phase =
   | Chain
   | Check
   | Budget
+  | Store
 
 type severity = Error | Warning | Note
 
@@ -61,6 +62,7 @@ let phase_name = function
   | Chain -> "chain"
   | Check -> "check"
   | Budget -> "budget"
+  | Store -> "store"
 
 let severity_name (s : severity) =
   match s with Error -> "error" | Warning -> "warning" | Note -> "note"

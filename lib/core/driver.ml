@@ -3,6 +3,9 @@ module M = Ac_monad.M
 module Ir = Ac_simpl.Ir
 module Rules = Ac_kernel.Rules
 module Thm = Ac_kernel.Thm
+module J = Ac_kernel.Judgment
+module Store = Ac_store.Store
+module Trace = Ac_store.Trace
 
 (* The AutoCorres driver: runs the full pipeline of Fig 1 over a C program
    and returns every intermediate representation together with the
@@ -93,6 +96,21 @@ let options_for options fname =
   | Some o -> o
   | None -> options.defaults
 
+(* The per-function option vector rendered for the proof store's content
+   key: every knob that can change what the pipeline produces for one
+   function must appear here, so flipping any of them misses the store
+   instead of replaying a result computed under different settings.
+   [jobs] and [l2_memo] are deliberately absent — they change scheduling
+   and cost, never output. *)
+let opt_string (options : options) (fname : string) : string =
+  let o = options_for options fname in
+  let b = options.budgets in
+  let fl = function None -> "-" | Some f -> string_of_float f in
+  Printf.sprintf "wa=%b ha=%b dg=%b polish=%b sb=%d sd=%s cc=%d ar=%d as=%d ad=%s rf=%d"
+    o.word_abs o.heap_abs o.discharge_guards options.polish b.solver_branches
+    (fl b.solver_deadline_s) b.cc_merges b.analysis_rounds b.analysis_steps
+    (fl b.analysis_deadline_s) b.rewrite_fuel
+
 (* The degradation ladder: the last certified level a function reached. *)
 type level = Lsimpl | Ll1 | Ll2 | Lhl | Lwa
 
@@ -158,6 +176,8 @@ type result = {
   budget_hits : int; (* budget exhaustions during this run *)
   ctx : Rules.ctx;
   heap_types : Ty.cty list;
+  store_hits : int; (* store entries used by this run (0 without a store) *)
+  store_misses : int; (* functions translated from scratch despite a store *)
 }
 
 let find_result res name = List.find_opt (fun r -> String.equal r.fr_name name) res.funcs
@@ -232,21 +252,159 @@ let attempt ~(keep_going : bool) ~(phase : Diag.phase) ~(fname : string)
     end
     else raise (Diag.Error d)
 
-let run ?(options = default_options) (source : string) : result =
+(* ------------------------------------------------------------------ *)
+(* Proof-store replay.
+
+   Reconstitute a [func_result] from a store entry by re-minting its
+   entire derivation through the kernel and anchoring the replayed
+   conclusions against the *current* run: the freshly parsed Simpl body,
+   the assembled unit's nothrow set and word-abstraction signatures.  An
+   entry that is stale (the source or a callee changed in a way the key
+   missed), corrupted past its digest, or hand-crafted can fail any of
+   these gates — and then it is simply re-translated — but it can never
+   contribute a theorem the kernel would not derive itself, because every
+   theorem in the result comes out of [Thm.by] right here.
+
+   [ctx] is the run's final context (post WA-demotion fixpoint): its
+   [nothrows]/[fsigs] already include this entry's own claims, which were
+   used to seed the fixpoints; the claim-vs-recomputation checks below
+   close that loop, so a wrong seed demotes the entry instead of
+   distorting the unit. *)
+let replay_entry (ctx : Rules.ctx) (f : Ir.func) (e : Store.fentry) :
+    (func_result, string) Stdlib.result =
+  let name = f.Ir.name in
+  let l1_body = e.Store.e_l1.M.body in
+  let l2_body = e.Store.e_l2.M.body in
+  if Rules.nothrow_in ctx.Rules.nothrows l2_body <> e.Store.e_nothrow then
+    Result.error "nothrow claim inconsistent with the assembled unit"
+  else begin
+    let conv_sig_equal (ps1, r1) (ps2, r2) =
+      List.length ps1 = List.length ps2
+      && List.for_all2 J.conv_equal ps1 ps2
+      && J.conv_equal r1 r2
+    in
+    if
+      not
+        (conv_sig_equal e.Store.e_fsig
+           (Wa.func_sig ~enabled:(e.Store.e_wa <> None) e.Store.e_l2))
+    then Result.error "signature claim inconsistent with the assembled unit"
+    else begin
+      let after_hl = match e.Store.e_hl with Some h -> h | None -> e.Store.e_l2 in
+      if Wa.collect_wvars ctx.Rules.fsigs after_hl <> e.Store.e_wvars then
+        Result.error "word-abstraction variable registration mismatch"
+      else begin
+        let rctx = { ctx with Rules.wvars = e.Store.e_wvars } in
+        match Trace.replay rctx e.Store.e_trace with
+        | Result.Error m -> Result.error m
+        | Result.Ok chain -> (
+          match Thm.premises chain with
+          | l1_thm :: l2_thm :: rest
+            when e.Store.e_n_hl >= 0 && List.length rest >= e.Store.e_n_hl ->
+            let hl_thms = List.filteri (fun i _ -> i < e.Store.e_n_hl) rest in
+            let wa_thms = List.filteri (fun i _ -> i >= e.Store.e_n_hl) rest in
+            (* Walk the chain the way [Fn_chain] folds it, collecting the
+               intermediate program after every step: the stored L2/HL/WA
+               images must be exactly the walk states at their segment
+               boundaries, so an entry cannot present one program to the
+               kernel and a different one to the user. *)
+            let step cur (t : Thm.t) =
+              match Thm.concl t with
+              | (J.Equiv (a, c) | J.Abs_h_stmt (a, c)) when M.equal c cur -> Some a
+              | J.Abs_w_stmt (_, _, _, a, c) when M.equal c cur -> Some a
+              | _ -> None
+            in
+            let states =
+              (* state after l2_thm, after each HL step, after each WA step *)
+              List.fold_left
+                (fun acc t ->
+                  match acc with
+                  | None -> None
+                  | Some (cur, sts) -> (
+                    match step cur t with
+                    | Some a -> Some (a, a :: sts)
+                    | None -> None))
+                (Some (l1_body, []))
+                (l2_thm :: rest)
+              |> Option.map (fun (_, sts) -> List.rev sts)
+            in
+            let anchored =
+              match states with
+              | None -> false
+              | Some sts ->
+                let state_is i b =
+                  match List.nth_opt sts i with Some s -> M.equal s b | None -> false
+                in
+                J.judgment_equal (Thm.concl chain)
+                  (J.Fn_refines (name, e.Store.e_final.M.body, l1_body))
+                && J.judgment_equal (Thm.concl l1_thm) (J.Corres_l1 (f.Ir.body, l1_body))
+                && state_is 0 l2_body
+                && state_is e.Store.e_n_hl after_hl.M.body
+                && (match e.Store.e_wa with
+                   | None -> true
+                   | Some wf ->
+                     List.exists (fun s -> M.equal s wf.M.body)
+                       (List.filteri (fun i _ -> i > e.Store.e_n_hl) sts))
+            in
+            if not anchored then
+              Result.error "replayed derivation does not anchor to the current source"
+            else
+              Result.ok
+                {
+                  fr_name = name;
+                  fr_simpl = f;
+                  fr_l1 = e.Store.e_l1;
+                  fr_l1_thm = l1_thm;
+                  fr_l2 = e.Store.e_l2;
+                  fr_l2_thm = l2_thm;
+                  fr_hl = e.Store.e_hl;
+                  fr_hl_thm =
+                    (if e.Store.e_hl <> None then
+                       match hl_thms with t :: _ -> Some t | [] -> None
+                     else None);
+                  fr_hl_thms = hl_thms;
+                  fr_wa = e.Store.e_wa;
+                  fr_wa_thm =
+                    (if e.Store.e_wa <> None then
+                       match wa_thms with t :: _ -> Some t | [] -> None
+                     else None);
+                  fr_wa_thms = wa_thms;
+                  fr_wa_wvars = e.Store.e_wvars;
+                  fr_chain = Some chain;
+                  fr_final = e.Store.e_final;
+                  fr_skipped = e.Store.e_skipped;
+                  fr_diags = [];
+                }
+          | _ -> Result.error "chain derivation has unexpected premise shape")
+      end
+    end
+  end
+
+let run ?(options = default_options) ?store ?pool:ext_pool ?(fresh_tables = true)
+    (source : string) : result =
   install_budgets options.budgets;
   reset_budget_counters ();
   (* Per-run invalidation of the hash-cons intern table (worker domains
-     get fresh domain-local tables and drop them at join). *)
-  Ac_prover.Term.hc_clear ();
+     get fresh domain-local tables and drop them at join).  A batch server
+     passes [~fresh_tables:false] to keep the tables warm across
+     requests. *)
+  if fresh_tables then Ac_prover.Term.hc_clear ();
   Profile.reset ();
   (* One persistent pool per run: worker domains are spawned here once and
      reused by every per-function phase (spawning per phase costs more than
      a whole phase on small units).  Cap at the hardware like any thread
      pool — extra domains on a saturated machine only add stop-the-world
-     GC synchronisation. *)
+     GC synchronisation.  A caller-supplied pool ([?pool]) is used as-is
+     and left running, so a batch server amortises the spawn across
+     requests. *)
   let jobs = min (max 1 options.jobs) (Domain.recommended_domain_count ()) in
-  let pool = if jobs > 1 then Some (Pool.create ~jobs) else None in
-  Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown pool) @@ fun () ->
+  let pool =
+    match ext_pool with
+    | Some _ -> ext_pool
+    | None -> if jobs > 1 then Some (Pool.create ~jobs) else None
+  in
+  Fun.protect
+    ~finally:(fun () -> if Option.is_none ext_pool then Option.iter Pool.shutdown pool)
+  @@ fun () ->
   let keep_going = options.keep_going in
   (* Per-function phases run on the pool; order and first-failure
      semantics match the sequential [List.map]. *)
@@ -265,8 +423,63 @@ let run ?(options = default_options) (source : string) : result =
       simpl.Ir.funcs
   in
   let base_ctx = { (Rules.empty_ctx lenv) with Rules.lifted } in
-  (* L1 for every function; a failure here degrades the function to its
-     Simpl image (the bottom of the ladder). *)
+  (* ---- proof store: content keys and candidate entries ---- *)
+  let store =
+    (* Custom word-abstraction rules are closures: they cannot be rendered
+       into a stable content key, so the store stands down rather than
+       risk replaying entries built under a different rule base. *)
+    if options.strategy.Wa.customs <> [] then None else store
+  in
+  let store_base =
+    match store with Some st -> (Store.hits st, Store.misses st) | None -> (0, 0)
+  in
+  let store_keys =
+    match store with
+    | None -> []
+    | Some st ->
+      Profile.record "store_keys" (fun () ->
+          Store.cone_keys ~tag:(Store.tag st) ~opt_string:(opt_string options) simpl)
+  in
+  let store_diags = ref [] in
+  let store_diag ~fname msg =
+    store_diags :=
+      Diag.make ~func:fname ~severity:Diag.Warning ~recoverable:true Diag.Store msg
+      :: !store_diags
+  in
+  let candidates : (string * Store.fentry) list =
+    match store with
+    | None -> []
+    | Some st ->
+      List.filter_map
+        (fun (f : Ir.func) ->
+          let name = f.Ir.name in
+          match List.assoc_opt name store_keys with
+          | None -> None
+          | Some key -> (
+            match Profile.record "store_load" (fun () -> Store.load st ~key) with
+            | Store.Hit e when String.equal e.Store.e_name name -> Some (name, e)
+            | Store.Hit _ ->
+              Store.demote_hit st;
+              store_diag ~fname:name "store entry names a different function; ignored";
+              None
+            | Store.Miss -> None
+            | Store.Corrupt msg ->
+              store_diag ~fname:name msg;
+              None))
+        simpl.Ir.funcs
+  in
+  (* ---- the translation proper, parameterized by the set of store
+     entries still trusted.  A hit that later fails replay or claim
+     validation is demoted and the translation re-entered without it;
+     [entries] shrinks strictly each retry, so this terminates (at worst
+     as a full cold run). ---- *)
+  let rec translate (entries : (string * Store.fentry) list) : result =
+  let is_hit n = List.mem_assoc n entries in
+  let miss_funcs =
+    List.filter (fun (f : Ir.func) -> not (is_hit f.Ir.name)) simpl.Ir.funcs
+  in
+  (* L1 for every function translated this run; a failure here degrades
+     the function to its Simpl image (the bottom of the ladder). *)
   let l1_results, simpl_only =
     pmap
       (fun (f : Ir.func) ->
@@ -280,14 +493,25 @@ let run ?(options = default_options) (source : string) : result =
         | None ->
           Either.Right
             { dg_name = f.Ir.name; dg_simpl = f; dg_l1 = None; dg_diags = List.rev !diags })
-      simpl.Ir.funcs
+      miss_funcs
     |> List.partition_map Fun.id
   in
+  (* Source order, hits contributing their stored L1 image. *)
   let l1_prog : M.program =
     {
       M.lenv;
       globals = simpl.Ir.globals;
-      funcs = List.map (fun (_, f, _, _) -> f) l1_results;
+      funcs =
+        List.filter_map
+          (fun (f : Ir.func) ->
+            match List.assoc_opt f.Ir.name entries with
+            | Some e -> Some e.Store.e_l1
+            | None ->
+              List.find_map
+                (fun (_, (m : M.func), _, _) ->
+                  if String.equal m.M.name f.Ir.name then Some m else None)
+                l1_results)
+          simpl.Ir.funcs;
       heap_types = [];
     }
   in
@@ -385,22 +609,30 @@ let run ?(options = default_options) (source : string) : result =
       (fun ((sf, l1f, l1_thm, diags), _, _) (r, _) -> (sf, l1f, l1_thm, diags, r))
       rows converted
   in
+  (* Store hits contribute their claimed nothrow status as a constant seed
+     of the fixpoint (their L2 bodies are not re-derived); [replay_entry]
+     re-checks each claim against the assembled unit afterwards, so a
+     wrong seed costs a retry, never soundness. *)
+  let seed_nothrows =
+    List.filter_map (fun (n, e) -> if e.Store.e_nothrow then Some n else None) entries
+  in
   let rec l2_fix nothrows round =
     let results = l2_round nothrows in
     let nothrows' =
-      List.filter_map
-        (fun (_, _, _, _, l2) ->
-          match l2 with
-          | Some ((l2f : M.func), _) ->
-            if Rules.nothrow_in nothrows l2f.M.body then Some l2f.M.name else None
-          | None -> None)
-        results
+      seed_nothrows
+      @ List.filter_map
+          (fun (_, _, _, _, l2) ->
+            match l2 with
+            | Some ((l2f : M.func), _) ->
+              if Rules.nothrow_in nothrows l2f.M.body then Some l2f.M.name else None
+            | None -> None)
+          results
     in
     if round > List.length l1_results || List.length nothrows' = List.length nothrows then
       nothrows'
     else l2_fix nothrows' (round + 1)
   in
-  let nothrows = l2_fix [] 0 in
+  let nothrows = l2_fix seed_nothrows 0 in
   (* The final round under the stabilised set: with the memo on this is
      pure lookup (the stable fixpoint round already converted under the
      same callee environments); with it off (bench baseline) it re-converts
@@ -461,12 +693,17 @@ let run ?(options = default_options) (source : string) : result =
   (* Word-abstraction signatures, fixed up front so recursion and mutual
      calls are consistent; functions whose abstraction fails are demoted to
      identity signatures and the rest re-run (fixpoint). *)
+  (* Hits contribute their stored (post-demotion) signatures, constant
+     across the demotion fixpoint below; [replay_entry] re-validates them
+     against the entry's own L2 image afterwards. *)
+  let hit_fsigs = List.map (fun (n, e) -> (n, e.Store.e_fsig)) entries in
   let fsigs_for enabled_names =
-    List.map
-      (fun (_, _, _, (l2f : M.func), _, _) ->
-        let enabled = List.mem l2f.M.name enabled_names in
-        (l2f.M.name, Wa.func_sig ~enabled l2f))
-      l2_results
+    hit_fsigs
+    @ List.map
+        (fun (_, _, _, (l2f : M.func), _, _) ->
+          let enabled = List.mem l2f.M.name enabled_names in
+          (l2f.M.name, Wa.func_sig ~enabled l2f))
+        l2_results
   in
   let initially_enabled =
     List.filter_map
@@ -546,7 +783,7 @@ let run ?(options = default_options) (source : string) : result =
   in
   let wa_ctx, wa_attempts = wa_fix initially_enabled in
   let ctx = wa_ctx in
-  let funcs =
+  let miss_frs =
     pmap
       (fun (sf, l1f, l1_thm, l2f, l2_thm, hl, skipped, diags) ->
         let name = (l2f : M.func).M.name in
@@ -628,30 +865,121 @@ let run ?(options = default_options) (source : string) : result =
         })
       hl_results
   in
-  let degraded = simpl_only @ l1_only in
-  let heap_types =
-    funcs
-    ||> List.concat_map (fun fr ->
-            match fr.fr_hl with Some hf -> Hl.heap_types_of_func hf | None -> [])
-    ||> List.fold_left
-          (fun acc c -> if List.exists (Ty.cty_equal c) acc then acc else c :: acc)
-          []
-    ||> List.rev
+  (* Replay the store hits under the final context.  The whole derivation
+     is re-minted through [Thm.by]; failures demote the entry and re-enter
+     the translation without it. *)
+  let hit_results =
+    pmap
+      (fun (f : Ir.func) ->
+        let e = List.assoc f.Ir.name entries in
+        let r =
+          Profile.record "store_replay" (fun () ->
+              match replay_entry ctx f e with
+              | r -> r
+              | exception ex -> Result.error (Diag.message_of_exn ex))
+        in
+        (f.Ir.name, r))
+      (List.filter (fun (f : Ir.func) -> is_hit f.Ir.name) simpl.Ir.funcs)
   in
-  let final_prog : M.program =
-    {
-      M.lenv;
-      globals = simpl.Ir.globals;
-      funcs = List.map (fun fr -> fr.fr_final) funcs;
-      heap_types;
-    }
+  let failed =
+    List.filter_map
+      (fun (n, r) -> match r with Result.Error m -> Some (n, m) | Result.Ok _ -> None)
+      hit_results
   in
-  let diags =
-    List.concat_map (fun fr -> fr.fr_diags) funcs
-    @ List.concat_map (fun d -> d.dg_diags) degraded
+  if failed <> [] then begin
+    List.iter
+      (fun (n, m) ->
+        Option.iter Store.demote_hit store;
+        store_diag ~fname:n ("stale or invalid store entry (re-translating): " ^ m))
+      failed;
+    translate (List.filter (fun (n, _) -> not (List.mem_assoc n failed)) entries)
+  end
+  else begin
+    let hit_frs =
+      List.filter_map
+        (fun (n, r) -> match r with Result.Ok fr -> Some (n, fr) | Result.Error _ -> None)
+        hit_results
+    in
+    (* Source order, hits and fresh translations interleaved exactly as a
+       cold run would produce them. *)
+    let funcs =
+      List.filter_map
+        (fun (f : Ir.func) ->
+          match List.assoc_opt f.Ir.name hit_frs with
+          | Some fr -> Some fr
+          | None -> List.find_opt (fun fr -> String.equal fr.fr_name f.Ir.name) miss_frs)
+        simpl.Ir.funcs
+    in
+    let degraded = simpl_only @ l1_only in
+    let heap_types =
+      funcs
+      ||> List.concat_map (fun fr ->
+              match fr.fr_hl with Some hf -> Hl.heap_types_of_func hf | None -> [])
+      ||> List.fold_left
+            (fun acc c -> if List.exists (Ty.cty_equal c) acc then acc else c :: acc)
+            []
+      ||> List.rev
+    in
+    let final_prog : M.program =
+      {
+        M.lenv;
+        globals = simpl.Ir.globals;
+        funcs = List.map (fun fr -> fr.fr_final) funcs;
+        heap_types;
+      }
+    in
+    (* Bank every clean fresh translation (no diagnostics, end-to-end
+       chain assembled): only such entries can reproduce a byte-identical
+       result on a later hit, and degraded functions must keep
+       re-translating so their diagnostics reappear. *)
+    (match store with
+    | None -> ()
+    | Some st ->
+      Profile.record "store_save" (fun () ->
+          List.iter
+            (fun fr ->
+              if (not (is_hit fr.fr_name)) && fr.fr_diags = [] then begin
+                match (fr.fr_chain, List.assoc_opt fr.fr_name store_keys) with
+                | Some chain, Some key ->
+                  let e =
+                    {
+                      Store.e_name = fr.fr_name;
+                      e_l1 = fr.fr_l1;
+                      e_l2 = fr.fr_l2;
+                      e_hl = fr.fr_hl;
+                      e_wa = fr.fr_wa;
+                      e_final = fr.fr_final;
+                      e_wvars = fr.fr_wa_wvars;
+                      e_skipped = fr.fr_skipped;
+                      e_nothrow = List.mem fr.fr_name ctx.Rules.nothrows;
+                      e_fsig =
+                        (match List.assoc_opt fr.fr_name ctx.Rules.fsigs with
+                        | Some s -> s
+                        | None -> Wa.func_sig ~enabled:false fr.fr_l2);
+                      e_trace = Trace.record chain;
+                      e_n_hl = List.length fr.fr_hl_thms;
+                    }
+                  in
+                  (match Store.save st ~key e with
+                  | Result.Ok () -> ()
+                  | Result.Error m -> store_diag ~fname:fr.fr_name m)
+                | _ -> ()
+              end)
+            miss_frs))
+    ;
+    let diags =
+      List.rev !store_diags
+      @ List.concat_map (fun fr -> fr.fr_diags) funcs
+      @ List.concat_map (fun d -> d.dg_diags) degraded
+    in
+    { source; simpl; l1_prog; final_prog; funcs; degraded; diags;
+      budget_hits = budget_exhaustions (); ctx; heap_types;
+      store_hits = (match store with Some st -> Store.hits st - fst store_base | None -> 0);
+      store_misses =
+        (match store with Some st -> Store.misses st - snd store_base | None -> 0) }
+  end
   in
-  { source; simpl; l1_prog; final_prog; funcs; degraded; diags;
-    budget_hits = budget_exhaustions (); ctx; heap_types }
+  translate candidates
 
 (* Re-validate every derivation the pipeline produced (the independent
    checker pass), including the [Corres_l1] theorems of functions that

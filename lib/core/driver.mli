@@ -140,6 +140,12 @@ type result = {
   budget_hits : int;  (** budget exhaustions during this run *)
   ctx : Rules.ctx;  (** the kernel context the derivations live in *)
   heap_types : Ty.cty list;  (** the split heaps of the abstract state *)
+  store_hits : int;
+      (** proof-store entries this run replayed instead of re-translating
+          (0 when no store was supplied) *)
+  store_misses : int;
+      (** functions translated from scratch despite a store (includes
+          entries demoted after failing replay or validation) *)
 }
 
 val options_for : options -> string -> func_options
@@ -156,11 +162,39 @@ val processing : unit -> string option
 val budget_exhaustions : unit -> int
 
 (** Run the pipeline on a C source string.
+
+    [store] makes the run incremental: each function's content key (its
+    preprocessed source, the keys of its transitive callees, the option
+    vector, the ruleset tag) is looked up in the persistent proof store;
+    a hit replays the stored derivation trace through the kernel instead
+    of re-translating, so editing one function re-translates only the
+    functions whose call cone contains it.  The store sits outside the
+    TCB: every theorem in the result is minted by [Thm.by] either during
+    translation or during replay, and a stale/corrupt/forged entry fails
+    replay (or its anchor checks against the freshly parsed source) and
+    falls back to full translation with a [Diag.Store] warning.  Runs
+    with custom word-abstraction rules ignore the store (closures have no
+    stable content key).
+
+    [pool] supplies an external worker pool, used as-is and left running
+    (the batch server amortises domain spawn across requests); without it
+    the run creates and tears down its own pool when [options.jobs > 1].
+
+    [fresh_tables] (default [true]) clears the hash-consing intern tables
+    at the start of the run; a batch server passes [false] to keep them
+    warm across requests.
+
     @raise Ac_cfront.Typecheck.Type_error or {!Ac_cfront.Parser.Parse_error}
     on inputs outside the supported subset.
     @raise Diag.Error on a non-recoverable per-function failure when
     [keep_going] is off. *)
-val run : ?options:options -> string -> result
+val run :
+  ?options:options ->
+  ?store:Ac_store.Store.t ->
+  ?pool:Pool.t ->
+  ?fresh_tables:bool ->
+  string ->
+  result
 
 (** Independently re-validate every derivation the pipeline produced
     (including the per-function end-to-end chains and the L1 theorems of

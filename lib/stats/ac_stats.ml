@@ -42,7 +42,7 @@ let ir_guard_count (s : Ir.stmt) : int =
   Ir.iter_stmts (function Ir.Guard _ -> incr n | _ -> ()) s;
   !n
 
-let measure ?options ~name (source : string) : row * Driver.result =
+let measure ?options ?store ~name (source : string) : row * Driver.result =
   (* Measure with fault isolation on so a failing function shows up as a
      degradation count instead of aborting the whole measurement. *)
   let options =
@@ -56,7 +56,7 @@ let measure ?options ~name (source : string) : row * Driver.result =
   let simpl = Ac_simpl.C2simpl.parse source in
   let parse_time = Unix.gettimeofday () -. t0 in
   let t1 = Unix.gettimeofday () in
-  let res = Driver.run ~options source in
+  let res = Driver.run ~options ?store source in
   let autocorres_time = Unix.gettimeofday () -. t1 in
   let funcs = simpl.Ir.funcs in
   let n = max 1 (List.length funcs) in

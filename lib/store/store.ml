@@ -1,0 +1,365 @@
+module Ty = Ac_lang.Ty
+module M = Ac_monad.M
+module Ir = Ac_simpl.Ir
+module J = Ac_kernel.Judgment
+
+(* The persistent proof store: a content-addressed, on-disk cache of
+   per-function translation results together with the derivation traces
+   needed to re-mint their theorems.
+
+   Trust story (see DESIGN.md): the store is OUTSIDE the trusted computing
+   base.  An entry never contains a theorem — only programs (plain data)
+   and [Trace.t] recipes.  On a hit the driver replays every trace
+   through [Thm.by]/[Rules.infer] under a context rebuilt from the
+   current run, and anchors the replayed conclusions against the freshly
+   parsed source; a stale, corrupted or malicious entry can therefore
+   fail (and degrade to a full translation) but can never smuggle in a
+   judgment the kernel would not derive itself.
+
+   Integrity: entries carry a digest over the serialized payload, checked
+   before deserialization, so random corruption (the bit-flip test) is
+   caught before [Marshal.from_string] ever runs.  A hand-crafted entry
+   with a matching digest still faces the replay + anchor gauntlet.
+
+   Keying: an entry is addressed by a digest over
+     - the format/ruleset version tag (bumped whenever the kernel's rule
+       base or the pipeline's semantics change),
+     - the per-function driver option vector (and that of every function
+       in the cone, since each member's local digest includes its own),
+     - the preprocessed source of the function — its pretty-printed Simpl
+       image, which is stable under comments/whitespace/reordering of
+       unrelated code,
+     - the layout environment and globals (struct layouts change
+       semantics),
+     - the digests of all transitively called functions ("the cone"),
+       computed over the call graph's SCC condensation so mutual
+       recursion needs no special-casing.
+   Editing one function therefore invalidates exactly the functions whose
+   cone contains it. *)
+
+(* Bump when the kernel rule base, the trace format, or anything else
+   that replay depends on changes shape. *)
+let ruleset_tag = "acc-store-1/ruleset-1"
+
+let magic = "ACC-STORE v1\n"
+
+(* ------------------------------------------------------------------ *)
+(* Content keys. *)
+
+let hex s = Digest.to_hex (Digest.string s)
+
+(* Direct call targets of a Simpl function body. *)
+let callees_of_func (f : Ir.func) : string list =
+  let acc = ref [] in
+  Ir.iter_stmts
+    (function
+      | Ir.Call (_, g, _) -> if not (List.mem g !acc) then acc := g :: !acc
+      | _ -> ())
+    f.Ir.body;
+  List.sort String.compare !acc
+
+(* [cone_keys ~tag ~opt_string prog] returns [(fname, key)] for every
+   function of [prog].  [opt_string fname] must render every driver
+   option that can influence that function's translation result.
+
+   A function's key must cover its whole transitive call cone, including
+   through mutual-recursion cycles, so we condense the call graph into
+   strongly connected components (Tarjan) and digest the condensation
+   bottom-up: every member of an SCC gets the digest of the whole
+   component (the sorted local digests of its members plus the component
+   digests of everything the component calls), which is exactly the
+   "editing any member of a cycle invalidates the cycle and its callers"
+   semantics, in one linear pass instead of a quadratic chained-digest
+   fixpoint. *)
+let cone_keys ~(tag : string) ~(opt_string : string -> string) (prog : Ir.program) :
+    (string * string) list =
+  let lenv_d = hex (Marshal.to_string prog.Ir.lenv []) in
+  let globals_d = hex (Marshal.to_string prog.Ir.globals []) in
+  let funcs = prog.Ir.funcs in
+  let local (f : Ir.func) =
+    (* Digest the semantic fields of the parsed Simpl image only: name,
+       signature, locals and body are position-free, so the digest is
+       stable under comments, whitespace and edits to unrelated functions
+       (which only shift [fpos]/[gsrc] positions). *)
+    let image =
+      Marshal.to_string (f.Ir.name, f.Ir.params, f.Ir.locals, f.Ir.ret_ty, f.Ir.body) []
+    in
+    hex
+      (String.concat "\x00" [ tag; opt_string f.Ir.name; image; lenv_d; globals_d ])
+  in
+  let locals = Hashtbl.create 64 in
+  let callees = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      Hashtbl.replace locals f.Ir.name (local f);
+      Hashtbl.replace callees f.Ir.name (callees_of_func f))
+    funcs;
+  (* Tarjan's SCC algorithm over the call graph. *)
+  let index = Hashtbl.create 64 and low = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let stack = ref [] and next = ref 0 in
+  let comp_of = Hashtbl.create 64 (* function -> SCC representative id *) in
+  let comps = ref [] (* (id, members) in reverse topological order *) in
+  let n_comps = ref 0 in
+  let rec strongconnect v =
+    Hashtbl.replace index v !next;
+    Hashtbl.replace low v !next;
+    incr next;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if Hashtbl.mem callees w (* ignore undefined externals here *) then
+          if not (Hashtbl.mem index w) then begin
+            strongconnect w;
+            Hashtbl.replace low v (min (Hashtbl.find low v) (Hashtbl.find low w))
+          end
+          else if Hashtbl.mem on_stack w then
+            Hashtbl.replace low v (min (Hashtbl.find low v) (Hashtbl.find index w)))
+      (Hashtbl.find callees v);
+    if Hashtbl.find low v = Hashtbl.find index v then begin
+      let id = !n_comps in
+      incr n_comps;
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.remove on_stack w;
+          Hashtbl.replace comp_of w id;
+          if String.equal w v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      comps := (id, pop []) :: !comps
+    end
+  in
+  List.iter (fun f -> if not (Hashtbl.mem index f.Ir.name) then strongconnect f.Ir.name) funcs;
+  (* Tarjan emits components children-first, so [List.rev !comps] is
+     already reverse-topological: every callee component is digested
+     before its callers. *)
+  let comp_digest = Hashtbl.create 64 in
+  List.iter
+    (fun (id, members) ->
+      let member_parts =
+        List.sort String.compare
+          (List.map (fun m -> m ^ "=" ^ Hashtbl.find locals m) members)
+      in
+      let callee_parts =
+        List.concat_map
+          (fun m ->
+            List.filter_map
+              (fun g ->
+                match Hashtbl.find_opt comp_of g with
+                | Some gid when gid <> id -> Some (g ^ "@" ^ Hashtbl.find comp_digest gid)
+                | Some _ -> None (* same component: covered by member_parts *)
+                | None -> Some ("extern:" ^ g))
+              (Hashtbl.find callees m))
+          members
+        |> List.sort_uniq String.compare
+      in
+      Hashtbl.replace comp_digest id
+        (hex (String.concat "\x00" (member_parts @ callee_parts))))
+    (List.rev !comps);
+  (* A function's key: its own local digest chained with its component's
+     cone digest (so two members of one cycle still get distinct keys). *)
+  List.map
+    (fun f ->
+      let cd = Hashtbl.find comp_digest (Hashtbl.find comp_of f.Ir.name) in
+      (f.Ir.name, hex (Hashtbl.find locals f.Ir.name ^ "\x00" ^ cd)))
+    funcs
+
+(* ------------------------------------------------------------------ *)
+(* Entries. *)
+
+(* Everything the driver needs to reconstitute a clean [func_result]
+   without re-running any phase: the intermediate and final programs and
+   the derivation traces.  [e_nothrow] and [e_fsig] are the function's own
+   contributions to the run's inter-function fixpoints (nothrow set,
+   word-abstraction signatures); the driver seeds the fixpoints with them
+   for hit functions and validates them against the recomputed values
+   once the whole unit is assembled — a mismatch demotes the entry to a
+   miss.  Only clean results are stored (no diagnostics, chain theorem
+   assembled), so replaying an entry never has to reproduce diagnostics. *)
+type fentry = {
+  e_name : string;
+  e_l1 : M.func;
+  e_l2 : M.func;
+  e_hl : M.func option;
+  e_wa : M.func option;
+  e_final : M.func;
+  e_wvars : (string * (Ty.sign * Ty.width)) list;
+  e_skipped : (string * string) list;
+  e_nothrow : bool; (* this function's own membership in the nothrow set *)
+  e_fsig : J.conv list * J.conv; (* its word-abstraction signature *)
+  e_trace : Trace.t;
+      (* the end-to-end chain derivation.  The premises of its root are
+         exactly the component theorems in pipeline order —
+         [l1_thm :: l2_thm :: hl_thms @ wa_thms] — so one trace serves the
+         whole [func_result], and replaying it preserves the physical
+         sharing between the chain and its components that the memoized
+         checker exploits. *)
+  e_n_hl : int; (* length of the [hl_thms] segment of the root's premises *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* The on-disk store. *)
+
+type t = {
+  dir : string;
+  tag : string;
+  mutable hits : int;
+  mutable misses : int;
+  mutable corrupt : int;
+}
+
+let dir t = t.dir
+let tag t = t.tag
+let hits t = t.hits
+let misses t = t.misses
+let corrupt_count t = t.corrupt
+let reset_counters t = t.hits <- 0; t.misses <- 0; t.corrupt <- 0
+
+(* A hit that later fails replay or post-run validation is really a miss;
+   the driver reclassifies it so counters describe usable entries. *)
+let demote_hit t =
+  t.hits <- max 0 (t.hits - 1);
+  t.misses <- t.misses + 1
+
+let open_ ?(tag = ruleset_tag) ~(dir : string) () : (t, string) result =
+  if Sys.file_exists dir && not (Sys.is_directory dir) then
+    Result.error (Printf.sprintf "store: %s exists and is not a directory" dir)
+  else Result.ok { dir; tag; hits = 0; misses = 0; corrupt = 0 }
+
+let entry_path dir key = Filename.concat dir (key ^ ".acc")
+
+type load_result = Hit of fentry | Miss | Corrupt of string
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Parse "<magic><key>\n<digest>\n<payload>"; digest is checked before the
+   payload is deserialized. *)
+let decode ~key (raw : string) : (fentry, string) result =
+  let fail m = Result.error m in
+  let mlen = String.length magic in
+  if String.length raw < mlen || String.sub raw 0 mlen <> magic then
+    fail "bad magic (format version mismatch?)"
+  else begin
+    match String.index_from_opt raw mlen '\n' with
+    | None -> fail "truncated header"
+    | Some key_end -> (
+      let stored_key = String.sub raw mlen (key_end - mlen) in
+      if stored_key <> key then fail "key mismatch (entry stored under wrong name)"
+      else
+        match String.index_from_opt raw (key_end + 1) '\n' with
+        | None -> fail "truncated header"
+        | Some dg_end ->
+          let dg = String.sub raw (key_end + 1) (dg_end - key_end - 1) in
+          let pofs = dg_end + 1 in
+          if Digest.to_hex (Digest.substring raw pofs (String.length raw - pofs)) <> dg
+          then fail "payload digest mismatch (corrupt entry)"
+          else begin
+            match (Marshal.from_string raw pofs : fentry) with
+            | e -> Result.ok e
+            | exception _ -> fail "payload deserialization failed"
+          end)
+  end
+
+let load (t : t) ~(key : string) : load_result =
+  let path = entry_path t.dir key in
+  if not (Sys.file_exists path) then begin
+    t.misses <- t.misses + 1;
+    Miss
+  end
+  else begin
+    match read_file path with
+    | exception e ->
+      t.corrupt <- t.corrupt + 1;
+      t.misses <- t.misses + 1;
+      Corrupt (Printf.sprintf "unreadable entry %s: %s" path (Printexc.to_string e))
+    | raw -> (
+      match decode ~key raw with
+      | Result.Ok e ->
+        t.hits <- t.hits + 1;
+        Hit e
+      | Result.Error m ->
+        t.corrupt <- t.corrupt + 1;
+        t.misses <- t.misses + 1;
+        Corrupt (Printf.sprintf "corrupt entry %s: %s" path m))
+  end
+
+let rec mkdirs d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    mkdirs (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Atomic publication: write a temp file in the store directory, then
+   rename over the final name.  Concurrent writers of the same key race
+   benignly (same content — keys are content addresses). *)
+let save (t : t) ~(key : string) (e : fentry) : (unit, string) result =
+  try
+    mkdirs t.dir;
+    let payload = Marshal.to_string e [] in
+    let dg = Digest.to_hex (Digest.string payload) in
+    let tmp = Filename.temp_file ~temp_dir:t.dir ".acc-tmp" ".part" in
+    let oc = open_out_bin tmp in
+    (try
+       output_string oc magic;
+       output_string oc (key ^ "\n");
+       output_string oc (dg ^ "\n");
+       output_string oc payload;
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e);
+    Sys.rename tmp (entry_path t.dir key);
+    Result.ok ()
+  with e -> Result.error (Printf.sprintf "store: cannot save entry: %s" (Printexc.to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance (the `acc cache` subcommands). *)
+
+let entry_files dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".acc")
+    |> List.map (Filename.concat dir)
+
+type dstat = { entries : int; bytes : int }
+
+let stat ~(dir : string) : (dstat, string) result =
+  if Sys.file_exists dir && not (Sys.is_directory dir) then
+    Result.error (Printf.sprintf "store: %s is not a directory" dir)
+  else
+    try
+      let files = entry_files dir in
+      let bytes =
+        List.fold_left (fun acc f -> acc + (Unix.stat f).Unix.st_size) 0 files
+      in
+      Result.ok { entries = List.length files; bytes }
+    with e -> Result.error (Printf.sprintf "store: %s" (Printexc.to_string e))
+
+let clear ~(dir : string) : (int, string) result =
+  try
+    let files = entry_files dir in
+    List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) files;
+    Result.ok (List.length files)
+  with e -> Result.error (Printf.sprintf "store: %s" (Printexc.to_string e))
+
+(* Keep the newest [max_entries] by modification time, remove the rest. *)
+let gc ~(dir : string) ~(max_entries : int) : (int, string) result =
+  try
+    let files = entry_files dir in
+    let with_mtime =
+      List.map (fun f -> (f, (Unix.stat f).Unix.st_mtime)) files
+      |> List.sort (fun (_, a) (_, b) -> compare b a)
+    in
+    let doomed = List.filteri (fun i _ -> i >= max 0 max_entries) with_mtime in
+    List.iter (fun (f, _) -> try Sys.remove f with Sys_error _ -> ()) doomed;
+    Result.ok (List.length doomed)
+  with e -> Result.error (Printf.sprintf "store: %s" (Printexc.to_string e))

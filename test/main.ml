@@ -18,4 +18,5 @@ let () =
       ("analysis", Test_analysis.suite);
       ("robustness", Test_robustness.suite);
       ("perf_layer", Test_perf_layer.suite);
+      ("store", Test_store.suite);
     ]

@@ -1,0 +1,410 @@
+(* PR 4's persistent proof store: content-keyed invalidation, kernel
+   replay, and the trust story.
+
+   The properties pinned here are the ones the store's soundness argument
+   stands on:
+
+   - a warm (replayed) run is observably identical to a cold run — same
+     programs, levels, skip lists, diagnostics;
+   - invalidation tracks every key component: the function's own source,
+     the sources of its transitive callees (through mutual-recursion
+     cycles), the driver option vector, and the ruleset tag;
+   - a corrupted entry (bit flip) is rejected before deserialization and
+     degrades to full translation — it can never mint a theorem;
+   - a digest-valid but *wrong* entry (a forged certificate recorded from
+     a different program) fails kernel replay / source anchoring and
+     degrades the same way. *)
+
+module Driver = Autocorres.Driver
+module Diag = Autocorres.Diag
+module Store = Ac_store.Store
+module Trace = Ac_store.Trace
+module Rules = Ac_kernel.Rules
+module Thm = Ac_kernel.Thm
+module J = Ac_kernel.Judgment
+module Mprint = Ac_monad.Mprint
+module Csources = Ac_cases.Csources
+
+(* ------------------------------------------------------------------ *)
+(* Helpers. *)
+
+let opts = { Driver.default_options with Driver.keep_going = true }
+
+let fresh_dir () =
+  let d = Filename.temp_file "accstore" ".d" in
+  Sys.remove d;
+  d
+
+let open_store ?tag dir =
+  match Store.open_ ?tag ~dir () with
+  | Ok st -> st
+  | Error m -> Alcotest.fail m
+
+(* A fresh handle per run so [store_hits]/[store_misses] count one run. *)
+let run ?tag ~dir ?(options = opts) src =
+  Driver.run ~options ~store:(open_store ?tag dir) src
+
+(* Everything the caller can observe (the same fingerprint the --jobs
+   differential uses). *)
+let fingerprint (res : Driver.result) : string =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun fr ->
+      Buffer.add_string b fr.Driver.fr_name;
+      Buffer.add_string b (Driver.level_name (Driver.level_of fr));
+      Buffer.add_string b (if fr.Driver.fr_chain = None then "-" else "+");
+      Buffer.add_string b (Mprint.func_to_string fr.Driver.fr_l1);
+      Buffer.add_string b (Mprint.func_to_string fr.Driver.fr_l2);
+      Buffer.add_string b (Mprint.func_to_string fr.Driver.fr_final);
+      List.iter (fun (p, w) -> Buffer.add_string b (p ^ ":" ^ w)) fr.Driver.fr_skipped)
+    res.Driver.funcs;
+  List.iter
+    (fun (d : Driver.degraded) ->
+      Buffer.add_string b d.Driver.dg_name;
+      Buffer.add_string b (Driver.level_name (Driver.degraded_level d)))
+    res.Driver.degraded;
+  List.iter (fun d -> Buffer.add_string b (Diag.to_string d)) res.Driver.diags;
+  Buffer.add_string b (string_of_int res.Driver.budget_hits);
+  Buffer.contents b
+
+(* The fingerprint minus diagnostics: degradation paths legitimately add
+   [Diag.Store] warnings, but must not change any program or theorem. *)
+let prog_fingerprint (res : Driver.result) : string =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun fr ->
+      Buffer.add_string b fr.Driver.fr_name;
+      Buffer.add_string b (Driver.level_name (Driver.level_of fr));
+      Buffer.add_string b (if fr.Driver.fr_chain = None then "-" else "+");
+      Buffer.add_string b (Mprint.func_to_string fr.Driver.fr_final))
+    res.Driver.funcs;
+  Buffer.contents b
+
+let replace_once ~sub ~by s =
+  let n = String.length sub in
+  let rec find i =
+    if i + n > String.length s then None
+    else if String.sub s i n = sub then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> Alcotest.fail ("replace_once: substring not found: " ^ sub)
+  | Some i -> String.sub s 0 i ^ by ^ String.sub s (i + n) (String.length s - i - n)
+
+let counters (res : Driver.result) = (res.Driver.store_hits, res.Driver.store_misses)
+
+let check_counters what expected res =
+  Alcotest.(check (pair int int)) what expected (counters res)
+
+let has_store_diag (res : Driver.result) =
+  List.exists (fun (d : Diag.t) -> d.Diag.d_phase = Diag.Store) res.Driver.diags
+
+(* Standalone copies of the multi-function corpus files (the test corpus
+   is compiled in; corpus/*.c files are exercised via ci.sh). *)
+let chain_c =
+  {|
+int clamp(int lo, int hi, int v) {
+  if (v < lo) return lo;
+  if (hi < v) return hi;
+  return v;
+}
+
+int clamp3(int v) {
+  int r = 0;
+  r = clamp(0, 3, v);
+  return r;
+}
+
+int sum3(int a, int b, int c) {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+  x = clamp3(a);
+  y = clamp3(b);
+  z = clamp3(c);
+  return x + y + z;
+}
+
+int scale(int v) {
+  if (v < 0) return 0;
+  return v * 2;
+}
+|}
+
+let parity_c =
+  {|
+unsigned is_even(unsigned n) {
+  unsigned r = 0u;
+  if (n == 0u) return 1u;
+  r = is_odd(n - 1u);
+  return r;
+}
+
+unsigned is_odd(unsigned n) {
+  unsigned r = 0u;
+  if (n == 0u) return 0u;
+  r = is_even(n - 1u);
+  return r;
+}
+
+unsigned parity(unsigned n) {
+  unsigned e = 0u;
+  e = is_even(n);
+  if (e == 1u) return 0u;
+  return 1u;
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Warm = cold over the whole corpus. *)
+
+let test_corpus_roundtrip () =
+  List.iter
+    (fun (name, src) ->
+      let dir = fresh_dir () in
+      let cold = run ~dir src in
+      let warm = run ~dir src in
+      check_counters (name ^ ": cold run hits nothing") (0, cold.Driver.store_misses) cold;
+      Alcotest.(check string)
+        (name ^ ": warm output = cold output")
+        (fingerprint cold) (fingerprint warm);
+      Alcotest.(check bool)
+        (name ^ ": warm derivations re-validate") true
+        (Driver.check_all warm = Ok ()))
+    Csources.all
+
+(* ------------------------------------------------------------------ *)
+(* Hit/miss counters and per-key-component invalidation. *)
+
+let test_invalidation_cone () =
+  let dir = fresh_dir () in
+  check_counters "cold: all four miss" (0, 4) (run ~dir chain_c);
+  check_counters "warm: all four hit" (4, 0) (run ~dir chain_c);
+  (* Source edit to the leaf [clamp]: its whole caller cone (clamp,
+     clamp3, sum3) must miss; the island [scale] must still hit. *)
+  let edited = replace_once ~sub:"if (v < lo) return lo;" ~by:"if (v <= lo) return lo;" chain_c in
+  check_counters "leaf edit invalidates exactly its cone" (1, 3) (run ~dir edited);
+  (* Option vector: flipping any per-function switch misses everything. *)
+  let no_wa =
+    { opts with
+      Driver.defaults = { Driver.default_func_options with Driver.word_abs = false } }
+  in
+  check_counters "option change invalidates" (0, 4) (run ~dir ~options:no_wa chain_c);
+  (* Ruleset/version tag: a bumped tag never matches old entries. *)
+  check_counters "tag change invalidates" (0, 4) (run ~dir ~tag:"other-ruleset" chain_c);
+  (* And the original keys are all still present and valid. *)
+  check_counters "original entries survived" (4, 0) (run ~dir chain_c)
+
+let test_mutual_recursion_cone () =
+  let dir = fresh_dir () in
+  check_counters "cold" (0, 3) (run ~dir parity_c);
+  check_counters "warm" (3, 0) (run ~dir parity_c);
+  (* Editing one member of the is_even/is_odd cycle invalidates the whole
+     strongly connected component and everything above it. *)
+  let edited = replace_once ~sub:"r = is_even(n - 1u);" ~by:"r = is_even(n - 1u); r = r;" parity_c in
+  check_counters "cycle edit invalidates cycle + caller" (0, 3) (run ~dir edited);
+  (* Editing only the caller above the cycle leaves the cycle's entries
+     valid. *)
+  let edited = replace_once ~sub:"if (e == 1u) return 0u;" ~by:"if (e == 1u) return 2u;" parity_c in
+  check_counters "caller edit keeps the cycle's entries" (2, 1) (run ~dir edited)
+
+(* ------------------------------------------------------------------ *)
+(* Poisoning. *)
+
+let flip_all_entries dir =
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".acc" then begin
+        let path = Filename.concat dir f in
+        let ic = open_in_bin path in
+        let s = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
+        close_in ic;
+        let i = Bytes.length s - 10 in
+        Bytes.set s i (Char.chr (Char.code (Bytes.get s i) lxor 0xff));
+        let oc = open_out_bin path in
+        output_bytes oc s;
+        close_out oc
+      end)
+    (Sys.readdir dir)
+
+let test_bit_flip_poisoning () =
+  let dir = fresh_dir () in
+  let cold = run ~dir chain_c in
+  flip_all_entries dir;
+  let poisoned = run ~dir chain_c in
+  (* Every entry is rejected (digest mismatch, before [Marshal] ever
+     runs) and the run degrades to a full translation... *)
+  check_counters "poisoned entries all miss" (0, 4) poisoned;
+  Alcotest.(check bool) "corruption is diagnosed" true (has_store_diag poisoned);
+  (* ...whose observable result is the cold run's, and whose theorems all
+     re-validate — the corrupt entries minted nothing. *)
+  Alcotest.(check string) "programs unchanged" (prog_fingerprint cold)
+    (prog_fingerprint poisoned);
+  Alcotest.(check bool) "all chains present" true
+    (List.for_all (fun fr -> fr.Driver.fr_chain <> None) poisoned.Driver.funcs);
+  Alcotest.(check bool) "derivations re-validate" true
+    (Driver.check_all poisoned = Ok ());
+  (* The flip also repaired nothing silently: the next run re-banked the
+     entries and hits again. *)
+  check_counters "store repopulated" (4, 0) (run ~dir chain_c)
+
+(* A forged certificate with a *valid* digest: an entry recorded from a
+   genuinely certified translation of a different program, saved under
+   the victim's content key.  Decoding succeeds — only kernel replay and
+   the source anchor can catch it, and they must. *)
+let test_forged_entry_fails_replay () =
+  let src_a = "int f(int x) { return x + 1; }\n" in
+  let src_b = "int f(int x) { return x + 2; }\n" in
+  let dir = fresh_dir () in
+  (* Cold-run B once to learn the key the driver will use for it. *)
+  let cold_b = run ~dir src_b in
+  let key_b =
+    match
+      Array.to_list (Sys.readdir dir)
+      |> List.filter (fun f -> Filename.check_suffix f ".acc")
+    with
+    | [ f ] -> Filename.chop_suffix f ".acc"
+    | l -> Alcotest.fail (Printf.sprintf "expected 1 entry, found %d" (List.length l))
+  in
+  (* Record a genuine certificate — for A. *)
+  let res_a = Driver.run ~options:opts src_a in
+  let fr_a = List.hd res_a.Driver.funcs in
+  let chain_a =
+    match fr_a.Driver.fr_chain with
+    | Some t -> t
+    | None -> Alcotest.fail "A produced no chain"
+  in
+  let forged =
+    {
+      Store.e_name = "f";
+      e_l1 = fr_a.Driver.fr_l1;
+      e_l2 = fr_a.Driver.fr_l2;
+      e_hl = fr_a.Driver.fr_hl;
+      e_wa = fr_a.Driver.fr_wa;
+      e_final = fr_a.Driver.fr_final;
+      e_wvars = fr_a.Driver.fr_wa_wvars;
+      e_skipped = fr_a.Driver.fr_skipped;
+      e_nothrow = List.mem "f" res_a.Driver.ctx.Rules.nothrows;
+      e_fsig = List.assoc "f" res_a.Driver.ctx.Rules.fsigs;
+      e_trace = Trace.record chain_a;
+      e_n_hl = List.length fr_a.Driver.fr_hl_thms;
+    }
+  in
+  let st = open_store dir in
+  (match Store.save st ~key:key_b forged with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (* The forged entry decodes (its digest is honest), so it surfaces as a
+     hit — and then replay anchors it against B's parsed source, rejects
+     it, and the driver re-translates. *)
+  let warm_b = run ~dir src_b in
+  Alcotest.(check bool) "forged entry is diagnosed" true (has_store_diag warm_b);
+  check_counters "forged entry is demoted to a miss" (0, 1) warm_b;
+  Alcotest.(check string) "B's result is B's, not A's" (prog_fingerprint cold_b)
+    (prog_fingerprint warm_b);
+  Alcotest.(check bool) "derivations re-validate" true (Driver.check_all warm_b = Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Trace record/replay in isolation. *)
+
+let test_trace_roundtrip () =
+  let res = Driver.run ~options:opts Csources.gcd_c in
+  let fr = List.hd res.Driver.funcs in
+  let chain = match fr.Driver.fr_chain with Some t -> t | None -> Alcotest.fail "no chain" in
+  let tr = Trace.record chain in
+  Alcotest.(check int) "tree size is preserved" (Thm.size chain) (Trace.tree_size tr);
+  let ctx = { res.Driver.ctx with Rules.wvars = fr.Driver.fr_wa_wvars } in
+  match Trace.replay ctx tr with
+  | Error m -> Alcotest.fail ("replay failed: " ^ m)
+  | Ok t ->
+    Alcotest.(check bool) "replayed conclusion is the original" true
+      (J.judgment_equal (Thm.concl t) (Thm.concl chain));
+    (* Replay under the wrong context must fail, exactly like the
+       corrupted-certificate tests of the memoized checker. *)
+    Alcotest.(check bool) "replay under the wrong context fails" true
+      (match Trace.replay res.Driver.ctx tr with Error _ -> true | Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: warm = cold across the corpus under random option vectors. *)
+
+let prop_replay_identical =
+  QCheck.Test.make ~count:15 ~name:"store: warm replay = fresh translation"
+    QCheck.(triple (int_range 0 (List.length Csources.all - 1)) bool bool)
+    (fun (i, no_word, no_heap) ->
+      let _, src = List.nth Csources.all i in
+      let options =
+        { opts with
+          Driver.defaults =
+            { Driver.default_func_options with
+              Driver.word_abs = not no_word;
+              heap_abs = not no_heap } }
+      in
+      let dir = fresh_dir () in
+      let cold = run ~dir ~options src in
+      let warm = run ~dir ~options src in
+      String.equal (fingerprint cold) (fingerprint warm))
+
+(* ------------------------------------------------------------------ *)
+(* Exit-code contract through the real binary. *)
+
+let acc_exe =
+  (* cwd is _build/default/test under `dune runtest`, the repo root under
+     `dune exec test/main.exe`. *)
+  let candidates =
+    [
+      Filename.concat (Sys.getcwd ()) "../bin/acc.exe";
+      Filename.concat (Sys.getcwd ()) "_build/default/bin/acc.exe";
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> List.hd candidates
+
+let run_acc args =
+  let out = Filename.temp_file "acc_out" ".txt" in
+  let cmd = Printf.sprintf "%s %s > %s 2>&1" (Filename.quote acc_exe) args (Filename.quote out) in
+  let code = Sys.command cmd in
+  let ic = open_in_bin out in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove out;
+  (code, s)
+
+let test_cli_exit_codes () =
+  Alcotest.(check bool) "acc.exe present" true (Sys.file_exists acc_exe);
+  let cfile = Filename.temp_file "acc_store" ".c" in
+  let oc = open_out cfile in
+  output_string oc chain_c;
+  close_out oc;
+  let dir = fresh_dir () in
+  let code, _ = run_acc (Printf.sprintf "translate --store %s %s" (Filename.quote dir) (Filename.quote cfile)) in
+  Alcotest.(check int) "translate with store: exit 0" 0 code;
+  (* A corrupt entry during `acc check` is a structured finding: exit 1,
+     with a [store] diagnostic, never an uncaught exception (exit 2). *)
+  flip_all_entries dir;
+  let code, out = run_acc (Printf.sprintf "check --store %s %s" (Filename.quote dir) (Filename.quote cfile)) in
+  Alcotest.(check int) "check with corrupt entry: exit 1" 1 code;
+  Alcotest.(check bool) "check names the store phase" true
+    (Astring.String.is_infix ~affix:"[store]" out);
+  (* An unusable store directory is a configuration error: structured,
+     exit 1 (not an internal-error exit 2). *)
+  let notadir = Filename.temp_file "acc_notadir" ".txt" in
+  let code, out = run_acc (Printf.sprintf "check --store %s %s" (Filename.quote notadir) (Filename.quote cfile)) in
+  Alcotest.(check int) "check with unusable store: exit 1" 1 code;
+  Alcotest.(check bool) "unusable store is a structured diagnostic" true
+    (Astring.String.is_infix ~affix:"[store]" out);
+  Sys.remove cfile;
+  Sys.remove notadir
+
+let suite =
+  [
+    Alcotest.test_case "warm = cold across the corpus" `Quick test_corpus_roundtrip;
+    Alcotest.test_case "hit/miss and per-key invalidation" `Quick test_invalidation_cone;
+    Alcotest.test_case "mutual-recursion invalidation cone" `Quick test_mutual_recursion_cone;
+    Alcotest.test_case "bit-flipped entry degrades, never mints" `Quick test_bit_flip_poisoning;
+    Alcotest.test_case "forged digest-valid entry fails replay" `Quick
+      test_forged_entry_fails_replay;
+    Alcotest.test_case "trace record/replay roundtrip" `Quick test_trace_roundtrip;
+    QCheck_alcotest.to_alcotest prop_replay_identical;
+    Alcotest.test_case "CLI store exit codes" `Quick test_cli_exit_codes;
+  ]
