@@ -949,6 +949,129 @@ let store () =
       (Printf.sprintf "store: warm run only %.2fx faster than cold (floor: 2x)" speedup);
   if !ok_responses <> n_requests then failwith "store: serve dropped requests"
 
+(* ------------------------------------------------------------------ *)
+(* PR 6: the interprocedural summary engine.  Per workload: guards the C
+   parser emitted, guards discharged at L2 without the summary table
+   (intra) and with it (inter), and the wall time of both analysis
+   configurations.  Floors asserted: the aggregate interprocedural
+   discharge rate stays strictly above the 57% intraprocedural baseline
+   recorded in PR 1, interprocedural discharge is never below
+   intraprocedural on any workload (monotone improvement), and every
+   result re-validates under [Driver.check_all] (each discharge is a
+   kernel-checked [Rule_guard_true]).
+
+   Results go to BENCH_pr6.json in the working directory. *)
+
+let interproc () =
+  header "Interproc: summary-based guard discharge (PR 6)";
+  (* Fixed GC geometry (restored on exit), as in the store experiment:
+     the analyze-time columns drift tens of percent between identical
+     processes under the default geometry. *)
+  let gc0 = Gc.get () in
+  Fun.protect ~finally:(fun () -> Gc.set gc0) @@ fun () ->
+  Gc.set { gc0 with Gc.minor_heap_size = 1 lsl 22; Gc.space_overhead = 200 };
+  let baseline_pct = 57. in
+  let workloads =
+    Csources.all @ [ ("echronos-like", Ac_codegen.generate Ac_codegen.echronos_like) ]
+  in
+  let opts on = { Driver.default_options with Driver.keep_going = true; interproc = on } in
+  let median l =
+    let sorted = List.sort compare l in
+    List.nth sorted (List.length l / 2)
+  in
+  let time_run on src =
+    let times =
+      List.init 5 (fun _ ->
+          Gc.full_major ();
+          let t0 = Unix.gettimeofday () in
+          ignore (Driver.run ~options:(opts on) src);
+          Unix.gettimeofday () -. t0)
+    in
+    median times
+  in
+  let counts (res : Driver.result) =
+    List.fold_left
+      (fun (g, d) fr ->
+        let src = Ac_stats.ir_guard_count fr.Driver.fr_simpl.Ac_simpl.Ir.body in
+        let kept = Ac_analysis.guard_count fr.Driver.fr_l2.Ac_monad.M.body in
+        (g + src, d + max 0 (src - kept)))
+      (0, 0) res.Driver.funcs
+  in
+  let measured =
+    List.map
+      (fun (name, src) ->
+        let res_inter = Driver.run ~options:(opts true) src in
+        let res_intra = Driver.run ~options:(opts false) src in
+        let guards, inter = counts res_inter in
+        let _, intra = counts res_intra in
+        let checked =
+          Driver.check_all res_inter = Ok () && Driver.check_all res_intra = Ok ()
+        in
+        (name, guards, intra, inter, time_run false src, time_run true src, checked))
+      workloads
+  in
+  let pct n d = if d = 0 then 0. else 100. *. float_of_int n /. float_of_int d in
+  let rows =
+    List.map
+      (fun (name, g, intra, inter, t_intra, t_inter, _) ->
+        [
+          name; string_of_int g;
+          Printf.sprintf "%d (%.0f%%)" intra (pct intra g);
+          Printf.sprintf "%d (%.0f%%)" inter (pct inter g);
+          Printf.sprintf "%.4f" t_intra; Printf.sprintf "%.4f" t_inter;
+        ])
+      measured
+  in
+  print_string
+    (Ac_stats.render_table
+       ~header:[ "Workload"; "Guards"; "Intra"; "Inter"; "Intra(s)"; "Inter(s)" ]
+       rows);
+  let sum f = List.fold_left (fun a m -> a + f m) 0 measured in
+  let guards = sum (fun (_, g, _, _, _, _, _) -> g) in
+  let intra = sum (fun (_, _, i, _, _, _, _) -> i) in
+  let inter = sum (fun (_, _, _, i, _, _, _) -> i) in
+  let rate_intra = pct intra guards and rate_inter = pct inter guards in
+  let monotone =
+    List.for_all (fun (_, _, ia, ir, _, _, _) -> ir >= ia) measured
+  in
+  let checked = List.for_all (fun (_, _, _, _, _, _, c) -> c) measured in
+  Printf.printf
+    "\naggregate: %d guards, intra %d (%.1f%%), inter %d (%.1f%%);\n\
+     monotone on every workload: %s; kernel re-validation: %s.\n"
+    guards intra rate_intra inter rate_inter
+    (if monotone then "yes" else "NO")
+    (if checked then "ok" else "FAILED");
+  let wl_json =
+    String.concat ",\n  "
+      (List.map
+         (fun (name, g, ia, ir, ti, tp, _) ->
+           Printf.sprintf
+             "{\"name\":\"%s\",\"guards\":%d,\"intra\":%d,\"inter\":%d,\"intra_s\":%.6f,\"inter_s\":%.6f}"
+             name g ia ir ti tp)
+         measured)
+  in
+  let json =
+    Printf.sprintf
+      "{\"experiment\":\"interproc\",\"workloads\":%d,\"guards\":%d,\n\
+       \ \"intra_discharged\":%d,\"inter_discharged\":%d,\n\
+       \ \"intra_rate_pct\":%.2f,\"inter_rate_pct\":%.2f,\"baseline_pct\":%.1f,\n\
+       \ \"monotone\":%b,\"kernel_checked\":%b,\n\
+       \ \"per_workload\":[%s]}\n"
+      (List.length workloads) guards intra inter rate_intra rate_inter baseline_pct
+      monotone checked wl_json
+  in
+  let out = open_out "BENCH_pr6.json" in
+  output_string out json;
+  close_out out;
+  print_endline "wrote BENCH_pr6.json";
+  if rate_inter <= baseline_pct then
+    failwith
+      (Printf.sprintf "interproc: rate %.1f%% not above the %.0f%% baseline" rate_inter
+         baseline_pct);
+  if not monotone then
+    failwith "interproc: a workload discharged fewer guards than intraprocedural";
+  if not checked then failwith "interproc: kernel re-validation failed"
+
 let all : (string * (unit -> unit)) list =
   [
     ("fig1", fig1); ("fig2", fig2); ("table1", table1); ("table2", table2);
@@ -957,4 +1080,5 @@ let all : (string * (unit -> unit)) list =
     ("fig8", fig8); ("table5", table5); ("table6", table6); ("memset", memset);
     ("custom_rule", custom_rule); ("ablation", ablation); ("analysis", analysis);
     ("robustness", robustness); ("perf", perf); ("store", store);
+    ("interproc", interproc);
   ]

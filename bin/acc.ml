@@ -4,6 +4,8 @@
      acc check file.c                re-check derivations + differential test
      acc stats file.c                Table 5-style pipeline statistics
      acc lint file.c                 report refutable UB guards (likely bugs)
+     acc analyze file.c              whole-program guard report (discharged /
+                                     refuted / residual), interprocedural
      acc serve                       long-lived batch mode (requests on stdin)
      acc cache stat|clear|gc         manage the persistent proof store
 
@@ -54,7 +56,7 @@ let read_file path =
   | s -> s
   | exception Sys_error m -> usage_error "acc: %s" m
 
-let options_of ?(no_discharge = false) ?(keep_going = false)
+let options_of ?(no_discharge = false) ?(no_interproc = false) ?(keep_going = false)
     ?(budgets = Driver.default_budgets) ?(jobs = 1) ~no_heap ~no_word ~keep_low () =
   {
     Driver.defaults =
@@ -79,6 +81,8 @@ let options_of ?(no_discharge = false) ?(keep_going = false)
     budgets;
     jobs = max 1 jobs;
     l2_memo = true;
+    interproc = not no_interproc;
+    summary_profile = false;
   }
 
 let file_arg =
@@ -132,6 +136,14 @@ let no_discharge =
     value & flag
     & info [ "no-discharge" ]
         ~doc:"Disable the abstract-interpretation guard-discharge pass")
+
+let no_interproc =
+  Arg.(
+    value & flag
+    & info [ "no-interproc" ]
+        ~doc:
+          "Disable interprocedural summaries: guard discharge and analysis \
+           become purely intraprocedural (the pre-summary behaviour)")
 
 let keep_low =
   Arg.(
@@ -205,7 +217,24 @@ let budgets_term =
              analysis (per function); exhaustion keeps the guard instead of \
              hanging")
   in
-  let mk solver_branches analysis_rounds analysis_steps rewrite_fuel timeout =
+  let summary_rounds =
+    Arg.(
+      value
+      & opt int Driver.default_budgets.Driver.summary_rounds
+      & info [ "summary-rounds" ] ~docv:"N"
+          ~doc:
+            "Interprocedural budget: whole-program context-refinement rounds \
+             of the summary engine")
+  in
+  let summary_contexts =
+    Arg.(
+      value
+      & opt int Driver.default_budgets.Driver.summary_contexts
+      & info [ "summary-contexts" ] ~docv:"N"
+          ~doc:"Interprocedural budget: refined summary contexts per callee")
+  in
+  let mk solver_branches analysis_rounds analysis_steps rewrite_fuel summary_rounds
+      summary_contexts timeout =
     {
       Driver.solver_branches;
       solver_deadline_s = timeout;
@@ -214,11 +243,13 @@ let budgets_term =
       analysis_steps;
       analysis_deadline_s = timeout;
       rewrite_fuel;
+      summary_rounds;
+      summary_contexts;
     }
   in
   Term.(
     const mk $ solver_branches $ analysis_rounds $ analysis_steps $ rewrite_fuel
-    $ timeout)
+    $ summary_rounds $ summary_contexts $ timeout)
 
 let stage =
   Arg.(
@@ -271,11 +302,12 @@ let result_json ~file (res : Driver.result) : string =
     res.Driver.store_hits res.Driver.store_misses
     (Diag.list_to_json res.Driver.diags)
 
-let translate file no_heap no_word no_discharge keep_low stage func_filter keep_going
-    diag_json budgets jobs store_dir no_store =
+let translate file no_heap no_word no_discharge no_interproc keep_low stage func_filter
+    keep_going diag_json budgets jobs store_dir no_store =
   let source = read_file file in
   let options =
-    options_of ~no_discharge ~keep_going ~budgets ~jobs ~no_heap ~no_word ~keep_low ()
+    options_of ~no_discharge ~no_interproc ~keep_going ~budgets ~jobs ~no_heap ~no_word
+      ~keep_low ()
   in
   let store = store_of ~store_dir ~no_store in
   let res = run_frontend ?store ~file ~options source in
@@ -303,11 +335,12 @@ let translate file no_heap no_word no_discharge keep_low stage func_filter keep_
   end;
   if res.Driver.degraded <> [] then exit 1
 
-let check file no_heap no_word no_discharge keep_low keep_going budgets cases jobs
-    uncached store_dir no_store =
+let check file no_heap no_word no_discharge no_interproc keep_low keep_going budgets
+    cases jobs uncached store_dir no_store =
   let source = read_file file in
   let options =
-    options_of ~no_discharge ~keep_going ~budgets ~jobs ~no_heap ~no_word ~keep_low ()
+    options_of ~no_discharge ~no_interproc ~keep_going ~budgets ~jobs ~no_heap ~no_word
+      ~keep_low ()
   in
   let store = store_of ~store_dir ~no_store in
   let res = run_frontend ?store ~file ~options source in
@@ -348,7 +381,12 @@ let stats file profile profile_json jobs store_dir no_store =
   (* Run the front end once under [run_frontend] so lexical/parse/type
      errors render compiler-style and exit 2 before measuring. *)
   let options =
-    { Driver.default_options with Driver.keep_going = true; jobs = max 1 jobs }
+    { Driver.default_options with
+      Driver.keep_going = true;
+      jobs = max 1 jobs;
+      (* The summary columns cost two extra analysis passes per function,
+         so they are only measured when the profile is requested. *)
+      summary_profile = profile || profile_json }
   in
   let store = store_of ~store_dir ~no_store in
   let (_ : Driver.result) = run_frontend ~file ~options source in
@@ -367,24 +405,61 @@ let stats file profile profile_json jobs store_dir no_store =
       print_string
         (Ac_stats.render_table ~header:Ac_stats.profile_header
            (Ac_stats.profile_rows (Autocorres.Profile.snapshot ())));
+      if res.Driver.iprof <> [] then begin
+        print_newline ();
+        print_string
+          (Ac_stats.render_table ~header:Ac_stats.summary_header
+             (Ac_stats.summary_rows res))
+      end;
       Printf.printf "\nstore: %d hits, %d misses\n" res.Driver.store_hits
         res.Driver.store_misses
     end
   end
 
+(* A lint/analyze finding rendered as a structured diagnostic, so every
+   machine output (serve responses, `acc analyze --json`) uses the exact
+   JSON shape `--diag-json` established. *)
+let diag_of_finding ~severity (f : Ac_analysis.finding) : Diag.t =
+  let msg =
+    match f.Ac_analysis.lf_kind with
+    | Some k ->
+      Printf.sprintf "%s [%s]" f.Ac_analysis.lf_msg (Ac_simpl.Ir.guard_kind_name k)
+    | None -> f.Ac_analysis.lf_msg
+  in
+  Diag.make ~func:f.Ac_analysis.lf_func ?pos:f.Ac_analysis.lf_pos ~severity
+    Diag.Guard_discharge msg
+
+let print_finding ~file ~severity (f : Ac_analysis.finding) =
+  let where =
+    match f.Ac_analysis.lf_pos with
+    | Some p -> Printf.sprintf "%s:%d:%d" file p.Ac_cfront.Ast.line p.Ac_cfront.Ast.col
+    | None -> file
+  in
+  let kind =
+    match f.Ac_analysis.lf_kind with
+    | Some k -> Printf.sprintf " [%s]" (Ac_simpl.Ir.guard_kind_name k)
+    | None -> ""
+  in
+  Printf.printf "%s: %s: %s%s (in %s)\n" where (Diag.severity_name severity)
+    f.Ac_analysis.lf_msg kind f.Ac_analysis.lf_func
+
 (* `acc lint`: replay the guard analysis and report refuted guards (these
    executions would dereference NULL, divide by zero, ... — likely UB) plus
    possibly-uninitialised reads, with positions from the front end.  Exit 1
    when there are findings, 0 otherwise. *)
-let lint file no_heap no_word keep_low jobs store_dir no_store =
+let lint file no_heap no_word no_interproc keep_low jobs store_dir no_store =
   let source = read_file file in
-  let options = options_of ~keep_going:true ~jobs ~no_heap ~no_word ~keep_low () in
+  let options =
+    options_of ~no_interproc ~keep_going:true ~jobs ~no_heap ~no_word ~keep_low ()
+  in
   let store = store_of ~store_dir ~no_store in
   let res = run_frontend ?store ~file ~options source in
   let lenv = res.Driver.ctx.Ac_kernel.Rules.lenv in
   let guard_findings =
     List.concat_map
-      (fun fr -> Ac_analysis.lint_func lenv ~simpl:fr.Driver.fr_simpl fr.Driver.fr_l2)
+      (fun fr ->
+        Ac_analysis.lint_func lenv ~simpl:fr.Driver.fr_simpl ~sums:res.Driver.sums
+          fr.Driver.fr_l2)
       res.Driver.funcs
   in
   (* Definite initialisation runs on the typed front-end IR, where
@@ -394,24 +469,93 @@ let lint file no_heap no_word keep_low jobs store_dir no_store =
     let tprog = Ac_cfront.Typecheck.parse_and_check source in
     List.concat_map Ac_analysis.uninit_findings tprog.Ac_cfront.Tir.tp_funcs
   in
-  let findings = guard_findings @ uninit_findings in
-  List.iter
-    (fun (f : Ac_analysis.finding) ->
-      let where =
-        match f.Ac_analysis.lf_pos with
-        | Some p -> Printf.sprintf "%s:%d:%d" file p.Ac_cfront.Ast.line p.Ac_cfront.Ast.col
-        | None -> file
-      in
-      let kind =
-        match f.Ac_analysis.lf_kind with
-        | Some k -> Printf.sprintf " [%s]" (Ac_simpl.Ir.guard_kind_name k)
-        | None -> ""
-      in
-      Printf.printf "%s: warning: %s%s (in %s)\n" where f.Ac_analysis.lf_msg kind
-        f.Ac_analysis.lf_func)
-    findings;
+  (* Deterministic output order at any --jobs value, and no duplicates when
+     a degradation retry re-analysed a function: sort by position, then
+     guard kind, then function. *)
+  let findings = Ac_analysis.sort_findings (guard_findings @ uninit_findings) in
+  List.iter (print_finding ~file ~severity:Diag.Warning) findings;
   if findings <> [] then exit 1;
   Printf.printf "%s: no findings\n" file
+
+(* `acc analyze`: the whole-program static-analysis report.  Every guard
+   the C parser emitted is classified — discharged (proven impossible,
+   removed under a kernel-checked certificate), refuted (the analysis
+   found executions that reach the fault: likely UB, a warning), or
+   residual (neither: the proof obligation the verification engineer
+   keeps).  Exit 0 when nothing was refuted, 1 on refuted findings,
+   2 on input/internal errors. *)
+let analyze file no_heap no_word no_interproc keep_low budgets jobs json store_dir
+    no_store =
+  let source = read_file file in
+  let options =
+    options_of ~no_interproc ~keep_going:true ~budgets ~jobs ~no_heap ~no_word ~keep_low
+      ()
+  in
+  let store = store_of ~store_dir ~no_store in
+  let res = run_frontend ?store ~file ~options source in
+  let lenv = res.Driver.ctx.Ac_kernel.Rules.lenv in
+  let sums = res.Driver.sums in
+  let rows =
+    List.map
+      (fun fr ->
+        let src = Ac_stats.ir_guard_count fr.Driver.fr_simpl.Ac_simpl.Ir.body in
+        let kept = Ac_analysis.guard_count fr.Driver.fr_l2.Ac_monad.M.body in
+        let sv =
+          Ac_analysis.survey_func lenv ~simpl:fr.Driver.fr_simpl ~sums fr.Driver.fr_l2
+        in
+        (fr.Driver.fr_name, src, max 0 (src - kept), sv))
+      res.Driver.funcs
+  in
+  (* Severity ranking: refuted first (likely UB), then residual; each group
+     in deterministic position order. *)
+  let refuted =
+    Ac_analysis.sort_findings
+      (List.concat_map (fun (_, _, _, sv) -> sv.Ac_analysis.sv_refuted) rows)
+  in
+  let residual =
+    Ac_analysis.sort_findings
+      (List.concat_map (fun (_, _, _, sv) -> sv.Ac_analysis.sv_residual) rows)
+  in
+  let guards = List.fold_left (fun acc (_, src, _, _) -> acc + src) 0 rows in
+  let discharged = List.fold_left (fun acc (_, _, d, _) -> acc + d) 0 rows in
+  if json then begin
+    let fn (name, src, d, sv) =
+      Printf.sprintf
+        "{\"name\":\"%s\",\"guards\":%d,\"discharged\":%d,\"refuted\":%d,\"residual\":%d}"
+        (Diag.json_escape name) src d
+        (List.length sv.Ac_analysis.sv_refuted)
+        (List.length sv.Ac_analysis.sv_residual)
+    in
+    let findings =
+      List.map (diag_of_finding ~severity:Diag.Warning) refuted
+      @ List.map (diag_of_finding ~severity:Diag.Note) residual
+    in
+    print_endline
+      (Printf.sprintf
+         "{\"file\":\"%s\",\"summary\":{\"guards\":%d,\"discharged\":%d,\"refuted\":%d,\"residual\":%d},\"functions\":[%s],\"findings\":%s,\"degraded\":%d,\"budget_exhaustions\":%d}"
+         (Diag.json_escape file) guards discharged (List.length refuted)
+         (List.length residual)
+         (String.concat "," (List.map fn rows))
+         (Diag.list_to_json findings)
+         (List.length res.Driver.degraded)
+         res.Driver.budget_hits)
+  end
+  else begin
+    Printf.printf "%s: %d guards: %d discharged (%.0f%%), %d refuted, %d residual\n"
+      file guards discharged
+      (if guards = 0 then 100.0
+       else 100.0 *. float_of_int discharged /. float_of_int guards)
+      (List.length refuted) (List.length residual);
+    List.iter (print_finding ~file ~severity:Diag.Warning) refuted;
+    List.iter (print_finding ~file ~severity:Diag.Note) residual;
+    List.iter
+      (fun (d : Driver.degraded) ->
+        Printf.printf "%s: note: %s degraded to %s (not analysed)\n" file
+          d.Driver.dg_name
+          (Driver.level_name (Driver.degraded_level d)))
+      res.Driver.degraded
+  end;
+  if refuted <> [] then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* `acc serve`: a long-lived batch mode.  Requests are newline-delimited
@@ -479,20 +623,21 @@ let serve jobs store_dir no_store =
           let res = run () in
           let lenv = res.Driver.ctx.Ac_kernel.Rules.lenv in
           let findings =
-            List.concat_map
-              (fun fr ->
-                Ac_analysis.lint_func lenv ~simpl:fr.Driver.fr_simpl fr.Driver.fr_l2)
-              res.Driver.funcs
+            Ac_analysis.sort_findings
+              (List.concat_map
+                 (fun fr ->
+                   Ac_analysis.lint_func lenv ~simpl:fr.Driver.fr_simpl
+                     ~sums:res.Driver.sums fr.Driver.fr_l2)
+                 res.Driver.funcs)
           in
-          let fjson (f : Ac_analysis.finding) =
-            Printf.sprintf "{\"function\":\"%s\",\"message\":\"%s\"}"
-              (Diag.json_escape f.Ac_analysis.lf_func)
-              (Diag.json_escape f.Ac_analysis.lf_msg)
-          in
+          (* Findings use the same structured-diagnostic JSON shape as
+             --diag-json (phase/function/line/col/severity/message), so a
+             serve client and a one-shot client parse one format. *)
           respond
-            (Printf.sprintf "{\"ok\":true,\"cmd\":\"lint\",\"file\":\"%s\",\"findings\":[%s]}"
+            (Printf.sprintf "{\"ok\":true,\"cmd\":\"lint\",\"file\":\"%s\",\"findings\":%s}"
                (Diag.json_escape file)
-               (String.concat "," (List.map fjson findings)))
+               (Diag.list_to_json
+                  (List.map (diag_of_finding ~severity:Diag.Warning) findings)))
         | other -> err_json (Printf.sprintf "unknown command %S" other))
     end
   in
@@ -543,9 +688,11 @@ let translate_cmd =
     (Cmd.info "translate" ~doc:"Abstract a C file and print the result")
     (protected
        Term.(
-         const (fun a b c d e f g h i j k l m () -> translate a b c d e f g h i j k l m)
-         $ file_arg $ no_heap $ no_word $ no_discharge $ keep_low $ stage $ func_filter
-         $ keep_going $ diag_json $ budgets_term $ jobs $ store_dir_arg $ no_store_arg))
+         const (fun a b c d e f g h i j k l m n () ->
+             translate a b c d e f g h i j k l m n)
+         $ file_arg $ no_heap $ no_word $ no_discharge $ no_interproc $ keep_low $ stage
+         $ func_filter $ keep_going $ diag_json $ budgets_term $ jobs $ store_dir_arg
+         $ no_store_arg))
 
 let check_cmd =
   let cases =
@@ -564,9 +711,10 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Re-validate derivations and differential-test the abstraction")
     (protected
        Term.(
-         const (fun a b c d e f g h i j k l () -> check a b c d e f g h i j k l)
-         $ file_arg $ no_heap $ no_word $ no_discharge $ keep_low $ keep_going
-         $ budgets_term $ cases $ jobs $ uncached $ store_dir_arg $ no_store_arg))
+         const (fun a b c d e f g h i j k l m () -> check a b c d e f g h i j k l m)
+         $ file_arg $ no_heap $ no_word $ no_discharge $ no_interproc $ keep_low
+         $ keep_going $ budgets_term $ cases $ jobs $ uncached $ store_dir_arg
+         $ no_store_arg))
 
 let stats_cmd =
   let profile =
@@ -596,8 +744,31 @@ let lint_cmd =
        ~doc:"Report statically refutable UB guards and uninitialised reads")
     (protected
        Term.(
-         const (fun a b c d e f g () -> lint a b c d e f g)
-         $ file_arg $ no_heap $ no_word $ keep_low $ jobs $ store_dir_arg $ no_store_arg))
+         const (fun a b c d e f g h () -> lint a b c d e f g h)
+         $ file_arg $ no_heap $ no_word $ no_interproc $ keep_low $ jobs $ store_dir_arg
+         $ no_store_arg))
+
+let analyze_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Machine output: one JSON object with the summary, per-function \
+             counts and --diag-json-shaped findings")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Whole-program guard report: every parser-emitted UB guard classified \
+          as discharged (proven impossible, kernel-checked), refuted (likely \
+          UB) or residual (left for the verification engineer).  Exit 0 when \
+          nothing is refuted, 1 on refuted findings, 2 on input errors.")
+    (protected
+       Term.(
+         const (fun a b c d e f g h i j () -> analyze a b c d e f g h i j)
+         $ file_arg $ no_heap $ no_word $ no_interproc $ keep_low $ budgets_term $ jobs
+         $ json $ store_dir_arg $ no_store_arg))
 
 let serve_cmd =
   Cmd.v
@@ -637,4 +808,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ translate_cmd; check_cmd; stats_cmd; lint_cmd; serve_cmd; cache_cmd ]))
+          [ translate_cmd; check_cmd; stats_cmd; lint_cmd; analyze_cmd; serve_cmd;
+            cache_cmd ]))

@@ -55,6 +55,60 @@ for f in corpus/*.c; do
   echo "ok: $f"
 done
 
+echo "== corpus: acc analyze — determinism and discharge-rate floor =="
+# PR 1's intraprocedural engine discharged 57% of the parser-emitted
+# guards over this corpus.  The interprocedural engine must stay strictly
+# above that floor, and its findings must not depend on --jobs.
+BASELINE_PCT=57
+total_guards=0
+total_discharged=0
+for f in corpus/*.c; do
+  set +e
+  out1=$("$ACC" analyze --json "$f"); c1=$?
+  out4=$("$ACC" analyze --json --jobs 4 "$f"); c4=$?
+  set -e
+  case "$c1" in
+    0|1) ;;
+    *) echo "FAIL: acc analyze $f exited $c1" >&2; exit 1 ;;
+  esac
+  if [ "$c1" -ne "$c4" ] || [ "$out1" != "$out4" ]; then
+    echo "FAIL: analyze --jobs 4 diverged from --jobs 1 on $f" >&2
+    exit 1
+  fi
+  nums=$(printf '%s' "$out1" | sed 's/.*"summary":{"guards":\([0-9]*\),"discharged":\([0-9]*\).*/\1 \2/')
+  g=${nums% *}
+  d=${nums#* }
+  total_guards=$(( total_guards + g ))
+  total_discharged=$(( total_discharged + d ))
+  echo "ok: $f ($d/$g discharged)"
+done
+rate=$(( 100 * total_discharged / total_guards ))
+echo "corpus discharge rate: ${total_discharged}/${total_guards} (${rate}%)"
+if [ "$rate" -le "$BASELINE_PCT" ]; then
+  echo "FAIL: discharge rate ${rate}% not above the ${BASELINE_PCT}% intraprocedural baseline" >&2
+  exit 1
+fi
+
+echo "== corpus: --no-interproc A/B (feature off = clean intraprocedural output) =="
+# Toggling the summary engine off must restore the intraprocedural
+# pipeline exactly — even beside a proof store warmed by interprocedural
+# runs (summary digests are part of the store key, so the warm entries
+# must not replay into a --no-interproc run).
+AB_STORE=$(mktemp -d)
+for f in corpus/*.c; do
+  fresh=$("$ACC" translate --keep-going --diag-json --no-interproc "$f")
+  "$ACC" translate --keep-going --store "$AB_STORE" "$f" > /dev/null
+  warm=$("$ACC" translate --keep-going --diag-json --no-interproc --store "$AB_STORE" "$f")
+  fresh_p=$(printf '%s' "$fresh" | sed 's/"store":{[^}]*}//')
+  warm_p=$(printf '%s' "$warm" | sed 's/"store":{[^}]*}//')
+  if [ "$fresh_p" != "$warm_p" ]; then
+    echo "FAIL: --no-interproc output diverged beside a warm interprocedural store on $f" >&2
+    exit 1
+  fi
+  echo "ok: $f"
+done
+rm -rf "$AB_STORE"
+
 echo "== corpus: cached check agrees with uncached =="
 for f in corpus/*.c; do
   "$ACC" check --keep-going "$f" > /dev/null
@@ -124,5 +178,8 @@ dune exec bench/main.exe -- perf > /dev/null
 
 echo "== store bench (asserts warm >= 2x cold; writes BENCH_pr4.json) =="
 dune exec bench/main.exe -- store > /dev/null
+
+echo "== interproc bench (asserts discharge floor + monotonicity + kernel check; writes BENCH_pr6.json) =="
+dune exec bench/main.exe -- interproc > /dev/null
 
 echo "CI OK"

@@ -1,0 +1,23 @@
+/* Interprocedural discharge: the callee's summary bounds its return
+   value, and the callers' shift/div guards are provable only with that
+   bound carried across the call. */
+
+unsigned int clamp(unsigned int x) {
+  if (x > 15u) {
+    return 15u;
+  }
+  return x;
+}
+
+unsigned int shl_clamped(unsigned int v, unsigned int n) {
+  unsigned int k;
+  k = clamp(n);
+  return v << k;
+}
+
+unsigned int div_clamped(unsigned int v, unsigned int n) {
+  unsigned int d;
+  d = clamp(n);
+  d = d + 1u;
+  return v / d;
+}

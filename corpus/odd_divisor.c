@@ -1,0 +1,13 @@
+/* Parity through a call: make_odd always returns an odd word, so the
+   caller's divisor is provably non-zero even though its interval is
+   unbounded. */
+
+unsigned int make_odd(unsigned int x) {
+  return (x * 2u) + 1u;
+}
+
+unsigned int halve_by_odd(unsigned int v, unsigned int x) {
+  unsigned int d;
+  d = make_odd(x);
+  return v / d;
+}

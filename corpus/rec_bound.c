@@ -1,0 +1,20 @@
+/* A recursive callee (an SCC cycle in the call graph): the summary
+   fixpoint must converge on the return bound before the caller's shift
+   guard can be discharged. */
+
+unsigned int walk_up(unsigned int n) {
+  unsigned int m;
+  unsigned int r;
+  if (n >= 8u) {
+    return 8u;
+  }
+  m = n + 1u;
+  r = walk_up(m);
+  return r;
+}
+
+unsigned int shl_walked(unsigned int v) {
+  unsigned int k;
+  k = walk_up(0u);
+  return v << k;
+}

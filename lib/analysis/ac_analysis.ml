@@ -28,117 +28,70 @@ module J = Ac_kernel.Judgment
    rejects — it cannot produce an unsound theorem. *)
 
 (* ------------------------------------------------------------------ *)
-(* The fixpoint solver.  Joins for a few rounds, then widens; loop bodies
-   walked during iteration report guard verdicts against not-yet-stable
-   environments, so [on_guard] is muted inside [solve] and only the final
-   stabilised walk (performed by [Absdom.walk] after [solve] returns)
-   reports.
+(* Re-exports.  The budget and fixpoint-solver machinery moved to
+   [Domains] so the interprocedural [Summary] engine can share it
+   without a module cycle; these aliases keep every existing call site
+   ([Driver], bench, tests) compiling unchanged.  [Callgraph] and
+   [Summary] are the interprocedural subsystem (this PR's tentpole). *)
 
-   The fixpoint runs under a resource budget: a per-loop round limit (as
-   before), a per-function step limit (total [iterate] calls across all
-   loops of one walk) and an optional wall-clock deadline.  Exhausting any
-   of them answers ⊤ for the remaining loops — precision is lost (guards
-   stay, nothing discharges), soundness and availability are not. *)
+module Callgraph = Callgraph
+module Domains = Domains
+module Summary = Summary
 
-type budget = {
+type budget = Domains.budget = {
   max_rounds : int;  (* widen/join rounds per loop *)
   max_steps : int;  (* iterate calls per analysed function *)
   deadline_s : float option;  (* wall clock per analysed function *)
 }
 
-let default_budget = { max_rounds = 40; max_steps = 20_000; deadline_s = None }
-let budget = ref default_budget
-
-(* How many times the analysis ran out of budget (for `acc stats`).  Reset
-   by the driver per run. *)
-let exhaustions = Atomic.make 0
-
-(* Test-only fault injection: answers [true] to make the current fixpoint
-   behave as if its fuel were exhausted. *)
-let fault_hook : (unit -> bool) option ref = ref None
-
-let set_fault_hook h = fault_hook := h
-
-let widen_after = 3
-
-let fixpoint_solver ?(on_guard = fun _ _ _ -> ()) (tbl : (int, A.aenv) Hashtbl.t) : A.solver
-    =
-  let muted = ref false in
-  let steps = ref 0 in
-  let spent = ref false in
-  (* Wall clock (see Solver): CPU time races ahead under parallel workers. *)
-  let deadline = Option.map (fun d -> Unix.gettimeofday () +. d) !budget.deadline_s in
-  let out_of_budget () =
-    !spent
-    || !steps >= !budget.max_steps
-    || (match deadline with
-       | Some d -> !steps land 15 = 0 && Unix.gettimeofday () > d
-       | None -> false)
-    || (match !fault_hook with Some f -> f () | None -> false)
-  in
-  let exhaust () =
-    if not !spent then begin
-      spent := true;
-      Atomic.incr exhaustions
-    end;
-    A.env_top
-  in
-  {
-    A.solve =
-      (fun idx head iterate ->
-        let was = !muted in
-        muted := true;
-        let rec go round cur =
-          if round > !budget.max_rounds || out_of_budget () then exhaust ()
-          else begin
-            incr steps;
-            match iterate cur with
-            | None -> cur
-            | Some nxt ->
-              if A.env_leq nxt cur then cur
-              else if round >= widen_after then go (round + 1) (A.env_widen cur nxt)
-              else go (round + 1) (A.env_join cur nxt)
-          end
-        in
-        let inv = go 0 head in
-        muted := was;
-        Hashtbl.replace tbl idx inv;
-        inv);
-    A.on_guard = (fun k c v -> if not !muted then on_guard k c v);
-  }
-
-(* Replay with already-solved invariants: every guard is visited exactly
-   once, under its final environment. *)
-let replay_solver ~on_guard (tbl : (int, A.aenv) Hashtbl.t) : A.solver =
-  {
-    A.solve =
-      (fun idx _head _iterate ->
-        match Hashtbl.find_opt tbl idx with Some inv -> inv | None -> A.env_top);
-    A.on_guard = on_guard;
-  }
+let default_budget = Domains.default_budget
+let budget = Domains.budget
+let exhaustions = Domains.exhaustions
+let set_fault_hook = Domains.set_fault_hook
+let fixpoint_solver = Domains.fixpoint_solver
+let replay_solver = Domains.replay_solver
 
 (* ------------------------------------------------------------------ *)
 (* Certificates and kernel-checked discharge. *)
 
-let infer_cert (lenv : Layout.env) (m : M.t) : A.cert =
+let infer_cert ?(sums = []) (lenv : Layout.env) (m : M.t) : A.cert =
   let tbl = Hashtbl.create 8 in
-  let sv = fixpoint_solver tbl in
+  let sv = fixpoint_solver ~sums tbl in
   let (_ : M.t * A.aout) = A.walk lenv sv 0 A.env_top m in
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  let invs =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  { A.c_invs = invs; c_sums = sums }
 
 (* Run the analysis on one function and, if any guard is provable, push the
    certificate through the kernel.  Returns the rewritten function and the
    [Equiv (new_body, old_body)] theorem, or [None] when nothing changed (or
-   the kernel rejected the certificate — which only costs precision). *)
-let discharge_func (ctx : Rules.ctx) (f : M.func) : (M.func * Thm.t) option =
-  let cert = infer_cert ctx.Rules.lenv f.M.body in
+   the kernel rejected the certificate — which only costs precision).
+   [sums] is the (restricted) summary table the certificate embeds; the
+   kernel re-verifies it against [ctx.fbodies] before trusting any of it. *)
+let discharge_func (ctx : Rules.ctx) ?(sums = []) (f : M.func) : (M.func * Thm.t) option =
+  let cert = infer_cert ~sums ctx.Rules.lenv f.M.body in
   match Thm.by_opt ctx (Rules.Rule_guard_true (f.M.body, cert)) [] with
   | None -> None
   | Some thm -> (
     match Thm.concl thm with
     | J.Equiv (m', m) when not (M.equal m' m) -> Some ({ f with M.body = m' }, thm)
     | _ -> None)
+
+(* How many guards of [m] the analysis proves true under [sums] — a pure
+   analysis count, no kernel involved; the driver runs it with and
+   without the summary table to attribute discharges intra vs inter for
+   `acc stats --profile`. *)
+let count_provable (lenv : Layout.env) ~(sums : A.sums) (m : M.t) : int =
+  let tbl = Hashtbl.create 8 in
+  let (_ : M.t * A.aout) = A.walk lenv (fixpoint_solver ~sums tbl) 0 A.env_top m in
+  let n = ref 0 in
+  let on_guard _ _ v = if v = Some true then incr n in
+  let (_ : M.t * A.aout) =
+    A.walk lenv (replay_solver ~on_guard ~sums tbl) 0 A.env_top m
+  in
+  !n
 
 (* ------------------------------------------------------------------ *)
 (* Lint: refuted guards and definite-initialisation findings. *)
@@ -282,36 +235,86 @@ let uninit_findings (tf : Tir.tfunc) : finding list =
   let (_ : SSet.t) = go (SSet.of_list (List.map fst tf.Tir.tf_params)) tf.Tir.tf_body in
   List.rev !findings
 
-(* Lint one function: run the fixpoint, then replay under the solved
-   invariants collecting refuted guards (spurious refutations against
-   half-converged loop environments never surface, because the first pass
-   reports nothing). *)
-let lint_func (lenv : Layout.env) ?(simpl : Ir.func option) (f : M.func) : finding list =
+(* Survey one function: run the fixpoint, then replay under the solved
+   invariants classifying every guard occurrence (spurious refutations
+   against half-converged loop environments never surface, because the
+   first pass reports nothing).  Refuted guards are definitely-failing
+   UB checks; residual guards are merely unproved.  [sums] lets the
+   classification use interprocedural facts. *)
+type survey = { sv_refuted : finding list; sv_residual : finding list }
+
+let survey_func (lenv : Layout.env) ?(simpl : Ir.func option) ?(sums = []) (f : M.func) :
+    survey =
   let tbl = Hashtbl.create 8 in
-  let sv = fixpoint_solver tbl in
+  let sv = fixpoint_solver ~sums tbl in
   let (_ : M.t * A.aout) = A.walk lenv sv 0 A.env_top f.M.body in
   let occs = ref [] in
   let refuted = ref [] in
+  let residual = ref [] in
+  let seen l k c = List.exists (fun (k', c') -> k = k' && E.equal c c') l in
   let on_guard k c v =
     occs := (k, c) :: !occs;
-    if v = Some false && not (List.exists (fun (k', c') -> k = k' && E.equal c c') !refuted)
-    then refuted := (k, c) :: !refuted
+    match v with
+    | Some false -> if not (seen !refuted k c) then refuted := (k, c) :: !refuted
+    | None -> if not (seen !residual k c) then residual := (k, c) :: !residual
+    | Some true -> ()
   in
-  let (_ : M.t * A.aout) = A.walk lenv (replay_solver ~on_guard tbl) 0 A.env_top f.M.body in
+  let (_ : M.t * A.aout) =
+    A.walk lenv (replay_solver ~on_guard ~sums tbl) 0 A.env_top f.M.body
+  in
   let occurrences = List.rev !occs in
   let gsrc = match simpl with Some sf -> sf.Ir.gsrc | None -> [] in
-  let guard_findings =
+  let findings_of msg l =
     List.rev_map
       (fun (k, c) ->
         {
           lf_func = f.M.name;
           lf_kind = Some k;
           lf_pos = position_of gsrc occurrences k c;
-          lf_msg = guard_message k;
+          lf_msg = msg k;
         })
-      !refuted
+      l
   in
-  guard_findings
+  {
+    sv_refuted = findings_of guard_message !refuted;
+    sv_residual =
+      findings_of (fun k -> "unproved guard: " ^ guard_message k) !residual;
+  }
+
+(* Lint one function: the refuted guards only. *)
+let lint_func (lenv : Layout.env) ?(simpl : Ir.func option) ?(sums = []) (f : M.func) :
+    finding list =
+  (survey_func lenv ?simpl ~sums f).sv_refuted
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic finding order. *)
+
+let kind_rank (k : Ir.guard_kind option) : int =
+  match k with
+  | None -> -1 (* definite-initialisation findings first among ties *)
+  | Some Ir.Div_by_zero -> 0
+  | Some Ir.Signed_overflow -> 1
+  | Some Ir.Shift_bounds -> 2
+  | Some Ir.Ptr_valid -> 3
+  | Some Ir.Array_bounds -> 4
+  | Some Ir.Dont_reach -> 5
+  | Some Ir.Unsigned_overflow -> 6
+
+(* Sort findings by (line, col, guard kind, function, message) — findings
+   without a source position last — and drop exact duplicates (budget
+   degradation can re-lint a function and repeat its findings).  Callers
+   group by file, so this fixes the order within each file regardless of
+   [--jobs] scheduling. *)
+let sort_findings (fs : finding list) : finding list =
+  let key f =
+    let l, c =
+      match f.lf_pos with
+      | Some p -> (p.Ast.line, p.Ast.col)
+      | None -> (max_int, max_int)
+    in
+    (l, c, kind_rank f.lf_kind, f.lf_func, f.lf_msg)
+  in
+  List.sort_uniq (fun a b -> compare (key a) (key b)) fs
 
 (* Discharge statistics for one body: how many guards remain. *)
 let rec guard_count (m : M.t) : int =

@@ -1,0 +1,126 @@
+module M = Ac_monad.M
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+(* Call graphs over the unit's functions, and the generic SCC machinery
+   they (and the proof store's invalidation cones, which extracted their
+   Tarjan from here as of this PR) share.
+
+   Everything is deterministic: nodes keep insertion order, successor
+   lists keep first-occurrence order, and Tarjan's emission order is a
+   function of those — so the bottom-up summary fixpoint, the store's
+   cone keys and the per-function certificate restriction are all stable
+   across runs and across [--jobs] levels. *)
+
+type t = {
+  nodes : string list; (* insertion order *)
+  succs : string list SMap.t; (* per node, first-occurrence order *)
+}
+
+let successors (g : t) (n : string) : string list =
+  match SMap.find_opt n g.succs with Some l -> l | None -> []
+
+let of_edges (nodes : string list) (edges : (string * string list) list) : t =
+  let succs =
+    List.fold_left (fun acc (n, ss) -> SMap.add n ss acc) SMap.empty edges
+  in
+  { nodes; succs }
+
+(* Direct callees of a body, in first-occurrence order.  [Exec_concrete]
+   counts: it runs the named function's low-level body. *)
+let callees (m : M.t) : string list =
+  let seen = ref SSet.empty in
+  let out = ref [] in
+  let add f =
+    if not (SSet.mem f !seen) then begin
+      seen := SSet.add f !seen;
+      out := f :: !out
+    end
+  in
+  let rec go = function
+    | M.Return _ | M.Gets _ | M.Modify _ | M.Guard _ | M.Fail | M.Throw _
+    | M.Unknown _ ->
+      ()
+    | M.Call (f, _) | M.Exec_concrete (f, _) -> add f
+    | M.Bind (a, _, b) | M.Try (a, _, b) | M.Cond (_, a, b) ->
+      go a;
+      go b
+    | M.While (_, _, body, _) -> go body
+  in
+  go m;
+  List.rev !out
+
+let of_funcs (fs : M.func list) : t =
+  of_edges
+    (List.map (fun f -> f.M.name) fs)
+    (List.map (fun f -> (f.M.name, callees f.M.body)) fs)
+
+(* ------------------------------------------------------------------ *)
+(* Tarjan's SCC algorithm (iterative).  Emission order is reverse
+   topological on the condensation: every SCC appears after all SCCs it
+   reaches — i.e. callees first — which is exactly the order a bottom-up
+   summary pass wants.  Successors outside [nodes] are ignored. *)
+
+let sccs (g : t) : string list list =
+  let known = SSet.of_list g.nodes in
+  let index = Hashtbl.create 64 in
+  let lowlink = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let out = ref [] in
+  let rec strong v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if SSet.mem w known then
+          if not (Hashtbl.mem index w) then begin
+            strong w;
+            Hashtbl.replace lowlink v
+              (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+          end
+          else if Hashtbl.mem on_stack w then
+            Hashtbl.replace lowlink v
+              (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (successors g v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.remove on_stack w;
+          if String.equal w v then w :: acc else pop (w :: acc)
+      in
+      out := pop [] :: !out
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strong v) g.nodes;
+  List.rev !out
+
+(* Whether any member of [scc] has an edge back into the scc — a
+   singleton without a self-edge needs no fixpoint. *)
+let scc_cyclic (g : t) (scc : string list) : bool =
+  match scc with
+  | [ v ] -> List.exists (String.equal v) (successors g v)
+  | _ -> true
+
+(* Transitive successors of [n] (excluding [n] itself unless it sits on
+   a cycle through itself), sorted for use as a digest/restriction key. *)
+let reachable (g : t) (n : string) : string list =
+  let seen = ref SSet.empty in
+  let rec go v =
+    List.iter
+      (fun w ->
+        if not (SSet.mem w !seen) then begin
+          seen := SSet.add w !seen;
+          go w
+        end)
+      (successors g v)
+  in
+  go n;
+  List.sort String.compare (SSet.elements !seen)

@@ -154,6 +154,53 @@ let div_guarded_c =
   \  return 0u;\n\
    }\n"
 
+(* Interprocedural discharge: the callee's summary bounds its return
+   value (or its parity), so the caller-side shift/div guards are provable
+   only with facts carried across the call. *)
+let clamp_shift_c =
+  "unsigned clamp(unsigned x) {\n\
+  \  if (x > 15u) { return 15u; }\n\
+  \  return x;\n\
+   }\n\
+   unsigned shl_clamped(unsigned v, unsigned n) {\n\
+  \  unsigned k;\n\
+  \  k = clamp(n);\n\
+  \  return v << k;\n\
+   }\n\
+   unsigned div_clamped(unsigned v, unsigned n) {\n\
+  \  unsigned d;\n\
+  \  d = clamp(n);\n\
+  \  d = d + 1u;\n\
+  \  return v / d;\n\
+   }\n"
+
+let odd_divisor_c =
+  "unsigned make_odd(unsigned x) {\n\
+  \  return (x * 2u) + 1u;\n\
+   }\n\
+   unsigned halve_by_odd(unsigned v, unsigned x) {\n\
+  \  unsigned d;\n\
+  \  d = make_odd(x);\n\
+  \  return v / d;\n\
+   }\n"
+
+(* A recursive callee: the summary fixpoint must converge over the SCC
+   cycle before the caller's shift guard becomes provable. *)
+let rec_bound_c =
+  "unsigned walk_up(unsigned n) {\n\
+  \  unsigned m;\n\
+  \  unsigned r;\n\
+  \  if (n >= 8u) { return 8u; }\n\
+  \  m = n + 1u;\n\
+  \  r = walk_up(m);\n\
+  \  return r;\n\
+   }\n\
+   unsigned shl_walked(unsigned v) {\n\
+  \  unsigned k;\n\
+  \  k = walk_up(0u);\n\
+  \  return v << k;\n\
+   }\n"
+
 let all : (string * string) list =
   [
     ("max", max_c);
@@ -169,4 +216,7 @@ let all : (string * string) list =
     ("counter", counter_c);
     ("shift_guarded", shift_guarded_c);
     ("div_guarded", div_guarded_c);
+    ("clamp_shift", clamp_shift_c);
+    ("odd_divisor", odd_divisor_c);
+    ("rec_bound", rec_bound_c);
   ]

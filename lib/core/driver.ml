@@ -48,6 +48,8 @@ type budgets = {
   analysis_steps : int;  (* fixpoint iterations per analysed function *)
   analysis_deadline_s : float option;  (* wall clock per analysed function *)
   rewrite_fuel : int;  (* head rewrites per kernel normalize call *)
+  summary_rounds : int;  (* interprocedural context-refinement rounds *)
+  summary_contexts : int;  (* refined summary contexts per callee *)
 }
 
 let default_budgets =
@@ -59,6 +61,8 @@ let default_budgets =
     analysis_steps = 20_000;
     analysis_deadline_s = None;
     rewrite_fuel = Rewrite.default_fuel;
+    summary_rounds = 4;
+    summary_contexts = 3;
   }
 
 type options = {
@@ -84,12 +88,23 @@ type options = {
      the pre-memo cost model (every function re-converted every round);
      output is identical either way. *)
   l2_memo : bool;
+  (* Interprocedural guard discharge: compute per-function summaries
+     bottom-up over the call graph and let the analysis carry facts
+     across calls (every discharge still goes through the kernel, which
+     re-verifies the summary table).  Off falls back to the purely
+     intraprocedural PR 1 pass. *)
+  interproc : bool;
+  (* Also measure [result.iprof] (per-function intra-vs-inter discharge
+     attribution for `acc stats --profile`).  Two extra analysis passes
+     per function, so off by default; display-only, never in the store
+     key. *)
+  summary_profile : bool;
 }
 
 let default_options =
   { defaults = default_func_options; overrides = []; strategy = Wa.default_strategy;
     polish = true; keep_going = false; budgets = default_budgets; jobs = 1;
-    l2_memo = true }
+    l2_memo = true; interproc = true; summary_profile = false }
 
 let options_for options fname =
   match List.assoc_opt fname options.overrides with
@@ -106,10 +121,12 @@ let opt_string (options : options) (fname : string) : string =
   let o = options_for options fname in
   let b = options.budgets in
   let fl = function None -> "-" | Some f -> string_of_float f in
-  Printf.sprintf "wa=%b ha=%b dg=%b polish=%b sb=%d sd=%s cc=%d ar=%d as=%d ad=%s rf=%d"
+  Printf.sprintf
+    "wa=%b ha=%b dg=%b polish=%b sb=%d sd=%s cc=%d ar=%d as=%d ad=%s rf=%d ip=%b sr=%d sc=%d"
     o.word_abs o.heap_abs o.discharge_guards options.polish b.solver_branches
     (fl b.solver_deadline_s) b.cc_merges b.analysis_rounds b.analysis_steps
-    (fl b.analysis_deadline_s) b.rewrite_fuel
+    (fl b.analysis_deadline_s) b.rewrite_fuel options.interproc b.summary_rounds
+    b.summary_contexts
 
 (* The degradation ladder: the last certified level a function reached. *)
 type level = Lsimpl | Ll1 | Ll2 | Lhl | Lwa
@@ -165,6 +182,18 @@ let level_of (fr : func_result) : level =
 let degraded_level (d : degraded) : level =
   match d.dg_l1 with Some _ -> Ll1 | None -> Lsimpl
 
+(* Per-function interprocedural-analysis profile (`acc stats --profile`):
+   how many summary contexts the function ended up with, their total
+   abstract size, and how many of its guards the analysis proves without
+   vs with the summary table (the difference is the interprocedural
+   win).  Counts are pure analysis verdicts, not kernel discharges. *)
+type iprof = {
+  ip_contexts : int;
+  ip_size : int;
+  ip_intra : int;
+  ip_inter : int;
+}
+
 type result = {
   source : string;
   simpl : Ir.program;
@@ -178,6 +207,10 @@ type result = {
   heap_types : Ty.cty list;
   store_hits : int; (* store entries used by this run (0 without a store) *)
   store_misses : int; (* functions translated from scratch despite a store *)
+  sums : Ac_kernel.Absdom.sums;
+      (* the kernel-checkable summary table this run's certificates drew
+         from ([] when [interproc] is off); `acc analyze` reuses it *)
+  iprof : (string * iprof) list; (* per function, source order *)
 }
 
 let find_result res name = List.find_opt (fun r -> String.equal r.fr_name name) res.funcs
@@ -198,18 +231,22 @@ let install_budgets (b : budgets) =
   Ac_analysis.budget :=
     { Ac_analysis.max_rounds = b.analysis_rounds; max_steps = b.analysis_steps;
       deadline_s = b.analysis_deadline_s };
+  Ac_analysis.Summary.rounds := b.summary_rounds;
+  Ac_analysis.Summary.contexts := b.summary_contexts;
   Rewrite.fuel := b.rewrite_fuel
 
 let budget_exhaustions () =
   Atomic.get Ac_prover.Solver.exhaustions
   + Atomic.get Ac_prover.Cc.exhaustions
   + Atomic.get Ac_analysis.exhaustions
+  + Atomic.get Ac_analysis.Summary.exhaustions
   + Atomic.get Rewrite.exhaustions
 
 let reset_budget_counters () =
   Atomic.set Ac_prover.Solver.exhaustions 0;
   Atomic.set Ac_prover.Cc.exhaustions 0;
   Atomic.set Ac_analysis.exhaustions 0;
+  Atomic.set Ac_analysis.Summary.exhaustions 0;
   Atomic.set Rewrite.exhaustions 0
 
 (* ------------------------------------------------------------------ *)
@@ -270,12 +307,19 @@ let attempt ~(keep_going : bool) ~(phase : Diag.phase) ~(fname : string)
    used to seed the fixpoints; the claim-vs-recomputation checks below
    close that loop, so a wrong seed demotes the entry instead of
    distorting the unit. *)
-let replay_entry (ctx : Rules.ctx) (f : Ir.func) (e : Store.fentry) :
+let replay_entry (ctx : Rules.ctx) ~(sums_digest : string) (f : Ir.func) (e : Store.fentry) :
     (func_result, string) Stdlib.result =
   let name = f.Ir.name in
   let l1_body = e.Store.e_l1.M.body in
   let l2_body = e.Store.e_l2.M.body in
-  if Rules.nothrow_in ctx.Rules.nothrows l2_body <> e.Store.e_nothrow then
+  if not (String.equal e.Store.e_sums_digest sums_digest) then
+    (* The summary slice this function's certificates could draw from
+       differs from the one the entry was banked under (summary budgets
+       changed, or interprocedural analysis was toggled): certificates
+       might replay against summaries the kernel now resolves
+       differently, so re-translate instead. *)
+    Result.error "interprocedural summary table changed"
+  else if Rules.nothrow_in ctx.Rules.nothrows l2_body <> e.Store.e_nothrow then
     Result.error "nothrow claim inconsistent with the assembled unit"
   else begin
     let conv_sig_equal (ps1, r1) (ps2, r2) =
@@ -327,6 +371,28 @@ let replay_entry (ctx : Rules.ctx) (f : Ir.func) (e : Store.fentry) :
                 (l2_thm :: rest)
               |> Option.map (fun (_, sts) -> List.rev sts)
             in
+            (* [e_l2g] (the pre-discharge L2 image, a [Rules.fbodies]
+               contribution) must be tied to the verified chain: either
+               no guard was discharged at L2 (it IS the anchored L2
+               state), or the L2 slot is the transitivity node whose
+               premises — both re-minted by the kernel during replay —
+               prove Equiv(l2, l2g) and Equiv(l2g, l1).  See DESIGN.md
+               ("summary trust story") for why this anchoring plus the
+               kernel's call-depth induction rules out mutually-forged
+               entry sets. *)
+            let l2g_body = e.Store.e_l2g.M.body in
+            let l2g_anchored =
+              M.equal l2g_body l2_body
+              || (let prems = Thm.premises l2_thm in
+                  List.exists
+                    (fun t ->
+                      J.judgment_equal (Thm.concl t) (J.Equiv (l2_body, l2g_body)))
+                    prems
+                  && List.exists
+                       (fun t ->
+                         J.judgment_equal (Thm.concl t) (J.Equiv (l2g_body, l1_body)))
+                       prems)
+            in
             let anchored =
               match states with
               | None -> false
@@ -334,8 +400,9 @@ let replay_entry (ctx : Rules.ctx) (f : Ir.func) (e : Store.fentry) :
                 let state_is i b =
                   match List.nth_opt sts i with Some s -> M.equal s b | None -> false
                 in
-                J.judgment_equal (Thm.concl chain)
-                  (J.Fn_refines (name, e.Store.e_final.M.body, l1_body))
+                l2g_anchored
+                && J.judgment_equal (Thm.concl chain)
+                     (J.Fn_refines (name, e.Store.e_final.M.body, l1_body))
                 && J.judgment_equal (Thm.concl l1_thm) (J.Corres_l1 (f.Ir.body, l1_body))
                 && state_is 0 l2_body
                 && state_is e.Store.e_n_hl after_hl.M.body
@@ -657,17 +724,97 @@ let run ?(options = default_options) ?store ?pool:ext_pool ?(fresh_tables = true
               dg_diags = List.rev !diags })
       l2_rows
   in
+  (* ---- interprocedural summary inference (the tentpole) ----
+     The summary table is computed once per translation attempt,
+     sequentially, from the *pre-discharge* L2 images of the whole unit
+     (stored [e_l2g] for hits, this run's conversions for misses), so it
+     is deterministic across [--jobs] and identical between cold and
+     warm runs.  The table is an untrusted hint: every certificate that
+     draws on a slice of it re-proves that slice inside the kernel
+     against [Rules.fbodies] (same trust class as [nothrows] — see the
+     summary-trust section of DESIGN.md for why replayed entries may
+     contribute to [fbodies]). *)
+  let fbodies : M.func list =
+    List.filter_map
+      (fun (f : Ir.func) ->
+        match List.assoc_opt f.Ir.name entries with
+        | Some e -> Some e.Store.e_l2g
+        | None ->
+          List.find_map
+            (fun (_, _, _, (l2f : M.func), _, _) ->
+              if String.equal l2f.M.name f.Ir.name then Some l2f else None)
+            l2_results)
+      simpl.Ir.funcs
+  in
+  let sums, sum_stats =
+    if not options.interproc then ([], [])
+    else Profile.record "summary" (fun () -> Ac_analysis.Summary.compute lenv fbodies)
+  in
+  let callgraph = Ac_analysis.Callgraph.of_funcs fbodies in
+  (* The slice a function's certificates may draw from: the table
+     restricted to its transitive callees (self included on cycles).
+     Its digest is the function's store-key claim component.  Built
+     eagerly so lookups under [pmap] are read-only. *)
+  let sums_slices =
+    List.map
+      (fun (fb : M.func) ->
+        ( fb.M.name,
+          Ac_analysis.Domains.restrict sums
+            (Ac_analysis.Callgraph.reachable callgraph fb.M.name) ))
+      fbodies
+  in
+  let sums_for name =
+    match List.assoc_opt name sums_slices with Some s -> s | None -> []
+  in
+  (* Slice digests share the table entries, so stringify each entry once
+     (the slices are [restrict]ions of one table: same pairs) instead of
+     per cone; equal to [Domains.sums_digest] of the slice by
+     construction.  Eager, like the slices: read-only under [pmap]. *)
+  let entry_strings =
+    List.map (fun entry -> (fst entry, Ac_analysis.Domains.entry_to_string entry)) sums
+  in
+  let sums_digest_for name =
+    Ac_analysis.Domains.digest_of_entry_strings
+      (List.filter_map
+         (fun (g, _) -> List.assoc_opt g entry_strings)
+         (sums_for name))
+  in
+  (* Per-function analysis profile, with and without the table. *)
+  let iprof =
+    if not (options.interproc && options.summary_profile) then []
+    else
+      Profile.record "iprof" (fun () ->
+          pmap
+            (fun (fb : M.func) ->
+              let intra = Ac_analysis.count_provable lenv ~sums:[] fb.M.body in
+              let inter =
+                Ac_analysis.count_provable lenv ~sums:(sums_for fb.M.name) fb.M.body
+              in
+              let cx, sz =
+                match List.assoc_opt fb.M.name sum_stats with
+                | Some st ->
+                  (st.Ac_analysis.Summary.fs_contexts, st.Ac_analysis.Summary.fs_size)
+                | None -> (0, 0)
+              in
+              (fb.M.name, { ip_contexts = cx; ip_size = sz; ip_intra = intra; ip_inter = inter }))
+            fbodies)
+  in
+  let base_ctx = { base_ctx with Rules.fbodies } in
   (* Guard discharge, round 1 (after L2): the abstract-interpretation pass
      proves guards true and removes them through the kernel
      ([Rules.Rule_guard_true]); its [Equiv] theorem composes with the L2
      theorem by transitivity, so the chain below is unchanged.  The pass
-     is untrusted and optional, so any failure merely keeps the guards. *)
+     is untrusted and optional, so any failure merely keeps the guards.
+     This round is the interprocedural one: each function gets its
+     summary slice.  Round 2 (post HL/WA) stays intraprocedural — the
+     summaries describe L2-level calling conventions and types, and the
+     abstracted bodies no longer match them. *)
   let discharge_ctx = { base_ctx with Rules.nothrows } in
-  let discharge ~phase ctx diags (f : M.func) : (M.func * Thm.t) option =
+  let discharge ~phase ?(sums = []) ctx diags (f : M.func) : (M.func * Thm.t) option =
     Profile.record "guard_discharge" (fun () ->
         match
           attempt ~keep_going ~phase ~fname:f.M.name ~recoverable:true diags (fun () ->
-              Ac_analysis.discharge_func ctx f)
+              Ac_analysis.discharge_func ctx ~sums f)
         with
         | Some r -> r
         | None -> None)
@@ -677,7 +824,10 @@ let run ?(options = default_options) ?store ?pool:ext_pool ?(fresh_tables = true
       (fun ((sf, l1f, l1_thm, l2f, l2_thm, diags) as row) ->
         if not (options_for options (l2f : M.func).M.name).discharge_guards then row
         else begin
-          match discharge ~phase:Diag.Guard_discharge discharge_ctx diags l2f with
+          match
+            discharge ~phase:Diag.Guard_discharge ~sums:(sums_for l2f.M.name)
+              discharge_ctx diags l2f
+          with
           | None -> row
           | Some (l2f', dthm) -> (
             match
@@ -874,7 +1024,7 @@ let run ?(options = default_options) ?store ?pool:ext_pool ?(fresh_tables = true
         let e = List.assoc f.Ir.name entries in
         let r =
           Profile.record "store_replay" (fun () ->
-              match replay_entry ctx f e with
+              match replay_entry ctx ~sums_digest:(sums_digest_for f.Ir.name) f e with
               | r -> r
               | exception ex -> Result.error (Diag.message_of_exn ex))
         in
@@ -945,6 +1095,14 @@ let run ?(options = default_options) ?store ?pool:ext_pool ?(fresh_tables = true
                     {
                       Store.e_name = fr.fr_name;
                       e_l1 = fr.fr_l1;
+                      e_l2g =
+                        (match
+                           List.find_opt
+                             (fun (fb : M.func) -> String.equal fb.M.name fr.fr_name)
+                             fbodies
+                         with
+                        | Some fb -> fb
+                        | None -> fr.fr_l2);
                       e_l2 = fr.fr_l2;
                       e_hl = fr.fr_hl;
                       e_wa = fr.fr_wa;
@@ -956,6 +1114,7 @@ let run ?(options = default_options) ?store ?pool:ext_pool ?(fresh_tables = true
                         (match List.assoc_opt fr.fr_name ctx.Rules.fsigs with
                         | Some s -> s
                         | None -> Wa.func_sig ~enabled:false fr.fr_l2);
+                      e_sums_digest = sums_digest_for fr.fr_name;
                       e_trace = Trace.record chain;
                       e_n_hl = List.length fr.fr_hl_thms;
                     }
@@ -976,7 +1135,8 @@ let run ?(options = default_options) ?store ?pool:ext_pool ?(fresh_tables = true
       budget_hits = budget_exhaustions (); ctx; heap_types;
       store_hits = (match store with Some st -> Store.hits st - fst store_base | None -> 0);
       store_misses =
-        (match store with Some st -> Store.misses st - snd store_base | None -> 0) }
+        (match store with Some st -> Store.misses st - snd store_base | None -> 0);
+      sums; iprof }
   end
   in
   translate candidates

@@ -45,6 +45,12 @@ type budgets = {
   analysis_steps : int;  (** fixpoint iterations per analysed function *)
   analysis_deadline_s : float option;  (** wall clock per analysed function *)
   rewrite_fuel : int;  (** head rewrites per kernel normalize call *)
+  summary_rounds : int;
+      (** interprocedural context-refinement rounds (whole-program
+          bottom-up passes of the summary engine) *)
+  summary_contexts : int;
+      (** refined summary contexts per callee, beyond the base
+          ⊤-arguments context *)
 }
 
 val default_budgets : budgets
@@ -73,6 +79,16 @@ type options = {
           callees) is unchanged.  A/B switch for benchmarking — off
           re-converts every function every round; output is identical
           either way *)
+  interproc : bool;
+      (** interprocedural guard discharge (default on): compute
+          kernel-checkable per-function summaries bottom-up over the call
+          graph and let guard discharge carry facts across calls; off
+          reproduces the purely intraprocedural pass exactly *)
+  summary_profile : bool;
+      (** also measure {!result.iprof}, the per-function intra-vs-inter
+          discharge attribution behind [acc stats --profile].  Costs two
+          extra analysis passes per function, so it is off by default and
+          never part of the store key (it cannot change any output) *)
 }
 
 val default_options : options
@@ -127,6 +143,18 @@ val level_of : func_result -> level
 (** [Ll1] or [Lsimpl]. *)
 val degraded_level : degraded -> level
 
+(** Per-function interprocedural-analysis profile (surfaced by
+    `acc stats --profile`): summary contexts and their total abstract
+    size, plus how many of the function's guards the analysis proves
+    without ([ip_intra]) and with ([ip_inter]) the summary table.  Pure
+    analysis verdicts — kernel-checked discharge can only be lower. *)
+type iprof = {
+  ip_contexts : int;
+  ip_size : int;
+  ip_intra : int;
+  ip_inter : int;
+}
+
 type result = {
   source : string;
   simpl : Ir.program;
@@ -146,6 +174,11 @@ type result = {
   store_misses : int;
       (** functions translated from scratch despite a store (includes
           entries demoted after failing replay or validation) *)
+  sums : Ac_kernel.Absdom.sums;
+      (** the kernel-checkable summary table this run's certificates drew
+          from ([] when {!options.interproc} is off); `acc analyze`
+          reuses it to classify residual guards *)
+  iprof : (string * iprof) list;  (** per function, source order *)
 }
 
 val options_for : options -> string -> func_options

@@ -130,13 +130,62 @@ let itv_to_string i =
   Printf.sprintf "[%s,%s]" (b i.lo) (b i.hi)
 
 (* ------------------------------------------------------------------ *)
+(* Parity of the sign-interpreted value (= of bit 0 of the two's-
+   complement representation, since rep ≡ value mod 2^w and w ≥ 1).  A
+   second, independent component of the word domain: wrapping mod 2^w
+   preserves it, so it survives exactly the overflows that force the
+   interval component to the full range. *)
+
+type parity = Peven | Podd | Ptop
+
+let par_of_const n = if B.is_zero (B.rem n (B.of_int 2)) then Peven else Podd
+let par_of_itv i =
+  match (i.lo, i.hi) with
+  | Some a, Some b when B.equal a b -> par_of_const a
+  | _ -> Ptop
+
+let par_leq a b = b = Ptop || a = b
+let par_join a b = if a = b then a else Ptop
+
+(* x + y and x xor y agree mod 2. *)
+let par_add a b =
+  match (a, b) with
+  | Ptop, _ | _, Ptop -> Ptop
+  | x, y -> if x = y then Peven else Podd
+
+let par_mul a b =
+  match (a, b) with
+  | Peven, _ | _, Peven -> Peven
+  | Podd, Podd -> Podd
+  | _ -> Ptop
+
+(* bit 0 of x land y / x lor y. *)
+let par_and a b =
+  match (a, b) with
+  | Peven, _ | _, Peven -> Peven
+  | Podd, Podd -> Podd
+  | _ -> Ptop
+
+let par_or a b =
+  match (a, b) with
+  | Podd, _ | _, Podd -> Podd
+  | Peven, Peven -> Peven
+  | _ -> Ptop
+
+(* lognot x = -x - 1: parity flips. *)
+let par_flip = function Peven -> Podd | Podd -> Peven | Ptop -> Ptop
+
+let par_to_string = function Peven -> "e" | Podd -> "o" | Ptop -> ""
+
+(* ------------------------------------------------------------------ *)
 (* Value domains. *)
 
 type nullness = Nnull | Nnonnull | Ntop
 
 type vdom =
   | Dtop
-  | Dword of Ty.sign * Ty.width * itv (* interval of the sign-interpreted value *)
+  | Dword of Ty.sign * Ty.width * itv * parity
+      (* interval × parity of the sign-interpreted value *)
   | Dint of itv (* definitely a Vint *)
   | Dnat of itv (* definitely a Vnat; itv within [0, ∞) *)
   | Dbool of bool option
@@ -145,13 +194,23 @@ type vdom =
 
 let word_range s w = itv_make (Some (W.min_value s w)) (Some (W.max_value s w))
 
+(* Reduced product: a singleton interval determines the parity (and wins
+   over a contradictory claim — the state is then empty, and keeping the
+   exact component is a sound over-approximation of ∅). *)
+let mk_word s w i p =
+  let p = match par_of_itv i with Ptop -> p | q -> q in
+  Dword (s, w, i, p)
+
 (* Result of a word operation: exact when in range, else the wrap can hit
-   anything of the type. *)
-let word_result s w i = if itv_leq i (word_range s w) then Dword (s, w, i) else Dword (s, w, word_range s w)
+   anything of the type.  The parity argument must be wrap-stable (all
+   callers compute it mod 2, and 2 | 2^w). *)
+let word_result s w i p =
+  if itv_leq i (word_range s w) then mk_word s w i p
+  else Dword (s, w, word_range s w, p)
 
 let rec type_top (t : Ty.t) : vdom =
   match t with
-  | Ty.Tword (s, w) -> Dword (s, w, word_range s w)
+  | Ty.Tword (s, w) -> Dword (s, w, word_range s w, Ptop)
   | Ty.Tint -> Dint itv_top
   | Ty.Tnat -> Dnat nat_top
   | Ty.Tbool -> Dbool None
@@ -162,7 +221,8 @@ let rec type_top (t : Ty.t) : vdom =
 let rec vdom_leq a b =
   match (a, b) with
   | _, Dtop -> true
-  | Dword (s1, w1, i1), Dword (s2, w2, i2) -> s1 = s2 && w1 = w2 && itv_leq i1 i2
+  | Dword (s1, w1, i1, p1), Dword (s2, w2, i2, p2) ->
+    s1 = s2 && w1 = w2 && itv_leq i1 i2 && par_leq p1 p2
   | Dint i1, Dint i2 | Dnat i1, Dnat i2 -> itv_leq i1 i2
   | Dbool a, Dbool b -> b = None || a = b
   | Dptr a, Dptr b -> b = Ntop || a = b
@@ -172,8 +232,8 @@ let rec vdom_leq a b =
 
 let rec vdom_join a b =
   match (a, b) with
-  | Dword (s1, w1, i1), Dword (s2, w2, i2) when s1 = s2 && w1 = w2 ->
-    Dword (s1, w1, itv_join i1 i2)
+  | Dword (s1, w1, i1, p1), Dword (s2, w2, i2, p2) when s1 = s2 && w1 = w2 ->
+    Dword (s1, w1, itv_join i1 i2, par_join p1 p2)
   | Dint i1, Dint i2 -> Dint (itv_join i1 i2)
   | Dnat i1, Dnat i2 -> Dnat (itv_join i1 i2)
   | Dbool x, Dbool y -> Dbool (if x = y then x else None)
@@ -184,11 +244,12 @@ let rec vdom_join a b =
 
 let rec vdom_widen a b =
   match (a, b) with
-  | Dword (s1, w1, i1), Dword (s2, w2, i2) when s1 = s2 && w1 = w2 ->
+  | Dword (s1, w1, i1, p1), Dword (s2, w2, i2, p2) when s1 = s2 && w1 = w2 ->
     (* Words stay finite: a dropped bound lands on the type extreme, so
-       widening still terminates in at most two steps per bound. *)
+       widening still terminates in at most two steps per bound.  Parity
+       is a finite lattice, so joining it already terminates. *)
     let wd = itv_widen i1 i2 in
-    Dword (s1, w1, itv_meet wd (word_range s1 w1))
+    Dword (s1, w1, itv_meet wd (word_range s1 w1), par_join p1 p2)
   | Dint i1, Dint i2 -> Dint (itv_widen i1 i2)
   | Dnat i1, Dnat i2 -> Dnat (itv_meet (itv_widen i1 i2) nat_top)
   | Dbool x, Dbool y -> Dbool (if x = y then x else None)
@@ -201,10 +262,10 @@ let to_bool3 = function Dbool b -> b | _ -> None
 
 let rec vdom_to_string = function
   | Dtop -> "⊤"
-  | Dword (s, w, i) ->
-    Printf.sprintf "%s%d%s"
+  | Dword (s, w, i, p) ->
+    Printf.sprintf "%s%d%s%s"
       (match s with Ty.Signed -> "s" | Ty.Unsigned -> "u")
-      (W.bits w) (itv_to_string i)
+      (W.bits w) (itv_to_string i) (par_to_string p)
   | Dint i -> "int" ^ itv_to_string i
   | Dnat i -> "nat" ^ itv_to_string i
   | Dbool None -> "bool"
@@ -348,23 +409,40 @@ let is_cmp = function
   | E.Eq | E.Ne | E.Lt | E.Le | E.Gt | E.Ge -> true
   | _ -> false
 
+(* Word comparison: the interval verdict, refined by the parity component
+   for (dis)equalities — values of different parity are never equal. *)
+let cmp_word op i1 p1 i2 p2 =
+  match cmp_itv op i1 i2 with
+  | Some r -> Some r
+  | None -> (
+    let disjoint =
+      match (p1, p2) with Peven, Podd | Podd, Peven -> true | _ -> false
+    in
+    match (op : E.binop) with
+    | E.Eq when disjoint -> Some false
+    | E.Ne when disjoint -> Some true
+    | _ -> None)
+
 (* Arithmetic and comparisons on two evaluated operands (the non-short-
    circuit binops).  Mirrors [Expr.eval_binop]: word results take the left
    operand's sign and wrap; ideal subtraction is monus on two naturals. *)
 let binop_dom lenv op da db : vdom * bool =
   ignore lenv;
   match (da, db) with
-  | Dword (s1, w1, i1), Dword (s2, w2, i2) when s1 = s2 && w1 = w2 -> (
+  | Dword (s1, w1, i1, p1), Dword (s2, w2, i2, p2) when s1 = s2 && w1 = w2 -> (
     let s, w = (s1, w1) in
     match (op : E.binop) with
-    | E.Add -> (word_result s w (itv_add i1 i2), true)
-    | E.Sub -> (word_result s w (itv_sub i1 i2), true)
-    | E.Mul -> (word_result s w (itv_mul i1 i2), true)
+    | E.Add -> (word_result s w (itv_add i1 i2) (par_add p1 p2), true)
+    | E.Sub -> (word_result s w (itv_sub i1 i2) (par_add p1 p2), true)
+    | E.Mul -> (word_result s w (itv_mul i1 i2) (par_mul p1 p2), true)
     | E.Div ->
-      if itv_mem B.zero i2 then (Dword (s, w, word_range s w), false)
-      else (word_result s w (itv_div i1 i2), true)
+      (* An odd divisor is nonzero even when its interval straddles 0. *)
+      if itv_mem B.zero i2 && p2 <> Podd then (Dword (s, w, word_range s w, Ptop), false)
+      else if itv_mem B.zero i2 then (Dword (s, w, word_range s w, Ptop), true)
+      else (word_result s w (itv_div i1 i2) Ptop, true)
     | E.Rem ->
-      if itv_mem B.zero i2 then (Dword (s, w, word_range s w), false)
+      if itv_mem B.zero i2 && p2 <> Podd then (Dword (s, w, word_range s w, Ptop), false)
+      else if itv_mem B.zero i2 then (Dword (s, w, word_range s w, Ptop), true)
       else
         let m = itv_rem_bound i2 in
         let i =
@@ -373,22 +451,50 @@ let binop_dom lenv op da db : vdom * bool =
             itv_meet (itv_make (Some B.zero) m) (itv_make (Some B.zero) i1.hi)
           | _ -> itv_make (Option.map B.neg m) m
         in
-        (word_result s w i, true)
-    | E.Shl | E.Shr -> (Dword (s, w, word_range s w), true)
+        (word_result s w i Ptop, true)
+    | E.Shl ->
+      (* The evaluator shifts by [unat count] and wraps.  [small_shift]
+         forces the count's interpretation into [0, 256], where unat and
+         the interpreted value agree; a shift by ≥ 1 is even mod 2^w
+         whatever the count, so parity survives the wrap (and the
+         non-finite fallback). *)
+      let shl_par =
+        if not (itv_mem B.zero i2) then Peven
+        else if itv_leq i2 (itv_const B.zero) then p1
+        else par_join p1 Peven
+      in
+      if small_shift i2 && itv_all_finite [ i1; i2 ] then
+        (word_result s w
+           (itv_corners (fun x n -> B.shift_left x (B.to_int_exn n)) i1 i2)
+           shl_par,
+         true)
+      else (Dword (s, w, word_range s w, shl_par), true)
+    | E.Shr ->
+      (* Arithmetic shift of the interpretation for signed, logical for
+         unsigned — either way ⌊x / 2^n⌋ of the interpreted value, which
+         never leaves the type range.  Monotone along each axis, so box
+         corners bound it. *)
+      if small_shift i2 && itv_all_finite [ i1; i2 ] then
+        (word_result s w
+           (itv_corners (fun x n -> B.shift_right x (B.to_int_exn n)) i1 i2)
+           Ptop,
+         true)
+      else (Dword (s, w, word_range s w, Ptop), true)
     | E.Band ->
       let i =
         match s with
         | Ty.Unsigned -> itv_meet (word_range s w) (itv_make (Some B.zero) (opt_map2 B.min i1.hi i2.hi))
         | Ty.Signed -> word_range s w
       in
-      (Dword (s, w, i), true)
-    | E.Bor | E.Bxor -> (Dword (s, w, word_range s w), true)
-    | E.Eq | E.Ne | E.Lt | E.Le | E.Gt | E.Ge -> (Dbool (cmp_itv op i1 i2), true)
+      (mk_word s w i (par_and p1 p2), true)
+    | E.Bor -> (Dword (s, w, word_range s w, par_or p1 p2), true)
+    | E.Bxor -> (Dword (s, w, word_range s w, par_add p1 p2), true)
+    | E.Eq | E.Ne | E.Lt | E.Le | E.Gt | E.Ge -> (Dbool (cmp_word op i1 p1 i2 p2), true)
     | E.And | E.Or | E.Imp -> (Dtop, false))
-  | Dword (s, w, _), Dword _ ->
+  | Dword (s, w, _, _), Dword _ ->
     (* Mixed signs or widths: ill-typed for arithmetic, and comparisons
        interpret the right word with the left sign — give up on both. *)
-    if is_cmp op then (Dbool None, false) else (Dword (s, w, word_range s w), false)
+    if is_cmp op then (Dbool None, false) else (Dword (s, w, word_range s w, Ptop), false)
   | (Dint i1 | Dnat i1), (Dint i2 | Dnat i2) -> (
     let both_nat = match (da, db) with Dnat _, Dnat _ -> true | _ -> false in
     let wrap i = if both_nat then Dnat (itv_meet i nat_top) else Dint i in
@@ -471,7 +577,9 @@ let dom_of_value (v : Value.t) : vdom =
   let rec go = function
     | Value.Vunit -> Dtop
     | Value.Vbool b -> Dbool (Some b)
-    | Value.Vword (s, w) -> Dword (s, W.width_of w, itv_const (W.value s w))
+    | Value.Vword (s, w) ->
+      let v = W.value s w in
+      Dword (s, W.width_of w, itv_const v, par_of_const v)
     | Value.Vint n -> Dint (itv_const n)
     | Value.Vnat n -> Dnat (itv_const n)
     | Value.Vptr (a, _) -> Dptr (if B.is_zero a then Nnull else Nnonnull)
@@ -488,14 +596,14 @@ let rec aeval (lenv : Layout.env) (env : aenv) (e : E.t) : vdom * bool =
   | E.Unop (op, x) -> (
     let dx, cx = aeval lenv env x in
     match (op, dx) with
-    | E.Neg, Dword (s, w, i) -> (word_result s w (itv_neg i), cx)
+    | E.Neg, Dword (s, w, i, p) -> (word_result s w (itv_neg i) p, cx)
     | E.Neg, Dint i -> (Dint (itv_neg i), cx)
     | E.Neg, Dnat i -> (Dint (itv_neg i), cx) (* eval: Neg Vnat = Vint *)
-    | E.Bnot, Dword (s, w, i) ->
+    | E.Bnot, Dword (s, w, i, p) ->
       (* lognot x = -x - 1 two's-complement-wise; exact on the signed
          interpretation, full wrap on unsigned bounds crossing. *)
       let i' = itv_sub (itv_neg i) (itv_const B.one) in
-      (word_result s w i', cx)
+      (word_result s w i' (par_flip p), cx)
     | E.Not, Dbool b -> (Dbool (not3 b), cx)
     | E.Neg, Dtop | E.Bnot, Dtop -> (Dtop, false)
     | E.Not, _ -> (Dbool None, false)
@@ -548,16 +656,18 @@ let rec aeval (lenv : Layout.env) (env : aenv) (e : E.t) : vdom * bool =
     match (t, dx) with
     | Ty.Tword (s, w), (Dword _ | Dint _ | Dnat _) ->
       let i =
-        match dx with Dword (_, _, i) | Dint i | Dnat i -> i | _ -> itv_top
+        match dx with Dword (_, _, i, _) | Dint i | Dnat i -> i | _ -> itv_top
       in
+      (* Reduction mod 2^w preserves parity. *)
+      let p = match dx with Dword (_, _, _, p) -> p | _ -> par_of_itv i in
       (* [of_bignum] reduces the source interpretation mod 2^w; when the
          value already lies in the target range the reinterpretation is
          the identity.  Mixed sign/width sources are fine: the source
          interval is an interval of the *interpreted* value either way. *)
-      if itv_leq i (word_range s w) then (Dword (s, w, i), cx)
-      else (Dword (s, w, word_range s w), cx)
-    | Ty.Tword (s, w), Dptr _ -> (Dword (s, w, word_range s w), cx)
-    | Ty.Tptr _, Dword (_, _, i) ->
+      if itv_leq i (word_range s w) then (mk_word s w i p, cx)
+      else (Dword (s, w, word_range s w, p), cx)
+    | Ty.Tword (s, w), Dptr _ -> (Dword (s, w, word_range s w, Ptop), cx)
+    | Ty.Tptr _, Dword (_, _, i, _) ->
       let pb = W.bits (Layout.ptr_width lenv) in
       let pr = itv_make (Some (B.neg (B.sub (B.pow2 pb) B.one))) (Some (B.sub (B.pow2 pb) B.one)) in
       let n =
@@ -577,12 +687,12 @@ let rec aeval (lenv : Layout.env) (env : aenv) (e : E.t) : vdom * bool =
   | E.OfWord (t, x) -> (
     let dx, cx = aeval lenv env x in
     match (t, dx) with
-    | Ty.Tnat, Dword (Ty.Unsigned, _, i) -> (Dnat (itv_meet i nat_top), cx)
-    | Ty.Tnat, Dword (Ty.Signed, w, i) ->
+    | Ty.Tnat, Dword (Ty.Unsigned, _, i, _) -> (Dnat (itv_meet i nat_top), cx)
+    | Ty.Tnat, Dword (Ty.Signed, w, i, _) ->
       if itv_leq i nat_top then (Dnat i, cx)
       else (Dnat (itv_make (Some B.zero) (Some (B.sub (B.pow2 (W.bits w)) B.one))), cx)
-    | Ty.Tint, Dword (Ty.Signed, _, i) -> (Dint i, cx)
-    | Ty.Tint, Dword (Ty.Unsigned, w, i) ->
+    | Ty.Tint, Dword (Ty.Signed, _, i, _) -> (Dint i, cx)
+    | Ty.Tint, Dword (Ty.Unsigned, w, i, _) ->
       if itv_leq i (word_range Ty.Signed w) then (Dint i, cx)
       else (Dint (word_range Ty.Signed w), cx)
     | Ty.Tnat, _ -> (Dnat nat_top, false)
@@ -751,7 +861,7 @@ and negate_cmp = function
    marker so word comparisons only narrow when interpretations agree.
    Ideal ints and nats share the `I` marker (B comparisons are uniform). *)
 and itv_of_dom = function
-  | Dword (s, w, i) -> Some (`W (s, w), i)
+  | Dword (s, w, i, _) -> Some (`W (s, w), i)
   | Dint i | Dnat i -> Some (`I, i)
   | _ -> None
 
@@ -793,9 +903,9 @@ and refine lenv env e (c : itv) : aenv option =
       else begin
         let d = lookup_var env x t in
         match d with
-        | Dword (s, w, i) ->
+        | Dword (s, w, i, p) ->
           let i' = itv_meet i c in
-          if itv_is_empty i' then None else Some (set_var env x (Dword (s, w, i')))
+          if itv_is_empty i' then None else Some (set_var env x (mk_word s w i' p))
         | Dint i ->
           let i' = itv_meet i c in
           if itv_is_empty i' then None else Some (set_var env x (Dint i'))
@@ -816,10 +926,54 @@ and refine lenv env e (c : itv) : aenv option =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Certificates and the abstract walk. *)
+(* Certificates, summaries and the abstract walk. *)
 
-(* One invariant per [While], keyed by structural preorder index. *)
-type cert = (int * aenv) list
+(* A function summary: an untrusted interprocedural claim, verified by
+   [check_sums] below before any walk is allowed to use it.
+
+   [s_args] is the applicability constraint: a call site may use the
+   summary only when the abstract domains of the actual arguments are
+   pointwise ⊑ [s_args].  Under that constraint the claims are: a normal
+   return (if any) yields a value in [s_ret] ([s_noret] claims there is
+   none), and the call can throw only if [s_throws].  [s_invs] carries
+   the callee's loop invariants for the verification walk, keyed like a
+   certificate's.
+
+   Soundness is by strong induction on the depth of the concrete call
+   tree: an execution of the callee whose own calls have depth < n
+   satisfies the claims because the verifying walk over-approximates it —
+   each inner call either uses a summary (applicable because abstract
+   actuals over-approximate concrete ones, and correct for depth < n by
+   the induction hypothesis) or havocs.  The table is checked as a whole,
+   so mutual recursion needs no stratification. *)
+type summary = {
+  s_args : vdom list;
+  s_ret : vdom;
+  s_noret : bool;
+  s_throws : bool;
+  s_invs : (int * aenv) list;
+}
+
+(* Contexts per callee, most specific first: [find_summary] takes the
+   first applicable entry, so the order is part of the certificate and
+   the analysis and the checker agree on which context a site uses. *)
+type sums = (string * summary list) list
+
+let find_summary (sums : sums) (g : string) (argds : vdom list) : summary option =
+  match List.assoc_opt g sums with
+  | None -> None
+  | Some ss ->
+    List.find_opt
+      (fun s ->
+        List.length s.s_args = List.length argds
+        && List.for_all2 vdom_leq argds s.s_args)
+      ss
+
+(* One invariant per [While], keyed by structural preorder index, plus
+   the summary table the walk may consult at call sites. *)
+type cert = { c_invs : (int * aenv) list; c_sums : sums }
+
+let cert_of_invs invs = { c_invs = invs; c_sums = [] }
 
 let rec count_loops (m : M.t) : int =
   match m with
@@ -838,6 +992,8 @@ let rec count_loops (m : M.t) : int =
 type solver = {
   solve : int -> aenv -> (aenv -> aenv option) -> aenv;
   on_guard : Ir.guard_kind -> E.t -> bool option -> unit;
+  sums : sums; (* summaries call sites may use (verified before any trusted walk) *)
+  on_call : string -> vdom list -> unit; (* context-discovery hook; no-op in the checker *)
 }
 
 type aout = { onorm : (aenv * vdom) option; oexn : (aenv * vdom) option }
@@ -931,16 +1087,28 @@ let rec walk lenv (sv : solver) (idx : int) (env : aenv) (m : M.t) : M.t * aout 
   | M.Fail -> (m, dead_out)
   | M.Throw e -> (m, { onorm = None; oexn = Some (env, fst (aeval lenv env e)) })
   | M.Unknown t -> (m, { onorm = Some (env, type_top t); oexn = None })
-  | M.Call _ | M.Exec_concrete _ ->
+  | M.Call (g, args) -> (
     (* Callees may write globals and the heap; caller-local bindings are
-       lambda-bound or saved/restored, so [avars] survives. *)
+       lambda-bound or saved/restored, so [avars] survives.  With an
+       applicable (verified) summary the return value and throw behaviour
+       narrow from havoc to the summary's claims. *)
+    let argds = List.map (fun a -> fst (aeval lenv env a)) args in
+    sv.on_call g argds;
+    let env' = { env with aglobs = SMap.empty } in
+    match find_summary sv.sums g argds with
+    | Some s ->
+      ( m,
+        { onorm = (if s.s_noret then None else Some (env', s.s_ret));
+          oexn = (if s.s_throws then Some (env', Dtop) else None) } )
+    | None -> (m, { onorm = Some (env', Dtop); oexn = Some (env', Dtop) }))
+  | M.Exec_concrete _ ->
     let env' = { env with aglobs = SMap.empty } in
     (m, { onorm = Some (env', Dtop); oexn = Some (env', Dtop) })
   | M.Bind (a, p, b) -> (
     let a', oa = walk lenv sv idx env a in
     let bidx = idx + count_loops a in
     match oa.onorm with
-    | None -> (mk_bind a' p b, { onorm = None; oexn = oa.oexn })
+    | None -> (mk_bind a' p (scrub_dead sv b), { onorm = None; oexn = oa.oexn })
     | Some (enva, va) ->
       let saved = save_pat_vars enva p in
       let envb = bind_pat_dom enva p va in
@@ -951,7 +1119,7 @@ let rec walk lenv (sv : solver) (idx : int) (env : aenv) (m : M.t) : M.t * aout 
     let a', oa = walk lenv sv idx env a in
     let hidx = idx + count_loops a in
     match oa.oexn with
-    | None -> (M.Try (a', p, h), { onorm = oa.onorm; oexn = None })
+    | None -> (M.Try (a', p, scrub_dead sv h), { onorm = oa.onorm; oexn = None })
     | Some (enve, ve) ->
       let saved = save_pat_vars enve p in
       let envh = bind_pat_dom enve p ve in
@@ -961,12 +1129,12 @@ let rec walk lenv (sv : solver) (idx : int) (env : aenv) (m : M.t) : M.t * aout 
   | M.Cond (c, a, b) ->
     let a', oa =
       match assume lenv env c true with
-      | None -> (a, dead_out)
+      | None -> (scrub_dead sv a, dead_out)
       | Some ea -> walk lenv sv idx ea a
     in
     let b', ob =
       match assume lenv env c false with
-      | None -> (b, dead_out)
+      | None -> (scrub_dead sv b, dead_out)
       | Some eb -> walk lenv sv (idx + count_loops a) eb b
     in
     (M.Cond (c, a', b'), join_out oa ob)
@@ -986,7 +1154,7 @@ let rec walk lenv (sv : solver) (idx : int) (env : aenv) (m : M.t) : M.t * aout 
     let inv = sv.solve idx head0 iterate in
     let body', obody =
       match assume lenv inv cond true with
-      | None -> (body, dead_out)
+      | None -> (scrub_dead sv body, dead_out)
       | Some envc -> walk lenv sv (idx + 1) envc body
     in
     let onorm =
@@ -997,6 +1165,26 @@ let rec walk lenv (sv : solver) (idx : int) (env : aenv) (m : M.t) : M.t * aout 
         Some (restore_pat_vars saved envx, rv)
     in
     (M.While (p, cond, body', init), { onorm; oexn = Option.map (fun (e, v) -> (restore_pat_vars saved e, v)) obody.oexn })
+
+(* Code the walk proved unreachable (a callee summary says the call never
+   returns / never throws, a branch condition contradicts the environment,
+   a loop condition is unsatisfiable): no concrete execution enters it, so
+   every guard inside may be discharged outright.  Firing the solver hook
+   with a definite verdict keeps the analysis' accounting aligned with the
+   rewrite; the checker's hook ignores it.  Without this pass a *more*
+   precise walk could keep guards a less precise one discharges, merely
+   because precision proved their whole region dead. *)
+and scrub_dead (sv : solver) (m : M.t) : M.t =
+  match m with
+  | M.Guard (k, c) ->
+    sv.on_guard k c (Some true);
+    M.Return E.unit_e
+  | M.Bind (a, p, b) -> mk_bind (scrub_dead sv a) p (scrub_dead sv b)
+  | M.Try (a, p, h) -> M.Try (scrub_dead sv a, p, scrub_dead sv h)
+  | M.Cond (c, a, b) -> M.Cond (c, scrub_dead sv a, scrub_dead sv b)
+  | M.While (p, c, body, init) -> M.While (p, c, scrub_dead sv body, init)
+  | M.Return _ | M.Gets _ | M.Modify _ | M.Fail | M.Throw _ | M.Unknown _
+  | M.Call _ | M.Exec_concrete _ -> m
 
 (* Drop a discharged guard's [return ()] when nothing is bound to it; the
    constant cannot get stuck, so the bind is pure glue. *)
@@ -1010,11 +1198,11 @@ and mk_bind a p b =
    invariant covers the loop head and is inductive, then reuse it.  A
    missing entry defaults to ⊤, which is trivially both. *)
 
-let check_solver (cert : cert) : solver =
+let check_solver (sums : sums) (invs : (int * aenv) list) : solver =
   {
     solve =
       (fun idx head iterate ->
-        let inv = match List.assoc_opt idx cert with Some e -> e | None -> env_top in
+        let inv = match List.assoc_opt idx invs with Some e -> e | None -> env_top in
         if not (env_leq head inv) then
           cert_error "loop %d: head state %s not within invariant %s" idx
             (env_to_string head) (env_to_string inv);
@@ -1026,12 +1214,60 @@ let check_solver (cert : cert) : solver =
               (env_to_string inv) (env_to_string nxt));
         inv);
     on_guard = (fun _ _ _ -> ());
+    sums;
+    on_call = (fun _ _ -> ());
   }
 
+(* Verify every summary in the table against the callee bodies the
+   context supplies: one walk of the body from the claimed argument
+   constraint, using the table itself at call sites (see the induction
+   argument at [summary]).  No fixpoint — loop invariants ride in
+   [s_invs] and get the same single inductiveness check as a
+   certificate's.  Raises [Cert_error] on any violation. *)
+let check_sums (lenv : Layout.env) (fbodies : M.func list) (sums : sums) : unit =
+  List.iter
+    (fun (g, ss) ->
+      let f =
+        match List.find_opt (fun f -> String.equal f.M.name g) fbodies with
+        | Some f -> f
+        | None -> cert_error "summary for unknown function %s" g
+      in
+      List.iter
+        (fun s ->
+          if List.length s.s_args <> List.length f.M.params then
+            cert_error "summary %s: arity %d vs %d parameters" g
+              (List.length s.s_args) (List.length f.M.params);
+          let env =
+            List.fold_left2
+              (fun e (x, _) d -> set_var e x d)
+              env_top f.M.params s.s_args
+          in
+          let sv = check_solver sums s.s_invs in
+          let _, out = walk lenv sv 0 env f.M.body in
+          (match out.onorm with
+          | None -> ()
+          | Some (_, rv) ->
+            if s.s_noret then
+              cert_error "summary %s: claims no normal return, body may return" g;
+            if not (vdom_leq rv s.s_ret) then
+              cert_error "summary %s: return %s exceeds claim %s" g
+                (vdom_to_string rv) (vdom_to_string s.s_ret));
+          match out.oexn with
+          | Some _ when not s.s_throws -> cert_error "summary %s: body may throw" g
+          | _ -> ())
+        ss)
+    sums
+
 (* Kernel entry point, called from [Rules.infer] for [Rule_guard_true]:
-   re-walk [m] under the certificate and return the rewritten term.  The
-   walk is deterministic, so [Thm.check] reproduces it exactly. *)
-let discharge (lenv : Layout.env) (cert : cert) (m : M.t) : (M.t, string) result =
-  match walk lenv (check_solver cert) 0 env_top m with
+   verify the certificate's summary table against the unit's callee
+   bodies, then re-walk [m] under the certificate and return the
+   rewritten term.  The walk is deterministic, so [Thm.check] reproduces
+   it exactly. *)
+let discharge (lenv : Layout.env) (fbodies : M.func list) (cert : cert) (m : M.t) :
+    (M.t, string) result =
+  match
+    check_sums lenv fbodies cert.c_sums;
+    walk lenv (check_solver cert.c_sums cert.c_invs) 0 env_top m
+  with
   | m', _ -> Result.Ok m'
   | exception Cert_error msg -> Result.Error msg

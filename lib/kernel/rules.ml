@@ -35,9 +35,16 @@ type ctx = {
   (* Functions whose bodies provably never throw (after L2's type
      specialisation), extending the syntactic nothrow check across calls. *)
   nothrows : string list;
+  (* The unit's (pre-discharge) L2 function bodies, for verifying the
+     interprocedural summaries a [Rule_guard_true] certificate may carry.
+     Same trust class as [nothrows]: driver-supplied facts about the
+     translation unit — a wrong body here is a wrong unit, not a kernel
+     hole, and the certificates themselves stay untrusted ([Absdom]
+     re-verifies every summary against these bodies on each check). *)
+  fbodies : M.func list;
 }
 
-let empty_ctx lenv = { lenv; wvars = []; fsigs = []; lifted = []; nothrows = [] }
+let empty_ctx lenv = { lenv; wvars = []; fsigs = []; lifted = []; nothrows = []; fbodies = [] }
 
 type rule =
   (* ---- L1: monadic conversion, Table 1 ---- *)
@@ -877,7 +884,7 @@ let rec infer (ctx : ctx) (rule : rule) (prems : judgment list) : (judgment, str
     | _ -> fail "rw_cond_return: branches are not value computations")
   | Rw_discharge m -> ok (Equiv (discharge_guards ctx.lenv m, m))
   | Rule_guard_true (m, cert) -> (
-    match Absdom.discharge ctx.lenv cert m with
+    match Absdom.discharge ctx.lenv ctx.fbodies cert m with
     | Result.Ok m' -> ok (Equiv (m', m))
     | Result.Error msg -> fail "rule_guard_true: %s" msg)
   | Rw_prune_loop (i, ip, cond, body, init, qp, k) -> (

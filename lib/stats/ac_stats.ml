@@ -161,6 +161,27 @@ let table5_header =
 
 let profile_header = [ "Phase"; "Calls"; "Wall(s)"; "Alloc(MB)" ]
 
+(* Per-function interprocedural profile (`acc stats --profile`): how many
+   summary contexts the engine kept for the function and their total
+   abstract size, plus how many of its guards the pure analysis proves
+   without (Intra) and with (Inter) the summary table.  The Gain column
+   is what crossing call boundaries bought; kernel-checked discharge can
+   only be lower than either analysis count. *)
+let summary_header = [ "Function"; "Contexts"; "SumSize"; "Intra"; "Inter"; "Gain" ]
+
+let summary_rows (res : Driver.result) : string list list =
+  List.map
+    (fun ((name, ip) : string * Driver.iprof) ->
+      [
+        name;
+        string_of_int ip.Driver.ip_contexts;
+        string_of_int ip.Driver.ip_size;
+        string_of_int ip.Driver.ip_intra;
+        string_of_int ip.Driver.ip_inter;
+        string_of_int (ip.Driver.ip_inter - ip.Driver.ip_intra);
+      ])
+    res.Driver.iprof
+
 let profile_rows (entries : Autocorres.Profile.entry list) : string list list =
   List.map
     (fun (e : Autocorres.Profile.entry) ->

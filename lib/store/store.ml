@@ -38,8 +38,10 @@ module J = Ac_kernel.Judgment
    cone contains it. *)
 
 (* Bump when the kernel rule base, the trace format, or anything else
-   that replay depends on changes shape. *)
-let ruleset_tag = "acc-store-1/ruleset-1"
+   that replay depends on changes shape.  ruleset-2: [Absdom.cert]
+   became a record carrying a summary table, entries gained
+   [e_sums_digest]. *)
+let ruleset_tag = "acc-store-1/ruleset-2"
 
 let magic = "ACC-STORE v1\n"
 
@@ -94,51 +96,24 @@ let cone_keys ~(tag : string) ~(opt_string : string -> string) (prog : Ir.progra
       Hashtbl.replace locals f.Ir.name (local f);
       Hashtbl.replace callees f.Ir.name (callees_of_func f))
     funcs;
-  (* Tarjan's SCC algorithm over the call graph. *)
-  let index = Hashtbl.create 64 and low = Hashtbl.create 64 in
-  let on_stack = Hashtbl.create 64 in
-  let stack = ref [] and next = ref 0 in
-  let comp_of = Hashtbl.create 64 (* function -> SCC representative id *) in
-  let comps = ref [] (* (id, members) in reverse topological order *) in
-  let n_comps = ref 0 in
-  let rec strongconnect v =
-    Hashtbl.replace index v !next;
-    Hashtbl.replace low v !next;
-    incr next;
-    stack := v :: !stack;
-    Hashtbl.replace on_stack v ();
-    List.iter
-      (fun w ->
-        if Hashtbl.mem callees w (* ignore undefined externals here *) then
-          if not (Hashtbl.mem index w) then begin
-            strongconnect w;
-            Hashtbl.replace low v (min (Hashtbl.find low v) (Hashtbl.find low w))
-          end
-          else if Hashtbl.mem on_stack w then
-            Hashtbl.replace low v (min (Hashtbl.find low v) (Hashtbl.find index w)))
-      (Hashtbl.find callees v);
-    if Hashtbl.find low v = Hashtbl.find index v then begin
-      let id = !n_comps in
-      incr n_comps;
-      let rec pop acc =
-        match !stack with
-        | w :: rest ->
-          stack := rest;
-          Hashtbl.remove on_stack w;
-          Hashtbl.replace comp_of w id;
-          if String.equal w v then w :: acc else pop (w :: acc)
-        | [] -> acc
-      in
-      comps := (id, pop []) :: !comps
-    end
+  (* SCC condensation via the analysis library's call-graph module (the
+     Tarjan that used to live here moved there so the interprocedural
+     summary pass and the store share one implementation).  Emission is
+     callees-first, so digesting components in order sees every callee
+     component before its callers. *)
+  let cg =
+    Ac_analysis.Callgraph.of_edges
+      (List.map (fun f -> f.Ir.name) funcs)
+      (List.map (fun f -> (f.Ir.name, callees_of_func f)) funcs)
   in
-  List.iter (fun f -> if not (Hashtbl.mem index f.Ir.name) then strongconnect f.Ir.name) funcs;
-  (* Tarjan emits components children-first, so [List.rev !comps] is
-     already reverse-topological: every callee component is digested
-     before its callers. *)
+  let sccs = Ac_analysis.Callgraph.sccs cg in
+  let comp_of = Hashtbl.create 64 (* function -> SCC id, emission order *) in
+  List.iteri
+    (fun id members -> List.iter (fun m -> Hashtbl.replace comp_of m id) members)
+    sccs;
   let comp_digest = Hashtbl.create 64 in
-  List.iter
-    (fun (id, members) ->
+  List.iteri
+    (fun id members ->
       let member_parts =
         List.sort String.compare
           (List.map (fun m -> m ^ "=" ^ Hashtbl.find locals m) members)
@@ -158,7 +133,7 @@ let cone_keys ~(tag : string) ~(opt_string : string -> string) (prog : Ir.progra
       in
       Hashtbl.replace comp_digest id
         (hex (String.concat "\x00" (member_parts @ callee_parts))))
-    (List.rev !comps);
+    sccs;
   (* A function's key: its own local digest chained with its component's
      cone digest (so two members of one cycle still get distinct keys). *)
   List.map
@@ -182,6 +157,13 @@ let cone_keys ~(tag : string) ~(opt_string : string -> string) (prog : Ir.progra
 type fentry = {
   e_name : string;
   e_l1 : M.func;
+  e_l2g : M.func;
+      (* the L2 image *before* guard discharge: the body the
+         interprocedural summary pass analyses.  Kept so a warm run
+         rebuilds the exact summary table a cold run computed (the
+         post-discharge [e_l2] would do in practice, but "guard removal
+         never changes an abstract walk" is a theorem about the analysis,
+         not an invariant the store should lean on). *)
   e_l2 : M.func;
   e_hl : M.func option;
   e_wa : M.func option;
@@ -190,6 +172,15 @@ type fentry = {
   e_skipped : (string * string) list;
   e_nothrow : bool; (* this function's own membership in the nothrow set *)
   e_fsig : J.conv list * J.conv; (* its word-abstraction signature *)
+  e_sums_digest : string;
+      (* digest of the interprocedural summary table restricted to this
+         function's transitive callees — the slice its certificates may
+         reference.  Replay validates it against the current run's table
+         (a mismatch demotes to a miss): a callee body edit already
+         changes the cone key, but summary *budgets/rounds* can change
+         the table for identical sources, and an entry minted under a
+         different table could otherwise replay against summaries the
+         kernel would now reject or resolve differently. *)
   e_trace : Trace.t;
       (* the end-to-end chain derivation.  The premises of its root are
          exactly the component theorems in pipeline order —

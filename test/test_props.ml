@@ -129,75 +129,109 @@ module J = Ac_kernel.Judgment
 let u32 = Ty.Tword (Ty.Unsigned, Ty.W32)
 let w32 n = E.word_e Ty.Unsigned Ty.W32 n
 
-let gen_mprog =
+let gen_wexpr vars n =
   let open QCheck.Gen in
-  let wexpr vars n =
-    let leaf =
-      oneof [ map w32 (int_range 0 40); map (fun x -> E.Var (x, u32)) (oneofl vars) ]
-    in
-    let rec go n =
-      if n = 0 then leaf
-      else
-        oneof
-          [ leaf;
-            map2 (fun a b -> E.Binop (E.Add, a, b)) (go (n - 1)) (go (n - 1));
-            map2 (fun a b -> E.Binop (E.Sub, a, b)) (go (n - 1)) (go (n - 1));
-            map2 (fun a b -> E.Binop (E.Mul, a, b)) (go (n - 1)) (go (n - 1)) ]
-    in
-    go n
+  let leaf =
+    oneof [ map w32 (int_range 0 40); map (fun x -> E.Var (x, u32)) (oneofl vars) ]
   in
-  let cond vars n =
-    let cmp =
-      let* op = oneofl [ E.Lt; E.Le; E.Eq; E.Ne; E.Gt; E.Ge ] in
-      map2 (fun a b -> E.Binop (op, a, b)) (wexpr vars n) (wexpr vars n)
-    in
-    oneof [ cmp; map2 E.and_e cmp cmp; map2 E.or_e cmp cmp; map E.not_e cmp ]
-  in
-  let kind =
-    oneofl [ Ir.Div_by_zero; Ir.Shift_bounds; Ir.Array_bounds; Ir.Unsigned_overflow ]
-  in
-  let rec prog vars n =
-    if n = 0 then map (fun e -> M.Return e) (wexpr vars 1)
+  let rec go n =
+    if n = 0 then leaf
     else
       oneof
-        [ map (fun e -> M.Return e) (wexpr vars 2);
-          map (fun e -> M.Throw e) (wexpr vars 1);
-          (let* k = kind in
-           let* c = cond vars 1 in
-           let* rest = prog vars (n - 1) in
-           return (M.Bind (M.Guard (k, c), M.Pwild, rest)));
-          (let* c = cond vars 1 in
-           map2 (fun a b -> M.Cond (c, a, b)) (prog vars (n - 1)) (prog vars (n - 1)));
-          (let z = Printf.sprintf "z%d" (List.length vars) in
-           let* e = wexpr vars 2 in
-           let* rest = prog (z :: vars) (n - 1) in
-           return (M.Bind (M.Return e, M.Pvar (z, u32), rest)));
-          (let* g = wexpr vars 2 in
-           let* rest = prog vars (n - 1) in
-           return (M.Bind (M.Modify [ M.Global_set ("g", g) ], M.Pwild, rest)));
-          (let i = Printf.sprintf "w%d" (List.length vars) in
-           let z = Printf.sprintf "z%d" (List.length vars) in
-           let* bound = int_range 0 6 in
-           let* k = kind in
-           let* c = cond (i :: vars) 1 in
-           let* init = wexpr vars 1 in
-           let body =
-             M.Bind
-               (M.Guard (k, c), M.Pwild, M.Return (E.Binop (E.Add, E.Var (i, u32), w32 1)))
-           in
-           let loop =
-             M.While (M.Pvar (i, u32), E.Binop (E.Lt, E.Var (i, u32), w32 bound), body, init)
-           in
-           let* rest = prog (z :: vars) (n - 1) in
-           return (M.Bind (loop, M.Pvar (z, u32), rest))) ]
+        [ leaf;
+          map2 (fun a b -> E.Binop (E.Add, a, b)) (go (n - 1)) (go (n - 1));
+          map2 (fun a b -> E.Binop (E.Sub, a, b)) (go (n - 1)) (go (n - 1));
+          map2 (fun a b -> E.Binop (E.Mul, a, b)) (go (n - 1)) (go (n - 1)) ]
   in
-  let* depth = int_range 1 4 in
-  prog [ "x"; "y" ] depth
+  go n
+
+let gen_cond vars n =
+  let open QCheck.Gen in
+  let cmp =
+    let* op = oneofl [ E.Lt; E.Le; E.Eq; E.Ne; E.Gt; E.Ge ] in
+    map2 (fun a b -> E.Binop (op, a, b)) (gen_wexpr vars n) (gen_wexpr vars n)
+  in
+  oneof [ cmp; map2 E.and_e cmp cmp; map2 E.or_e cmp cmp; map E.not_e cmp ]
+
+let gen_guard_kind =
+  QCheck.Gen.oneofl
+    [ Ir.Div_by_zero; Ir.Shift_bounds; Ir.Array_bounds; Ir.Unsigned_overflow ]
+
+let rec gen_prog vars n =
+  let open QCheck.Gen in
+  if n = 0 then map (fun e -> M.Return e) (gen_wexpr vars 1)
+  else
+    oneof
+      [ map (fun e -> M.Return e) (gen_wexpr vars 2);
+        map (fun e -> M.Throw e) (gen_wexpr vars 1);
+        (let* k = gen_guard_kind in
+         let* c = gen_cond vars 1 in
+         let* rest = gen_prog vars (n - 1) in
+         return (M.Bind (M.Guard (k, c), M.Pwild, rest)));
+        (let* c = gen_cond vars 1 in
+         map2 (fun a b -> M.Cond (c, a, b)) (gen_prog vars (n - 1)) (gen_prog vars (n - 1)));
+        (let z = Printf.sprintf "z%d" (List.length vars) in
+         let* e = gen_wexpr vars 2 in
+         let* rest = gen_prog (z :: vars) (n - 1) in
+         return (M.Bind (M.Return e, M.Pvar (z, u32), rest)));
+        (let* g = gen_wexpr vars 2 in
+         let* rest = gen_prog vars (n - 1) in
+         return (M.Bind (M.Modify [ M.Global_set ("g", g) ], M.Pwild, rest)));
+        (let i = Printf.sprintf "w%d" (List.length vars) in
+         let z = Printf.sprintf "z%d" (List.length vars) in
+         let* bound = int_range 0 6 in
+         let* k = gen_guard_kind in
+         let* c = gen_cond (i :: vars) 1 in
+         let* init = gen_wexpr vars 1 in
+         let body =
+           M.Bind
+             (M.Guard (k, c), M.Pwild, M.Return (E.Binop (E.Add, E.Var (i, u32), w32 1)))
+         in
+         let loop =
+           M.While (M.Pvar (i, u32), E.Binop (E.Lt, E.Var (i, u32), w32 bound), body, init)
+         in
+         let* rest = gen_prog (z :: vars) (n - 1) in
+         return (M.Bind (loop, M.Pvar (z, u32), rest))) ]
+
+let gen_mprog =
+  QCheck.Gen.(
+    let* depth = int_range 1 4 in
+    gen_prog [ "x"; "y" ] depth)
 
 let arb_mprog =
   QCheck.make
     ~print:(fun (m, _) -> Ac_monad.Mprint.to_string m)
     QCheck.Gen.(pair gen_mprog (pair (int_range 0 0xFFFF) (int_range 0 0xFFFF)))
+
+let mk_ufunc name params body : M.func =
+  { M.name; params; ret_ty = u32; body; convention = M.Lambda_bound;
+    heap_model = M.Byte_level; locals = [] }
+
+(* [f] (with body m / m') applied to every probe input must behave
+   identically under the interpreter: a discharged guard that could
+   actually fail shows up as [Fails] on one side only. *)
+let funcs_agree (funcs : M.t -> M.func list) (m : M.t) (m' : M.t) probes =
+  let prog body = { M.lenv; globals = [ ("g", u32) ]; funcs = funcs body; heap_types = [] } in
+  let state0 =
+    State.set_global State.empty "g" (Value.vword Ty.Unsigned (W.of_int W.W32 0))
+  in
+  let agree (vx, vy) =
+    let args =
+      [ Value.vword Ty.Unsigned (W.of_int W.W32 vx);
+        Value.vword Ty.Unsigned (W.of_int W.W32 vy) ]
+    in
+    let r = Interp.run_func (prog m) ~fuel:5000 state0 "f" args in
+    let r' = Interp.run_func (prog m') ~fuel:5000 state0 "f" args in
+    match (r, r') with
+    | Interp.Returns (v, s), Interp.Returns (v', s') ->
+      Value.equal v v' && Value.equal (State.get_global s "g") (State.get_global s' "g")
+    | Interp.Throws (v, _), Interp.Throws (v', _) -> Value.equal v v'
+    | Interp.Fails p, Interp.Fails q -> String.equal p q
+    | Interp.Gets_stuck _, Interp.Gets_stuck _ -> true
+    | Interp.Diverges, Interp.Diverges -> true
+    | _ -> false
+  in
+  List.for_all agree probes
 
 let discharge_agrees ((m : M.t), (a, b)) =
   let ctx = Rules.empty_ctx lenv in
@@ -208,46 +242,66 @@ let discharge_agrees ((m : M.t), (a, b)) =
     (match Thm.check ctx thm with Result.Ok () -> true | Result.Error _ -> false)
     &&
     let m' = match Thm.concl thm with J.Equiv (m', _) -> m' | _ -> m in
-    let prog body =
-      {
-        M.lenv;
-        globals = [ ("g", u32) ];
-        funcs =
-          [
-            {
-              M.name = "f";
-              params = [ ("x", u32); ("y", u32) ];
-              ret_ty = u32;
-              body;
-              convention = M.Lambda_bound;
-              heap_model = M.Byte_level;
-              locals = [];
-            };
-          ];
-        heap_types = [];
-      }
-    in
-    let state0 =
-      State.set_global State.empty "g" (Value.vword Ty.Unsigned (W.of_int W.W32 0))
-    in
-    let agree (vx, vy) =
-      let args =
-        [ Value.vword Ty.Unsigned (W.of_int W.W32 vx);
-          Value.vword Ty.Unsigned (W.of_int W.W32 vy) ]
-      in
-      let r = Interp.run_func (prog m) ~fuel:5000 state0 "f" args in
-      let r' = Interp.run_func (prog m') ~fuel:5000 state0 "f" args in
-      match (r, r') with
-      | Interp.Returns (v, s), Interp.Returns (v', s') ->
-        Value.equal v v' && Value.equal (State.get_global s "g") (State.get_global s' "g")
-      | Interp.Throws (v, _), Interp.Throws (v', _) -> Value.equal v v'
-      | Interp.Fails p, Interp.Fails q -> String.equal p q
-      | Interp.Gets_stuck _, Interp.Gets_stuck _ -> true
-      | Interp.Diverges, Interp.Diverges -> true
-      | _ -> false
-    in
-    List.for_all agree
+    funcs_agree
+      (fun body -> [ mk_ufunc "f" [ ("x", u32); ("y", u32) ] body ])
+      m m'
       [ (a, b); (0, 0); (1, 0xFFFFFFFF); (31, 2); (0xFFFFFFFF, 0xFFFFFFFF) ]
+
+(* ------------------------------------------------------------------ *)
+(* Interprocedural summaries: on random two-function programs, the
+   summary-assisted discharge of the caller must (1) produce a
+   certificate the kernel accepts, (2) agree with the original program
+   under the interpreter on every probe (differential soundness: no
+   refutable guard is ever discharged), and (3) discharge at least every
+   guard the intraprocedural pass discharges (monotone improvement: a
+   summary can only add facts, never lose them). *)
+
+let gen_callprog =
+  QCheck.Gen.(
+    let* hdepth = int_range 1 3 in
+    let* hbody = gen_prog [ "a" ] hdepth in
+    let* arg = gen_wexpr [ "x"; "y" ] 1 in
+    let* fdepth = int_range 1 3 in
+    let* rest = gen_prog [ "z"; "x"; "y" ] fdepth in
+    return (hbody, M.Bind (M.Call ("h", [ arg ]), M.Pvar ("z", u32), rest)))
+
+let arb_callprog =
+  QCheck.make
+    ~print:(fun ((hbody, fbody), _) ->
+      "h(a) = " ^ Ac_monad.Mprint.to_string hbody ^ "\nf(x,y) = "
+      ^ Ac_monad.Mprint.to_string fbody)
+    QCheck.Gen.(pair gen_callprog (pair (int_range 0 0xFFFF) (int_range 0 0xFFFF)))
+
+let interproc_discharge_sound (((hbody : M.t), (fbody : M.t)), (a, b)) =
+  let hf = mk_ufunc "h" [ ("a", u32) ] hbody in
+  let ff = mk_ufunc "f" [ ("x", u32); ("y", u32) ] fbody in
+  let fbodies = [ hf; ff ] in
+  let sums, _ = Ac_analysis.Summary.compute lenv fbodies in
+  let ctx = { (Rules.empty_ctx lenv) with Rules.fbodies } in
+  let discharged cert =
+    match Thm.by_opt ctx (Rules.Rule_guard_true (fbody, cert)) [] with
+    | None -> None
+    | Some thm -> (
+      match Thm.check ctx thm with
+      | Result.Error _ -> None
+      | Result.Ok () -> (
+        match Thm.concl thm with J.Equiv (m', _) -> Some m' | _ -> None))
+  in
+  match discharged (Ac_analysis.infer_cert ~sums lenv fbody) with
+  | None -> false (* the kernel must accept the analysis's own certificate *)
+  | Some inter ->
+    let intra =
+      match discharged (Ac_analysis.infer_cert lenv fbody) with
+      | Some m -> m
+      | None -> fbody
+    in
+    (* Monotone improvement. *)
+    Ac_analysis.guard_count inter <= Ac_analysis.guard_count intra
+    (* Differential soundness, caller body rewritten, callee kept. *)
+    && funcs_agree
+         (fun body -> [ hf; mk_ufunc "f" [ ("x", u32); ("y", u32) ] body ])
+         fbody inter
+         [ (a, b); (0, 0); (1, 0xFFFFFFFF); (31, 2); (0xFFFFFFFF, 0xFFFFFFFF) ]
 
 (* ------------------------------------------------------------------ *)
 
@@ -348,6 +402,9 @@ let props =
         && Layout.size_of lenv (Ty.Cstruct "s") mod Layout.align_of lenv (Ty.Cstruct "s") = 0);
     Test.make ~name:"discharged guards never fail under the interpreter" ~count:600
       arb_mprog discharge_agrees;
+    Test.make
+      ~name:"interprocedural discharge is sound and monotone vs intraprocedural"
+      ~count:300 arb_callprog interproc_discharge_sound;
   ]
 
 let suite = List.map QCheck_alcotest.to_alcotest props

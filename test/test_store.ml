@@ -278,6 +278,7 @@ let test_forged_entry_fails_replay () =
     {
       Store.e_name = "f";
       e_l1 = fr_a.Driver.fr_l1;
+      e_l2g = fr_a.Driver.fr_l2;
       e_l2 = fr_a.Driver.fr_l2;
       e_hl = fr_a.Driver.fr_hl;
       e_wa = fr_a.Driver.fr_wa;
@@ -286,6 +287,12 @@ let test_forged_entry_fails_replay () =
       e_skipped = fr_a.Driver.fr_skipped;
       e_nothrow = List.mem "f" res_a.Driver.ctx.Rules.nothrows;
       e_fsig = List.assoc "f" res_a.Driver.ctx.Rules.fsigs;
+      (* A genuine-looking digest, from A's own summary table: rejection
+         must come from replay/anchoring, not from an obviously-bogus
+         digest. *)
+      e_sums_digest =
+        Ac_analysis.Domains.sums_digest
+          (Ac_analysis.Domains.restrict res_a.Driver.sums [ "f" ]);
       e_trace = Trace.record chain_a;
       e_n_hl = List.length fr_a.Driver.fr_hl_thms;
     }
@@ -396,6 +403,52 @@ let test_cli_exit_codes () =
   Sys.remove cfile;
   Sys.remove notadir
 
+(* The serve session: one JSON response line per request, lint findings in
+   the exact structured-diagnostic shape `--diag-json` established
+   (phase/function/line/col/severity/recoverable/message, via
+   [Diag.list_to_json]), and a bad request that answers ok:false without
+   ending the session. *)
+let serve_lint_c =
+  "unsigned bad_div(unsigned x) {\n  unsigned y;\n  y = 0u;\n  return x / y;\n}\n"
+
+let test_serve_lint_diag_shape () =
+  Alcotest.(check bool) "acc.exe present" true (Sys.file_exists acc_exe);
+  let cfile = Filename.temp_file "acc_serve" ".c" in
+  let oc = open_out cfile in
+  output_string oc serve_lint_c;
+  close_out oc;
+  let req = Filename.temp_file "acc_serve_req" ".txt" in
+  let oc = open_out req in
+  Printf.fprintf oc "lint %s\nfrobnicate %s\nlint %s\n" cfile cfile cfile;
+  close_out oc;
+  let code, out =
+    run_acc (Printf.sprintf "serve --no-store < %s" (Filename.quote req))
+  in
+  Alcotest.(check int) "serve exits 0 at EOF" 0 code;
+  let lines = String.split_on_char '\n' (String.trim out) in
+  Alcotest.(check int) "one response line per request" 3 (List.length lines);
+  let first = List.nth lines 0 in
+  let bad = List.nth lines 1 in
+  let again = List.nth lines 2 in
+  let has affix s = Astring.String.is_infix ~affix s in
+  Alcotest.(check bool) "lint response ok" true (has "\"ok\":true,\"cmd\":\"lint\"" first);
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) (affix ^ " in findings") true (has affix first))
+    [
+      "\"phase\":\"guard-discharge\"";
+      "\"function\":\"bad_div\"";
+      "\"line\":4";
+      "\"col\":";
+      "\"severity\":\"warning\"";
+      "\"recoverable\":";
+      "\"message\":\"division by zero";
+    ];
+  Alcotest.(check bool) "bad request answers ok:false" true (has "\"ok\":false" bad);
+  Alcotest.(check bool) "session survives a bad request" true (String.equal first again);
+  Sys.remove cfile;
+  Sys.remove req
+
 let suite =
   [
     Alcotest.test_case "warm = cold across the corpus" `Quick test_corpus_roundtrip;
@@ -407,4 +460,6 @@ let suite =
     Alcotest.test_case "trace record/replay roundtrip" `Quick test_trace_roundtrip;
     QCheck_alcotest.to_alcotest prop_replay_identical;
     Alcotest.test_case "CLI store exit codes" `Quick test_cli_exit_codes;
+    Alcotest.test_case "serve lint emits --diag-json-shaped findings" `Quick
+      test_serve_lint_diag_shape;
   ]
