@@ -1072,6 +1072,220 @@ let interproc () =
     failwith "interproc: a workload discharged fewer guards than intraprocedural";
   if not checked then failwith "interproc: kernel re-validation failed"
 
+(* ------------------------------------------------------------------ *)
+(* PR 7: fault tolerance.  Drives `acc serve` over a pipe at injected
+   fault rates 0%, 1% and 5% (io_error + worker_crash via --inject) and
+   records, per rate: cold-store and warm-store request latency, warm
+   p95, warm round-trip throughput, and the session's final
+   retry/quarantine/restart counters from the `status` verb.  Floors
+   asserted: every request at every rate answers ok:true (faults degrade,
+   they never kill the session or a request), and the responses are
+   byte-identical across rates once the store/pool counters and
+   diagnostics are stripped.
+
+   Results go to BENCH_pr7.json in the working directory. *)
+
+let faults () =
+  header "Faults: supervised serve under injected faults (PR 7)";
+  (* Pinned GC geometry (restored on exit), as in the store experiment:
+     the latency columns drift under the default geometry. *)
+  let gc0 = Gc.get () in
+  Fun.protect ~finally:(fun () -> Gc.set gc0) @@ fun () ->
+  Gc.set { gc0 with Gc.minor_heap_size = 1 lsl 22; Gc.space_overhead = 200 };
+  let acc_exe =
+    let candidates =
+      [ "_build/default/bin/acc.exe"; "../bin/acc.exe"; "bin/acc.exe" ]
+    in
+    let find () = List.find_opt Sys.file_exists candidates in
+    match find () with
+    | Some p -> p
+    | None -> (
+        ignore (Sys.command "dune build bin/acc.exe > /dev/null 2>&1");
+        match find () with
+        | Some p -> p
+        | None -> failwith "faults bench: cannot locate acc.exe")
+  in
+  let req_files =
+    List.filteri (fun i _ -> i < 3) Csources.all
+    |> List.map (fun (name, src) ->
+           let f = Filename.temp_file ("acc_faults_" ^ name) ".c" in
+           let oc = open_out f in
+           output_string oc src;
+           close_out oc;
+           f)
+  in
+  let mkdtemp () =
+    let d = Filename.temp_file "acc_bench_faults" ".d" in
+    Sys.remove d;
+    d
+  in
+  (* Volatile JSON sections: the store and pool counter objects (flat, so
+     the first '}' closes them) and the diagnostics array. *)
+  let find_sub s key from =
+    let klen = String.length key and n = String.length s in
+    let rec go i =
+      if i + klen > n then None
+      else if String.sub s i klen = key then Some i
+      else go (i + 1)
+    in
+    go from
+  in
+  let strip_to close key s =
+    match find_sub s key 0 with
+    | None -> s
+    | Some i -> (
+      match String.index_from_opt s i close with
+      | None -> s
+      | Some j -> String.sub s 0 i ^ String.sub s (j + 1) (String.length s - j - 1))
+  in
+  let strip line =
+    line
+    |> strip_to '}' "\"store\":{"
+    |> strip_to '}' "\"pool\":{"
+    |> strip_to ']' "\"diagnostics\":["
+  in
+  let json_int key s =
+    match find_sub s (Printf.sprintf "\"%s\":" key) 0 with
+    | None -> -1
+    | Some i ->
+      let start = i + String.length key + 3 in
+      let stop = ref start in
+      while
+        !stop < String.length s && s.[!stop] >= '0' && s.[!stop] <= '9'
+      do incr stop done;
+      (try int_of_string (String.sub s start (!stop - start)) with _ -> -1)
+  in
+  let p95 l =
+    let sorted = List.sort compare l in
+    let n = List.length sorted in
+    if n = 0 then 0. else List.nth sorted (min (n - 1) (95 * n / 100))
+  in
+  let mean l =
+    if l = [] then 0.
+    else List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+  in
+  let warm_reps = 30 in
+  let run_rate rate =
+    let dir = mkdtemp () in
+    let inject =
+      if rate = 0. then ""
+      else
+        Printf.sprintf " --inject 'io_error:%g,worker_crash:%g,seed:42'" rate
+          (rate /. 2.)
+    in
+    let cmd =
+      Printf.sprintf "%s serve --store %s%s 2> /dev/null" (Filename.quote acc_exe)
+        (Filename.quote dir) inject
+    in
+    let ic, oc = Unix.open_process cmd in
+    let request f =
+      let t0 = Unix.gettimeofday () in
+      output_string oc ("translate " ^ f ^ "\n");
+      flush oc;
+      let line = input_line ic in
+      (line, Unix.gettimeofday () -. t0)
+    in
+    (* Cold: the store is empty, each file records and saves; warm: every
+       subsequent request replays. *)
+    let cold = List.map request req_files in
+    let t0 = Unix.gettimeofday () in
+    let warm =
+      List.init warm_reps (fun i ->
+          request (List.nth req_files (i mod List.length req_files)))
+    in
+    let warm_wall = Unix.gettimeofday () -. t0 in
+    output_string oc "status\n";
+    flush oc;
+    let status = input_line ic in
+    ignore (Unix.close_process (ic, oc));
+    let responses = List.map fst (cold @ warm) in
+    let ok =
+      List.for_all
+        (fun l -> String.length l >= 11 && String.sub l 0 11 = "{\"ok\":true,")
+        responses
+    in
+    let lat = List.map snd in
+    ( rate,
+      mean (lat cold),
+      mean (lat warm),
+      p95 (lat warm),
+      float_of_int warm_reps /. warm_wall,
+      json_int "retries" status,
+      json_int "quarantined" status,
+      json_int "worker_restarts" status,
+      json_int "worker_crashes" status,
+      ok,
+      List.map strip responses )
+  in
+  let rates = [ 0.; 0.01; 0.05 ] in
+  let measured = List.map run_rate rates in
+  List.iter Sys.remove req_files;
+  let baseline_responses =
+    match measured with
+    | (_, _, _, _, _, _, _, _, _, _, r) :: _ -> r
+    | [] -> []
+  in
+  let all_ok =
+    List.for_all (fun (_, _, _, _, _, _, _, _, _, ok, _) -> ok) measured
+  in
+  let divergence =
+    List.exists
+      (fun (_, _, _, _, _, _, _, _, _, _, r) -> r <> baseline_responses)
+      measured
+  in
+  let rows =
+    List.map
+      (fun (rate, cold_m, warm_m, warm_p, rps, retries, quar, rest, _, _, _) ->
+        [
+          Printf.sprintf "%.0f%%" (100. *. rate);
+          Printf.sprintf "%.4f" cold_m;
+          Printf.sprintf "%.4f" warm_m;
+          Printf.sprintf "%.4f" warm_p;
+          Printf.sprintf "%.1f" rps;
+          string_of_int retries;
+          string_of_int quar;
+          string_of_int rest;
+        ])
+      measured
+  in
+  print_string
+    (Ac_stats.render_table
+       ~header:
+         [ "Faults"; "Cold mean(s)"; "Warm mean(s)"; "Warm p95(s)"; "Warm req/s";
+           "Retries"; "Quar"; "Restarts" ]
+       rows);
+  Printf.printf
+    "\n%d requests per rate over %d files; all requests ok: %s;\n\
+     divergence across fault rates (counters stripped): %s.\n"
+    (warm_reps + List.length req_files)
+    (List.length req_files)
+    (if all_ok then "yes" else "NO")
+    (if divergence then "DIVERGED" else "none");
+  let per_rate_json =
+    String.concat ",\n  "
+      (List.map
+         (fun (rate, cold_m, warm_m, warm_p, rps, retries, quar, rest, crashes, ok, _) ->
+           Printf.sprintf
+             "{\"rate\":%.3f,\"cold_mean_s\":%.6f,\"warm_mean_s\":%.6f,\"warm_p95_s\":%.6f,\"warm_req_per_s\":%.1f,\"retries\":%d,\"quarantined\":%d,\"worker_restarts\":%d,\"worker_crashes\":%d,\"all_ok\":%b}"
+             rate cold_m warm_m warm_p rps retries quar rest crashes ok)
+         measured)
+  in
+  let json =
+    Printf.sprintf
+      "{\"experiment\":\"faults\",\"requests_per_rate\":%d,\"files\":%d,\n\
+       \ \"all_ok\":%b,\"divergence\":%b,\n\
+       \ \"per_rate\":[%s]}\n"
+      (warm_reps + List.length req_files)
+      (List.length req_files) all_ok divergence per_rate_json
+  in
+  let out = open_out "BENCH_pr7.json" in
+  output_string out json;
+  close_out out;
+  print_endline "wrote BENCH_pr7.json";
+  if not all_ok then failwith "faults: a request failed under injected faults";
+  if divergence then
+    failwith "faults: responses diverged across fault rates"
+
 let all : (string * (unit -> unit)) list =
   [
     ("fig1", fig1); ("fig2", fig2); ("table1", table1); ("table2", table2);
@@ -1080,5 +1294,5 @@ let all : (string * (unit -> unit)) list =
     ("fig8", fig8); ("table5", table5); ("table6", table6); ("memset", memset);
     ("custom_rule", custom_rule); ("ablation", ablation); ("analysis", analysis);
     ("robustness", robustness); ("perf", perf); ("store", store);
-    ("interproc", interproc);
+    ("interproc", interproc); ("faults", faults);
   ]

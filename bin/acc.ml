@@ -26,7 +26,13 @@ open Cmdliner
 module Driver = Autocorres.Driver
 module Diag = Autocorres.Diag
 module Pool = Autocorres.Pool
+module Supervisor = Autocorres.Supervisor
+module Faults = Autocorres.Faults
 module Store = Ac_store.Store
+
+(* Monotonic wall clock in seconds (bechamel's CLOCK_MONOTONIC stub):
+   serve's watchdog must not jump when the system clock is stepped. *)
+let mono_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
 
 (* Usage errors: one-line diagnostic on stderr, exit 2. *)
 let usage_error fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt
@@ -297,9 +303,10 @@ let result_json ~file (res : Driver.result) : string =
         res.Driver.degraded
   in
   Printf.sprintf
-    "{\"file\":\"%s\",\"functions\":[%s],\"budget_exhaustions\":%d,\"store\":{\"hits\":%d,\"misses\":%d},\"diagnostics\":%s}"
+    "{\"file\":\"%s\",\"functions\":[%s],\"budget_exhaustions\":%d,\"store\":{\"hits\":%d,\"misses\":%d},\"pool\":{\"retries\":%d,\"quarantined\":%d,\"restarts\":%d},\"diagnostics\":%s}"
     (Diag.json_escape file) (String.concat "," funcs) res.Driver.budget_hits
-    res.Driver.store_hits res.Driver.store_misses
+    res.Driver.store_hits res.Driver.store_misses res.Driver.retries
+    res.Driver.quarantined res.Driver.restarts
     (Diag.list_to_json res.Driver.diags)
 
 let translate file no_heap no_word no_discharge no_interproc keep_low stage func_filter
@@ -412,7 +419,9 @@ let stats file profile profile_json jobs store_dir no_store =
              (Ac_stats.summary_rows res))
       end;
       Printf.printf "\nstore: %d hits, %d misses\n" res.Driver.store_hits
-        res.Driver.store_misses
+        res.Driver.store_misses;
+      Printf.printf "pool: %d retries, %d quarantined, %d restarts\n"
+        res.Driver.retries res.Driver.quarantined res.Driver.restarts
     end
   end
 
@@ -559,27 +568,90 @@ let analyze file no_heap no_word no_interproc keep_low budgets jobs json store_d
 
 (* ------------------------------------------------------------------ *)
 (* `acc serve`: a long-lived batch mode.  Requests are newline-delimited
-   on stdin — `translate FILE`, `check FILE` or `lint FILE` — and each
-   produces exactly one JSON response line on stdout, in request order.
-   The proof store, the worker pool and the hash-consing tables stay warm
-   across requests, so a serve session amortises everything a one-shot
-   invocation pays per run.  A bad request never kills the session (the
-   response carries "ok":false); EOF ends it. *)
-let serve jobs store_dir no_store =
+   on stdin — `translate FILE`, `check FILE`, `lint FILE` or `status` —
+   and each produces exactly one JSON response line on stdout, in request
+   order.  The proof store, the worker pool and the hash-consing tables
+   stay warm across requests, so a serve session amortises everything a
+   one-shot invocation pays per run.  A bad request never kills the
+   session (the response carries "ok":false); EOF ends it.
+
+   Hardening (this PR): the session is meant to run for days —
+     - pool maps run under one shared [Supervisor]: a crashed worker
+       domain is respawned and the lost item retried or quarantined, so
+       a request never loses a function result;
+     - `--request-timeout SECS` bounds each request via the existing
+       budget plumbing (solver/analysis deadlines) plus a monotonic-clock
+       watchdog that *counts* overruns (`requests_over_deadline`) —
+       degrade and report, never kill;
+     - SIGINT/SIGTERM shut down gracefully: the in-flight request
+       finishes and its complete response line is flushed, then the
+       session exits 0;
+     - `status` reports uptime and all counters as JSON;
+     - `--inject SPEC` (or $ACC_FAULTS) turns on the deterministic
+       fault-injection harness for soak testing. *)
+let serve jobs request_timeout inject store_dir no_store =
   let jobs = max 1 jobs in
+  (match inject with
+  | None -> ()
+  | Some spec -> (
+    match Faults.parse spec with
+    | Ok cfg -> Faults.install cfg
+    | Error m -> usage_error "acc serve: %s" m));
   let store = store_of ~store_dir ~no_store in
   let pool = if jobs > 1 then Some (Pool.create ~jobs) else None in
+  let sup = Supervisor.create ?task_deadline_s:request_timeout () in
   Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown pool) @@ fun () ->
-  let options =
-    options_of ~keep_going:true ~jobs ~no_heap:false ~no_word:false ~keep_low:[] ()
+  let budgets =
+    (* The request timeout rides the existing budget plumbing: the
+       unbounded engines already know how to stop at a deadline and
+       degrade (guards kept, proofs left open) instead of hanging. *)
+    match request_timeout with
+    | None -> Driver.default_budgets
+    | Some t ->
+      { Driver.default_budgets with
+        Driver.solver_deadline_s = Some t;
+        analysis_deadline_s = Some t }
   in
+  let options =
+    options_of ~keep_going:true ~budgets ~jobs ~no_heap:false ~no_word:false
+      ~keep_low:[] ()
+  in
+  let started = mono_s () in
+  let requests = ref 0 in
+  let failures = ref 0 in
+  let degraded_total = ref 0 in
+  let over_deadline = ref 0 in
+  (* Graceful shutdown: the handler only flips a flag (async-signal-safe);
+     the main loop finishes the in-flight request, flushes, and exits.
+     A signal while blocked in [Unix.read] surfaces as EINTR, so the
+     flag is honoured immediately even on an idle session. *)
+  let shutting = Atomic.make false in
+  let install_signal s =
+    try Sys.set_signal s (Sys.Signal_handle (fun _ -> Atomic.set shutting true))
+    with Invalid_argument _ | Sys_error _ -> ()
+  in
+  install_signal Sys.sigterm;
+  install_signal Sys.sigint;
   let respond line =
     print_string line;
     print_newline ();
     flush stdout
   in
   let err_json msg =
+    incr failures;
     respond (Printf.sprintf "{\"ok\":false,\"error\":\"%s\"}" (Diag.json_escape msg))
+  in
+  let status_json () =
+    let s = Supervisor.stats sup in
+    Printf.sprintf
+      "{\"ok\":true,\"cmd\":\"status\",\"uptime_s\":%.3f,\"requests\":%d,\"failures\":%d,\"degraded\":%d,\"retries\":%d,\"quarantined\":%d,\"worker_restarts\":%d,\"worker_crashes\":%d,\"deadline_blown\":%d,\"requests_over_deadline\":%d,\"store\":{\"hits\":%d,\"misses\":%d},\"faults_active\":%b,\"shutting_down\":%b}"
+      (mono_s () -. started) !requests !failures !degraded_total
+      s.Supervisor.retries s.Supervisor.quarantined s.Supervisor.restarts
+      s.Supervisor.crashes s.Supervisor.deadline_blown !over_deadline
+      (match store with Some st -> Store.hits st | None -> 0)
+      (match store with Some st -> Store.misses st | None -> 0)
+      (Faults.active () <> None)
+      (Atomic.get shutting)
   in
   let read_source file =
     let ic = open_in_bin file in
@@ -590,15 +662,32 @@ let serve jobs store_dir no_store =
   let handle line =
     let line = String.trim line in
     if line = "" then ()
+    else if line = "status" then respond (status_json ())
     else begin
       match String.index_opt line ' ' with
       | None ->
-        err_json (Printf.sprintf "bad request %S (want: translate|check|lint FILE)" line)
+        err_json
+          (Printf.sprintf "bad request %S (want: translate|check|lint FILE, or status)"
+             line)
       | Some i -> (
         let cmd = String.sub line 0 i in
         let file = String.trim (String.sub line i (String.length line - i)) in
         let run () =
-          Driver.run ~options ?store ?pool ~fresh_tables:false (read_source file)
+          incr requests;
+          Faults.sleep_if_slow ();
+          let t0 = mono_s () in
+          let res =
+            Driver.run ~options ?store ?pool ~supervisor:sup ~fresh_tables:false
+              (read_source file)
+          in
+          (* The after-the-fact half of the watchdog: the budget deadlines
+             bound the engines from inside, this counts requests that
+             still overran (e.g. many functions each under budget). *)
+          (match request_timeout with
+          | Some t when mono_s () -. t0 > t -> incr over_deadline
+          | _ -> ());
+          degraded_total := !degraded_total + List.length res.Driver.degraded;
+          res
         in
         match cmd with
         | "translate" ->
@@ -641,23 +730,64 @@ let serve jobs store_dir no_store =
         | other -> err_json (Printf.sprintf "unknown command %S" other))
     end
   in
-  let rec loop () =
-    match input_line stdin with
-    | exception End_of_file -> ()
-    | line ->
-      (* One failing request (missing file, parse error, even an internal
-         error) answers with ok:false and the session continues. *)
-      (match handle line with
-      | () -> ()
-      | exception Diag.Error d -> err_json (Diag.to_string d)
-      | exception Sys_error m -> err_json m
-      | exception e -> err_json (Diag.message_of_exn e));
-      loop ()
+  (* Stdin line reader over [Unix.read] rather than [input_line]: OCaml
+     channels retry EINTR internally, so a SIGTERM arriving while the
+     session is blocked waiting for a request would be invisible until
+     the next byte shows up.  With a raw read the signal interrupts the
+     syscall, the handler flips [shutting], and the loop exits. *)
+  let inbuf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec next_line () : string option =
+    let s = Buffer.contents inbuf in
+    match String.index_opt s '\n' with
+    | Some i ->
+      Buffer.clear inbuf;
+      Buffer.add_substring inbuf s (i + 1) (String.length s - i - 1);
+      Some (String.sub s 0 i)
+    | None ->
+      if Atomic.get shutting then None
+      else begin
+        match Unix.read Unix.stdin chunk 0 (Bytes.length chunk) with
+        | 0 ->
+          (* EOF: a trailing unterminated line still counts as a request. *)
+          if s = "" then None
+          else begin
+            Buffer.clear inbuf;
+            Some s
+          end
+        | n ->
+          Buffer.add_subbytes inbuf chunk 0 n;
+          next_line ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> next_line ()
+      end
   in
-  loop ()
+  let rec loop () =
+    if Atomic.get shutting then ()
+    else begin
+      match next_line () with
+      | None -> ()
+      | Some line ->
+        (* One failing request (missing file, parse error, even an internal
+           error) answers with ok:false and the session continues. *)
+        (match handle line with
+        | () -> ()
+        | exception Diag.Error d -> err_json (Diag.to_string d)
+        | exception Sys_error m -> err_json m
+        | exception e -> err_json (Diag.message_of_exn e));
+        loop ()
+    end
+  in
+  loop ();
+  (* Flush everything on the way out so the final response line is
+     complete even under a signal-driven shutdown; store counters are
+     in-memory only, entries were already published atomically. *)
+  flush stdout
 
-(* `acc cache stat|clear|gc`: maintenance of the persistent proof store. *)
-let cache action store_dir max_entries =
+(* `acc cache stat|clear|gc|doctor`: maintenance of the persistent proof
+   store.  gc and doctor take the store lock (so they never race a
+   concurrent writer destructively) and honour the tmp-file grace window
+   (so they never delete an in-flight write). *)
+let cache action store_dir max_entries grace purge =
   let dir =
     match store_dir with Some d -> Some d | None -> Sys.getenv_opt "ACC_STORE"
   in
@@ -676,8 +806,16 @@ let cache action store_dir max_entries =
       let n = or_die (Store.clear ~dir) in
       Printf.printf "%s: removed %d entries\n" dir n
     | `Gc ->
-      let n = or_die (Store.gc ~dir ~max_entries) in
-      Printf.printf "%s: removed %d entries (kept newest %d)\n" dir n max_entries)
+      let n = or_die (Store.gc ?grace_s:grace ~dir ~max_entries ()) in
+      Printf.printf "%s: removed %d entries (kept newest %d)\n" dir n max_entries
+    | `Doctor ->
+      let r = or_die (Store.doctor ?grace_s:grace ~purge ~dir ()) in
+      Printf.printf
+        "%s: scanned %d entries: %d ok, %d corrupt (quarantined), %d orphaned tmp \
+         files quarantined; %d files in quarantine%s\n"
+        dir r.Store.dr_scanned r.Store.dr_ok r.Store.dr_quarantined
+        r.Store.dr_tmp_quarantined r.Store.dr_quarantine_files
+        (if purge then Printf.sprintf " (purged %d)" r.Store.dr_purged else ""))
 
 (* Wrap a fully-applied command body in [protect], keeping cmdliner's
    n-ary term application readable. *)
@@ -771,22 +909,50 @@ let analyze_cmd =
          $ json $ store_dir_arg $ no_store_arg))
 
 let serve_cmd =
+  let request_timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "request-timeout" ] ~docv:"SECS"
+          ~doc:
+            "Per-request wall-clock deadline: installed as the solver/analysis \
+             budget deadline (the engines degrade instead of hanging) and \
+             watched by a monotonic clock — overruns are counted in `status`, \
+             never killed")
+  in
+  let inject =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ] ~docv:"SPEC"
+          ~doc:
+            "Deterministic fault injection for soak testing, e.g. \
+             'io_error:0.05,worker_crash:0.02,slow:0.01,seed:42'.  Overrides \
+             \\$ACC_FAULTS.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Long-lived batch mode: read newline-delimited requests (translate FILE, \
-          check FILE, lint FILE) from stdin and answer each with one JSON line, \
-          keeping the proof store, worker pool and hash-cons tables warm")
+          check FILE, lint FILE, status) from stdin and answer each with one JSON \
+          line, keeping the proof store, worker pool and hash-cons tables warm.  \
+          Supervised: crashed worker domains are respawned and their tasks \
+          retried or quarantined; SIGINT/SIGTERM finish the in-flight request \
+          and exit 0.")
     (protected
        Term.(
-         const (fun a b c () -> serve a b c) $ jobs $ store_dir_arg $ no_store_arg))
+         const (fun a b c d e () -> serve a b c d e)
+         $ jobs $ request_timeout $ inject $ store_dir_arg $ no_store_arg))
 
 let cache_cmd =
   let action =
     Arg.(
       required
-      & pos 0 (some (enum [ ("stat", `Stat); ("clear", `Clear); ("gc", `Gc) ])) None
-      & info [] ~docv:"ACTION" ~doc:"stat, clear or gc")
+      & pos 0
+          (some
+             (enum [ ("stat", `Stat); ("clear", `Clear); ("gc", `Gc); ("doctor", `Doctor) ]))
+          None
+      & info [] ~docv:"ACTION" ~doc:"stat, clear, gc or doctor")
   in
   let max_entries =
     Arg.(
@@ -794,13 +960,43 @@ let cache_cmd =
       & info [ "max-entries" ] ~docv:"N"
           ~doc:"gc: keep only the newest $(docv) entries")
   in
+  let grace =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "grace" ] ~docv:"SECS"
+          ~doc:
+            "gc/doctor: treat tmp files younger than $(docv) seconds as \
+             in-flight writes and leave them alone (default 60)")
+  in
+  let purge =
+    Arg.(
+      value & flag
+      & info [ "purge" ] ~doc:"doctor: delete the quarantined files after reporting")
+  in
   Cmd.v
-    (Cmd.info "cache" ~doc:"Manage the persistent proof store (stat, clear, gc)")
+    (Cmd.info "cache"
+       ~doc:
+         "Manage the persistent proof store (stat, clear, gc, doctor).  doctor \
+          verifies every entry end-to-end (read, digest, decode), quarantines \
+          damaged ones into .quarantine/, and reports; gc and doctor run under \
+          the store lock.")
     (protected
        Term.(
-         const (fun a b c () -> cache a b c) $ action $ store_dir_arg $ max_entries))
+         const (fun a b c d e () -> cache a b c d e)
+         $ action $ store_dir_arg $ max_entries $ grace $ purge))
 
 let () =
+  (* $ACC_FAULTS arms the fault-injection harness for any subcommand (the
+     soak drives one-shot invocations too); `acc serve --inject` overrides
+     it.  A malformed spec is a usage error — silently injecting nothing
+     would defeat the soak. *)
+  (match Sys.getenv_opt "ACC_FAULTS" with
+  | None | Some "" -> ()
+  | Some spec -> (
+    match Faults.parse spec with
+    | Ok cfg -> Faults.install cfg
+    | Error m -> usage_error "acc: ACC_FAULTS: %s" m));
   let info =
     Cmd.info "acc" ~version:"1.0.0"
       ~doc:"Proof-producing abstraction of C code (AutoCorres, PLDI 2014)"

@@ -173,6 +173,118 @@ fi
 
 "$ACC" cache stat --store "$STORE_DIR" > /dev/null
 
+echo "== store crash-safety: kill -9 a writer mid-corpus, reopen, replay =="
+# A writer process is SIGKILLed at several points while populating the
+# store.  Whatever it managed to publish must be a consistent store:
+# `cache doctor` must find no undetected-corrupt entries (atomic rename
+# publishes whole entries or nothing; partials live only in tmp files,
+# which doctor quarantines), and a warm replay over the survivors must be
+# byte-identical to the cold reference.
+CRASH_STORE=$(mktemp -d)
+REF_DIR=$(mktemp -d)
+for f in corpus/*.c; do
+  "$ACC" translate --keep-going --diag-json "$f" > "$REF_DIR/$(basename "$f").json"
+done
+for delay in 0.05 0.15 0.30; do
+  ( for f in corpus/*.c; do
+      "$ACC" translate --keep-going --store "$CRASH_STORE" "$f" > /dev/null 2>&1
+    done ) &
+  wpid=$!
+  sleep "$delay"
+  kill -9 "$wpid" 2> /dev/null || true
+  wait "$wpid" 2> /dev/null || true
+done
+doctor_out=$("$ACC" cache doctor --store "$CRASH_STORE" --grace 0)
+echo "$doctor_out"
+case "$doctor_out" in
+  *" 0 corrupt"*) ;;
+  *)
+    echo "FAIL: cache doctor found undetected-corrupt entries after kill -9" >&2
+    exit 1
+    ;;
+esac
+for f in corpus/*.c; do
+  warm=$("$ACC" translate --keep-going --diag-json --store "$CRASH_STORE" "$f" \
+    | sed 's/"store":{[^}]*}//; s/"pool":{[^}]*}//')
+  ref=$(sed 's/"store":{[^}]*}//; s/"pool":{[^}]*}//' "$REF_DIR/$(basename "$f").json")
+  if [ "$warm" != "$ref" ]; then
+    echo "FAIL: post-crash replay diverged from the cold reference on $f" >&2
+    exit 1
+  fi
+  echo "ok: $f"
+done
+rm -rf "$CRASH_STORE"
+
+echo "== store contention: two writers + concurrent gc, outputs identical =="
+CONT_STORE=$(mktemp -d)
+for f in corpus/*.c; do
+  b=$(basename "$f")
+  "$ACC" translate --keep-going --diag-json --store "$CONT_STORE" "$f" > "$CONT_STORE/a.$b.json" &
+  pa=$!
+  "$ACC" translate --keep-going --diag-json --store "$CONT_STORE" "$f" > "$CONT_STORE/b.$b.json" &
+  pb=$!
+  "$ACC" cache gc --store "$CONT_STORE" --max-entries 1024 > /dev/null
+  wait "$pa" "$pb"
+  a=$(sed 's/"store":{[^}]*}//; s/"pool":{[^}]*}//' "$CONT_STORE/a.$b.json")
+  c=$(sed 's/"store":{[^}]*}//; s/"pool":{[^}]*}//' "$CONT_STORE/b.$b.json")
+  ref=$(sed 's/"store":{[^}]*}//; s/"pool":{[^}]*}//' "$REF_DIR/$b.json")
+  if [ "$a" != "$ref" ] || [ "$c" != "$ref" ]; then
+    echo "FAIL: contended writers diverged from the reference on $f" >&2
+    exit 1
+  fi
+  echo "ok: $f"
+done
+doctor_out=$("$ACC" cache doctor --store "$CONT_STORE" --grace 0)
+case "$doctor_out" in
+  *" 0 corrupt"*) ;;
+  *)
+    echo "FAIL: cache doctor found corrupt entries after contention: $doctor_out" >&2
+    exit 1
+    ;;
+esac
+rm -rf "$CONT_STORE" "$REF_DIR"
+
+echo "== serve fault-injection soak: 300 requests at io_error:0.05,worker_crash:0.02 =="
+# The same request stream through a clean session and an injected one.
+# The injected session must answer every request (zero session deaths)
+# and every response must match the clean run once the store/pool
+# counters and diagnostics (fault injection adds warnings) are stripped.
+SOAK_STORE=$(mktemp -d)
+SOAK_REQS=$(mktemp)
+SOAK_CLEAN=$(mktemp)
+SOAK_OUT=$(mktemp)
+i=0
+while [ "$i" -lt 300 ]; do
+  for f in corpus/*.c; do
+    [ "$i" -lt 300 ] || break
+    echo "translate $f" >> "$SOAK_REQS"
+    i=$(( i + 1 ))
+  done
+done
+"$ACC" serve --no-store < "$SOAK_REQS" > "$SOAK_CLEAN"
+if ! "$ACC" serve --store "$SOAK_STORE" --inject 'io_error:0.05,worker_crash:0.02,seed:7' \
+    < "$SOAK_REQS" > "$SOAK_OUT" 2> /dev/null; then
+  echo "FAIL: injected serve session died" >&2
+  exit 1
+fi
+answered=$(wc -l < "$SOAK_OUT")
+if [ "$answered" -ne 300 ]; then
+  echo "FAIL: injected serve answered $answered of 300 requests" >&2
+  exit 1
+fi
+strip_volatile() {
+  sed 's/"store":{[^}]*}//; s/"pool":{[^}]*}//; s/"diagnostics":\[[^]]*\]//' "$1"
+}
+if ! strip_volatile "$SOAK_CLEAN" > "$SOAK_CLEAN.n" \
+   || ! strip_volatile "$SOAK_OUT" > "$SOAK_OUT.n" \
+   || ! cmp -s "$SOAK_CLEAN.n" "$SOAK_OUT.n"; then
+  echo "FAIL: injected serve output diverged from the clean session" >&2
+  diff "$SOAK_CLEAN.n" "$SOAK_OUT.n" | head -5 >&2 || true
+  exit 1
+fi
+echo "ok: 300/300 answered, zero divergence"
+rm -rf "$SOAK_STORE" "$SOAK_REQS" "$SOAK_CLEAN" "$SOAK_CLEAN.n" "$SOAK_OUT" "$SOAK_OUT.n"
+
 echo "== perf bench smoke (divergence between modes fails the bench) =="
 dune exec bench/main.exe -- perf > /dev/null
 
@@ -181,5 +293,8 @@ dune exec bench/main.exe -- store > /dev/null
 
 echo "== interproc bench (asserts discharge floor + monotonicity + kernel check; writes BENCH_pr6.json) =="
 dune exec bench/main.exe -- interproc > /dev/null
+
+echo "== faults bench (serve under injected faults; asserts zero failures and zero divergence; writes BENCH_pr7.json) =="
+dune exec bench/main.exe -- faults > /dev/null
 
 echo "CI OK"

@@ -207,6 +207,9 @@ type result = {
   heap_types : Ty.cty list;
   store_hits : int; (* store entries used by this run (0 without a store) *)
   store_misses : int; (* functions translated from scratch despite a store *)
+  retries : int; (* lost pool items re-attempted by the supervisor *)
+  quarantined : int; (* items re-run masked after repeated worker crashes *)
+  restarts : int; (* worker domains respawned during this run *)
   sums : Ac_kernel.Absdom.sums;
       (* the kernel-checkable summary table this run's certificates drew
          from ([] when [interproc] is off); `acc analyze` reuses it *)
@@ -446,8 +449,8 @@ let replay_entry (ctx : Rules.ctx) ~(sums_digest : string) (f : Ir.func) (e : St
     end
   end
 
-let run ?(options = default_options) ?store ?pool:ext_pool ?(fresh_tables = true)
-    (source : string) : result =
+let run ?(options = default_options) ?store ?pool:ext_pool ?supervisor
+    ?(fresh_tables = true) (source : string) : result =
   install_budgets options.budgets;
   reset_budget_counters ();
   (* Per-run invalidation of the hash-cons intern table (worker domains
@@ -473,13 +476,15 @@ let run ?(options = default_options) ?store ?pool:ext_pool ?(fresh_tables = true
     ~finally:(fun () -> if Option.is_none ext_pool then Option.iter Pool.shutdown pool)
   @@ fun () ->
   let keep_going = options.keep_going in
-  (* Per-function phases run on the pool; order and first-failure
-     semantics match the sequential [List.map]. *)
-  let pmap f xs =
-    match pool with
-    | Some p when List.length xs > 1 -> Pool.map_on p f xs
-    | _ -> List.map f xs
-  in
+  (* Per-function phases run on the pool under supervision; order and
+     first-failure semantics match the sequential [List.map], and a
+     worker-domain crash never loses a function result — the supervisor
+     respawns workers and retries (or quarantines) the lost items.  A
+     caller-supplied supervisor ([?supervisor]) lets a batch server
+     accumulate retry/quarantine counters across requests. *)
+  let sup = match supervisor with Some s -> s | None -> Supervisor.create () in
+  let sup_base = Supervisor.stats sup in
+  let pmap f xs = Supervisor.map sup ?pool f xs in
   let simpl = Profile.record "parse" (fun () -> Ac_simpl.C2simpl.parse source) in
   let lenv = simpl.Ir.lenv in
   (* Which functions get which treatment. *)
@@ -1136,6 +1141,10 @@ let run ?(options = default_options) ?store ?pool:ext_pool ?(fresh_tables = true
       store_hits = (match store with Some st -> Store.hits st - fst store_base | None -> 0);
       store_misses =
         (match store with Some st -> Store.misses st - snd store_base | None -> 0);
+      retries = (Supervisor.stats sup).Supervisor.retries - sup_base.Supervisor.retries;
+      quarantined =
+        (Supervisor.stats sup).Supervisor.quarantined - sup_base.Supervisor.quarantined;
+      restarts = (Supervisor.stats sup).Supervisor.restarts - sup_base.Supervisor.restarts;
       sums; iprof }
   end
   in

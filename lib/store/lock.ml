@@ -1,0 +1,74 @@
+(* Advisory inter-process locking for the proof store directory.
+
+   Uses POSIX record locks ([Unix.lockf]) on a dedicated [.lock] file
+   inside the store directory.  Record locks have exactly the semantics
+   we need for crash tolerance: they are owned by the *process* (so a
+   re-entrant acquire from the same process never self-deadlocks the way
+   flock-between-fds can) and they evaporate when the owning process
+   dies — including a hard [kill -9] — so a crashed writer can never
+   wedge the store for everyone else.
+
+   The lock is advisory: it serializes the store's own maintenance
+   operations (gc, doctor, tmp-file recovery) against writers.  Entry
+   publication itself stays crash-safe without the lock — entries are
+   written to a tmp file and published with an atomic [rename] — so
+   writers only take the lock best-effort (see [with_lock]); maintenance
+   takes it strictly (see [acquire]). *)
+
+type t = { fd : Unix.file_descr }
+
+let lock_path dir = Filename.concat dir ".lock"
+
+let rec mkdirs dir =
+  if not (Sys.file_exists dir) then begin
+    mkdirs (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Try to take the lock, retrying with exponential backoff until
+   [timeout_s] elapses.  [F_TLOCK] is the non-blocking probe; blocking
+   [F_LOCK] would be simpler but gives no way to bound the wait. *)
+let acquire ?(timeout_s = 5.0) ~dir () =
+  mkdirs dir;
+  match
+    Unix.openfile (lock_path dir) [ Unix.O_CREAT; Unix.O_WRONLY; Unix.O_CLOEXEC ] 0o644
+  with
+  | exception (Unix.Unix_error _ | Sys_error _) ->
+    Error (Printf.sprintf "store lock: cannot open %s" (lock_path dir))
+  | fd ->
+    let deadline = Unix.gettimeofday () +. timeout_s in
+    let rec try_lock delay =
+      match Unix.lockf fd Unix.F_TLOCK 0 with
+      | () -> Ok { fd }
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EACCES | Unix.EINTR), _, _) ->
+        if Unix.gettimeofday () >= deadline then begin
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error
+            (Printf.sprintf "store lock: timed out after %.1fs waiting for %s"
+               timeout_s (lock_path dir))
+        end
+        else begin
+          Unix.sleepf delay;
+          try_lock (Float.min 0.05 (delay *. 1.7))
+        end
+      | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error (Printf.sprintf "store lock: %s" (Printexc.to_string e))
+    in
+    try_lock 0.002
+
+let release { fd } =
+  (try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Best-effort critical section for writers: run [f ~locked:true] under
+   the lock when it can be had within [timeout_s], and [f ~locked:false]
+   otherwise.  Availability wins over exclusion here because the atomic
+   tmp+rename publication protocol is what actually guarantees entry
+   integrity; the lock only narrows the window in which gc can observe
+   (and must grace-period-skip) an in-flight tmp file. *)
+let with_lock ?(timeout_s = 1.0) ~dir (f : locked:bool -> 'a) : 'a =
+  match acquire ~timeout_s ~dir () with
+  | Error _ -> f ~locked:false
+  | Ok l -> Fun.protect ~finally:(fun () -> release l) (fun () -> f ~locked:true)

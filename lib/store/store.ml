@@ -192,6 +192,92 @@ type fentry = {
 }
 
 (* ------------------------------------------------------------------ *)
+(* Fault-tolerant I/O plumbing. *)
+
+let rec mkdirs d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    mkdirs (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* The store cannot depend on the core library (the dependency points the
+   other way), so fault injection reaches it through this hook rather
+   than through [Faults] directly; [Faults.install] wires it up.  The
+   hook is consulted at the top of every I/O attempt and may raise
+   [Sys_error] to simulate a transient failure. *)
+let io_hook : (string -> unit) option ref = ref None
+let set_io_hook h = io_hook := h
+
+(* Retry a whole I/O operation a few times with exponential backoff.
+   Each attempt re-runs [f] from scratch (reopening files), so a failure
+   mid-attempt never leaves a half-consumed channel behind.  Only
+   plausibly-transient exceptions ([Sys_error], [Unix_error]) are
+   retried; anything else propagates immediately. *)
+let io_attempts = 3
+
+let with_io_retry (op : string) (f : unit -> 'a) : 'a =
+  let rec go attempt =
+    match
+      (match !io_hook with Some h -> h op | None -> ());
+      f ()
+    with
+    | v -> v
+    | exception ((Sys_error _ | Unix.Unix_error _) as e) ->
+      if attempt >= io_attempts then raise e
+      else begin
+        Unix.sleepf (0.002 *. Float.pow 2.0 (float_of_int (attempt - 1)));
+        go (attempt + 1)
+      end
+  in
+  go 1
+
+(* ------------------------------------------------------------------ *)
+(* Quarantine: where damaged files go instead of aborting the run. *)
+
+let quarantine_dirname = ".quarantine"
+let quarantine_dir dir = Filename.concat dir quarantine_dirname
+
+(* Tmp files from [save]'s atomic-publication protocol: skipping anything
+   younger than the grace window is what keeps recovery/gc from deleting
+   a live writer's in-flight file out from under it. *)
+let default_tmp_grace_s = 60.
+let is_tmp_file f =
+  String.length f >= 13
+  && String.sub f 0 8 = ".acc-tmp"
+  && Filename.check_suffix f ".part"
+
+(* Move a damaged file into [.quarantine/]; best-effort (a concurrent
+   process may have quarantined or replaced it already). *)
+let quarantine_file ~dir fname =
+  try
+    mkdirs (quarantine_dir dir);
+    Unix.rename (Filename.concat dir fname)
+      (Filename.concat (quarantine_dir dir) fname);
+    true
+  with Unix.Unix_error _ | Sys_error _ -> false
+
+(* Sweep orphaned tmp files (a writer killed mid-write leaves its
+   [.acc-tmp*.part] behind) into quarantine.  Cheap enough to run on
+   every open; full entry verification is [doctor]'s job. *)
+let recover_scan ?(grace_s = default_tmp_grace_s) ~(dir : string) () : int =
+  if not (Sys.file_exists dir) then 0
+  else begin
+    let now = Unix.gettimeofday () in
+    let moved = ref 0 in
+    Array.iter
+      (fun f ->
+        if is_tmp_file f then begin
+          match Unix.stat (Filename.concat dir f) with
+          | st ->
+            if now -. st.Unix.st_mtime > grace_s && quarantine_file ~dir f then
+              incr moved
+          | exception Unix.Unix_error _ -> ()
+        end)
+      (try Sys.readdir dir with Sys_error _ -> [||]);
+    !moved
+  end
+
+(* ------------------------------------------------------------------ *)
 (* The on-disk store. *)
 
 type t = {
@@ -215,10 +301,16 @@ let demote_hit t =
   t.hits <- max 0 (t.hits - 1);
   t.misses <- t.misses + 1
 
-let open_ ?(tag = ruleset_tag) ~(dir : string) () : (t, string) result =
+let open_ ?(tag = ruleset_tag) ?grace_s ~(dir : string) () : (t, string) result =
   if Sys.file_exists dir && not (Sys.is_directory dir) then
     Result.error (Printf.sprintf "store: %s exists and is not a directory" dir)
-  else Result.ok { dir; tag; hits = 0; misses = 0; corrupt = 0 }
+  else begin
+    (* Crash recovery on open: orphaned tmp files from a killed writer are
+       quarantined (never deleted — they may be evidence) so the directory
+       listing stays clean for gc and stat. *)
+    ignore (recover_scan ?grace_s ~dir ());
+    Result.ok { dir; tag; hits = 0; misses = 0; corrupt = 0 }
+  end
 
 let entry_path dir key = Filename.concat dir (key ^ ".acc")
 
@@ -265,49 +357,60 @@ let load (t : t) ~(key : string) : load_result =
     Miss
   end
   else begin
-    match read_file path with
-    | exception e ->
+    (* A damaged entry degrades to a miss *and* is moved aside, so the
+       next run doesn't pay the read-and-reject cost again and [doctor]
+       can report what was found.  Quarantining is best-effort: if the
+       rename loses a race the entry was concurrently repaired or
+       quarantined by someone else. *)
+    let poison m =
       t.corrupt <- t.corrupt + 1;
       t.misses <- t.misses + 1;
-      Corrupt (Printf.sprintf "unreadable entry %s: %s" path (Printexc.to_string e))
+      ignore (quarantine_file ~dir:t.dir (key ^ ".acc"));
+      Corrupt m
+    in
+    match with_io_retry "read" (fun () -> read_file path) with
+    | exception e ->
+      poison (Printf.sprintf "unreadable entry %s: %s" path (Printexc.to_string e))
     | raw -> (
       match decode ~key raw with
       | Result.Ok e ->
         t.hits <- t.hits + 1;
         Hit e
-      | Result.Error m ->
-        t.corrupt <- t.corrupt + 1;
-        t.misses <- t.misses + 1;
-        Corrupt (Printf.sprintf "corrupt entry %s: %s" path m))
-  end
-
-let rec mkdirs d =
-  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
-    mkdirs (Filename.dirname d);
-    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+      | Result.Error m -> poison (Printf.sprintf "corrupt entry %s: %s" path m))
   end
 
 (* Atomic publication: write a temp file in the store directory, then
    rename over the final name.  Concurrent writers of the same key race
-   benignly (same content — keys are content addresses). *)
+   benignly (same content — keys are content addresses).  Writes are
+   retried on transient I/O errors (each attempt starts over with a
+   fresh tmp file), and publication happens under the store lock when it
+   can be had quickly — the lock is best-effort here because the atomic
+   rename is what carries correctness; it exists to shrink the window in
+   which gc can observe the in-flight tmp file. *)
 let save (t : t) ~(key : string) (e : fentry) : (unit, string) result =
   try
     mkdirs t.dir;
     let payload = Marshal.to_string e [] in
     let dg = Digest.to_hex (Digest.string payload) in
-    let tmp = Filename.temp_file ~temp_dir:t.dir ".acc-tmp" ".part" in
-    let oc = open_out_bin tmp in
-    (try
-       output_string oc magic;
-       output_string oc (key ^ "\n");
-       output_string oc (dg ^ "\n");
-       output_string oc payload;
-       close_out oc
-     with e ->
-       close_out_noerr oc;
-       (try Sys.remove tmp with Sys_error _ -> ());
-       raise e);
-    Sys.rename tmp (entry_path t.dir key);
+    with_io_retry "write" (fun () ->
+        let tmp = Filename.temp_file ~temp_dir:t.dir ".acc-tmp" ".part" in
+        let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
+        match
+          let oc = open_out_bin tmp in
+          (try
+             output_string oc magic;
+             output_string oc (key ^ "\n");
+             output_string oc (dg ^ "\n");
+             output_string oc payload;
+             close_out oc
+           with e ->
+             close_out_noerr oc;
+             raise e);
+          Lock.with_lock ~timeout_s:1.0 ~dir:t.dir (fun ~locked:_ ->
+              Sys.rename tmp (entry_path t.dir key))
+        with
+        | () -> ()
+        | exception e -> cleanup (); raise e);
     Result.ok ()
   with e -> Result.error (Printf.sprintf "store: cannot save entry: %s" (Printexc.to_string e))
 
@@ -342,15 +445,110 @@ let clear ~(dir : string) : (int, string) result =
     Result.ok (List.length files)
   with e -> Result.error (Printf.sprintf "store: %s" (Printexc.to_string e))
 
-(* Keep the newest [max_entries] by modification time, remove the rest. *)
-let gc ~(dir : string) ~(max_entries : int) : (int, string) result =
-  try
-    let files = entry_files dir in
-    let with_mtime =
-      List.map (fun f -> (f, (Unix.stat f).Unix.st_mtime)) files
-      |> List.sort (fun (_, a) (_, b) -> compare b a)
-    in
-    let doomed = List.filteri (fun i _ -> i >= max 0 max_entries) with_mtime in
-    List.iter (fun (f, _) -> try Sys.remove f with Sys_error _ -> ()) doomed;
-    Result.ok (List.length doomed)
-  with e -> Result.error (Printf.sprintf "store: %s" (Printexc.to_string e))
+(* Keep the newest [max_entries] by modification time, remove the rest.
+
+   Runs under the store lock (strictly — gc is maintenance, so failing
+   loudly beats racing) and sweeps orphaned tmp files older than the
+   grace window into quarantine first.  Young tmp files are left alone:
+   they belong to a writer that is mid-publication right now, and
+   deleting one would make its rename fail.  A concurrently *published*
+   entry is never at risk — it either predates the listing (counted) or
+   postdates it (untouched). *)
+let gc ?grace_s ~(dir : string) ~(max_entries : int) () : (int, string) result =
+  match Lock.acquire ~timeout_s:10.0 ~dir () with
+  | Error m -> Result.error m
+  | Ok lock ->
+    Fun.protect
+      ~finally:(fun () -> Lock.release lock)
+      (fun () ->
+        try
+          ignore (recover_scan ?grace_s ~dir ());
+          let files = entry_files dir in
+          let with_mtime =
+            List.filter_map
+              (fun f ->
+                (* A load may quarantine an entry between listing and
+                   stat; skip it rather than abort the whole gc. *)
+                match Unix.stat f with
+                | st -> Some (f, st.Unix.st_mtime)
+                | exception Unix.Unix_error _ -> None)
+              files
+            |> List.sort (fun (_, a) (_, b) -> compare b a)
+          in
+          let doomed = List.filteri (fun i _ -> i >= max 0 max_entries) with_mtime in
+          List.iter (fun (f, _) -> try Sys.remove f with Sys_error _ -> ()) doomed;
+          Result.ok (List.length doomed)
+        with e -> Result.error (Printf.sprintf "store: %s" (Printexc.to_string e)))
+
+(* ------------------------------------------------------------------ *)
+(* Doctor: full integrity scan (the heavyweight sibling of the cheap
+   open-time [recover_scan]). *)
+
+type doctor_report = {
+  dr_scanned : int; (* entries examined *)
+  dr_ok : int; (* entries whose digest and payload decode cleanly *)
+  dr_quarantined : int; (* damaged entries moved to .quarantine/ now *)
+  dr_tmp_quarantined : int; (* orphaned tmp files moved now *)
+  dr_quarantine_files : int; (* files sitting in .quarantine/ after the scan *)
+  dr_purged : int; (* quarantined files deleted (with ~purge:true) *)
+}
+
+(* Verify every entry end-to-end: read, digest-check, deserialize.  Any
+   failure quarantines the entry.  After the scan every surviving entry
+   is replayable as far as the store format is concerned (replay itself
+   re-derives the theorems, so format integrity is all doctor owes).
+   With [purge] the quarantine directory is emptied afterwards. *)
+let doctor ?grace_s ?(purge = false) ~(dir : string) () : (doctor_report, string) result =
+  match Lock.acquire ~timeout_s:10.0 ~dir () with
+  | Error m -> Result.error m
+  | Ok lock ->
+    Fun.protect
+      ~finally:(fun () -> Lock.release lock)
+      (fun () ->
+        try
+          let tmp_quarantined = recover_scan ?grace_s ~dir () in
+          let scanned = ref 0 and ok = ref 0 and quarantined = ref 0 in
+          List.iter
+            (fun path ->
+              incr scanned;
+              let fname = Filename.basename path in
+              let key = Filename.chop_suffix fname ".acc" in
+              let damaged =
+                match read_file path with
+                | exception _ -> true
+                | raw -> Result.is_error (decode ~key raw)
+              in
+              if damaged then begin
+                if quarantine_file ~dir fname then incr quarantined
+              end
+              else incr ok)
+            (entry_files dir);
+          let qdir = quarantine_dir dir in
+          let qfiles =
+            if Sys.file_exists qdir then
+              (try Array.to_list (Sys.readdir qdir) with Sys_error _ -> [])
+            else []
+          in
+          let purged = ref 0 in
+          if purge then
+            List.iter
+              (fun f ->
+                let p = Filename.concat qdir f in
+                (* Quarantined "files" can be directories (an entry path
+                   replaced by a directory is how an unreadable entry
+                   manifests); remove either shape. *)
+                try
+                  if Sys.is_directory p then Unix.rmdir p else Sys.remove p;
+                  incr purged
+                with Sys_error _ | Unix.Unix_error _ -> ())
+              qfiles;
+          Result.ok
+            {
+              dr_scanned = !scanned;
+              dr_ok = !ok;
+              dr_quarantined = !quarantined;
+              dr_tmp_quarantined = tmp_quarantined;
+              dr_quarantine_files = (if purge then List.length qfiles - !purged else List.length qfiles);
+              dr_purged = !purged;
+            }
+        with e -> Result.error (Printf.sprintf "store: %s" (Printexc.to_string e)))
