@@ -1286,6 +1286,279 @@ let faults () =
   if divergence then
     failwith "faults: responses diverged across fault rates"
 
+(* PR 8: multi-client socket throughput.  Drives `acc serve --socket`
+   with 1, 2 and 4 closed-loop clients over a warm store and records
+   aggregate req/s per client count, plus a 4-client row under a 5%
+   injected socket-fault rate and a single-client stdin-mode baseline
+   (the PR 7 transport).
+
+   Clients are closed-loop with an explicit think time (set to ~2x the
+   measured warm service time, clamped to [1ms, 20ms]): request
+   execution is intentionally serialized on the server's main domain
+   (one bounded scheduler over shared Pool/Supervisor/Store), so with
+   zero think time N clients cannot beat one — concurrency pays off
+   exactly when clients spend time between requests, which is what real
+   callers do.  With think time t and service time s, one client caps at
+   1/(s+t) while N clients approach 1/s; the floor asserted here is
+   4 clients >= 1.2x 1 client.
+
+   Floors: every response ok:true, responses byte-identical to the
+   per-file warm references at every client count (stripped of volatile
+   sections under injection only), all server exits 0.  Results go to
+   BENCH_pr8.json. *)
+
+let net () =
+  header "Net: multi-client socket serve throughput (PR 8)";
+  let acc_exe =
+    let candidates =
+      [ "_build/default/bin/acc.exe"; "../bin/acc.exe"; "bin/acc.exe" ]
+    in
+    let find () = List.find_opt Sys.file_exists candidates in
+    match find () with
+    | Some p -> p
+    | None -> (
+        ignore (Sys.command "dune build bin/acc.exe > /dev/null 2>&1");
+        match find () with
+        | Some p -> p
+        | None -> failwith "net bench: cannot locate acc.exe")
+  in
+  let req_files =
+    List.filteri (fun i _ -> i < 3) Csources.all
+    |> List.map (fun (name, src) ->
+           let f = Filename.temp_file ("acc_net_" ^ name) ".c" in
+           let oc = open_out f in
+           output_string oc src;
+           close_out oc;
+           f)
+  in
+  let nfiles = List.length req_files in
+  let store_dir =
+    let d = Filename.temp_file "acc_bench_net" ".d" in
+    Sys.remove d;
+    d
+  in
+  let find_sub s key from =
+    let klen = String.length key and n = String.length s in
+    let rec go i =
+      if i + klen > n then None
+      else if String.sub s i klen = key then Some i
+      else go (i + 1)
+    in
+    go from
+  in
+  let strip_to close key s =
+    match find_sub s key 0 with
+    | None -> s
+    | Some i -> (
+      match String.index_from_opt s i close with
+      | None -> s
+      | Some j -> String.sub s 0 i ^ String.sub s (j + 1) (String.length s - j - 1))
+  in
+  let strip line =
+    line
+    |> strip_to '}' "\"store\":{"
+    |> strip_to '}' "\"pool\":{"
+    |> strip_to ']' "\"diagnostics\":["
+  in
+  let with_stdin_session f =
+    let cmd =
+      Printf.sprintf "%s serve --store %s 2> /dev/null" (Filename.quote acc_exe)
+        (Filename.quote store_dir)
+    in
+    let ic, oc = Unix.open_process cmd in
+    let request file =
+      output_string oc ("translate " ^ file ^ "\n");
+      flush oc;
+      input_line ic
+    in
+    let r = f request in
+    ignore (Unix.close_process (ic, oc));
+    r
+  in
+  (* Session 1: prewarm the store, so every measured request below is a
+     warm replay — deterministic response bytes (per-request store
+     counters always all-hits) independent of client interleaving. *)
+  with_stdin_session (fun request -> List.iter (fun f -> ignore (request f)) req_files);
+  (* Session 2: per-file reference responses and the warm service time. *)
+  let refs = Hashtbl.create 8 in
+  let service_s =
+    with_stdin_session (fun request ->
+        List.iter (fun f -> Hashtbl.replace refs f (request f)) req_files;
+        let n = 15 in
+        let t0 = Unix.gettimeofday () in
+        for i = 0 to n - 1 do
+          ignore (request (List.nth req_files (i mod nfiles)))
+        done;
+        (Unix.gettimeofday () -. t0) /. float_of_int n)
+  in
+  let think_s = Float.min 0.02 (Float.max 0.001 (2. *. service_s)) in
+  let n_per_client = 30 in
+  let client_reqs = List.init n_per_client (fun i -> List.nth req_files (i mod nfiles)) in
+  (* Session 3: the single-client stdin baseline (PR 7's transport), with
+     the same think time the socket clients use. *)
+  let stdin_rps =
+    with_stdin_session (fun request ->
+        let t0 = Unix.gettimeofday () in
+        List.iter
+          (fun f ->
+            let r = request f in
+            if r <> Hashtbl.find refs f then failwith "net: stdin baseline diverged";
+            Unix.sleepf think_s)
+          client_reqs;
+        float_of_int n_per_client /. (Unix.gettimeofday () -. t0))
+  in
+  let send_all fd s =
+    let b = Bytes.unsafe_of_string s in
+    let ofs = ref 0 in
+    while !ofs < Bytes.length b do
+      ofs := !ofs + Unix.write fd b !ofs (Bytes.length b - !ofs)
+    done
+  in
+  let run_socket ?(inject = "") nclients =
+    let sock = Filename.temp_file "acc_net" ".sock" in
+    Sys.remove sock;
+    let null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+    let args =
+      [ "acc"; "serve"; "--store"; store_dir; "--socket"; sock; "--max-inflight"; "256" ]
+      @ (if inject = "" then [] else [ "--inject"; inject ])
+    in
+    let pid = Unix.create_process acc_exe (Array.of_list args) null null null in
+    Unix.close null;
+    let rec wait_sock tries =
+      if tries = 0 then failwith "net: server socket never appeared";
+      match (Unix.stat sock).Unix.st_kind with
+      | Unix.S_SOCK -> ()
+      | _ -> failwith "net: socket path is not a socket"
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+        Unix.sleepf 0.025;
+        wait_sock (tries - 1)
+    in
+    wait_sock 200;
+    let t0 = Unix.gettimeofday () in
+    let doms =
+      List.init nclients (fun _ ->
+          Domain.spawn (fun () ->
+              let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+              Unix.connect fd (Unix.ADDR_UNIX sock);
+              let ic = Unix.in_channel_of_descr fd in
+              let resps =
+                List.map
+                  (fun f ->
+                    send_all fd ("translate " ^ f ^ "\n");
+                    let r = input_line ic in
+                    Unix.sleepf think_s;
+                    (f, r))
+                  client_reqs
+              in
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              resps))
+    in
+    let results = List.map Domain.join doms in
+    let wall = Unix.gettimeofday () -. t0 in
+    Unix.kill pid Sys.sigterm;
+    let code = match Unix.waitpid [] pid with _, Unix.WEXITED c -> c | _ -> -1 in
+    let norm = if inject = "" then fun s -> s else strip in
+    let diverged =
+      List.exists
+        (List.exists (fun (f, r) -> norm r <> norm (Hashtbl.find refs f)))
+        results
+    in
+    let ok =
+      List.for_all
+        (List.for_all (fun (_, r) ->
+             String.length r >= 11 && String.sub r 0 11 = "{\"ok\":true,"))
+        results
+    in
+    (float_of_int (nclients * n_per_client) /. wall, code, ok, diverged)
+  in
+  let clean = List.map (fun n -> (n, run_socket n)) [ 1; 2; 4 ] in
+  let fault_rate = 0.05 in
+  let fault_row =
+    run_socket ~inject:(Printf.sprintf "io_error:%g,seed:13" fault_rate) 4
+  in
+  List.iter Sys.remove req_files;
+  let r1 = match clean with (_, (r, _, _, _)) :: _ -> r | [] -> 0. in
+  let r4 =
+    match List.find_opt (fun (n, _) -> n = 4) clean with
+    | Some (_, (r, _, _, _)) -> r
+    | None -> 0.
+  in
+  let all_exit_0 =
+    List.for_all (fun (_, (_, c, _, _)) -> c = 0) clean
+    && (match fault_row with _, c, _, _ -> c = 0)
+  in
+  let all_ok =
+    List.for_all (fun (_, (_, _, ok, _)) -> ok) clean
+    && (match fault_row with _, _, ok, _ -> ok)
+  in
+  let diverged =
+    List.exists (fun (_, (_, _, _, d)) -> d) clean
+    || (match fault_row with _, _, _, d -> d)
+  in
+  let rows =
+    [
+      "stdin x1" :: Printf.sprintf "%.1f" stdin_rps
+      :: Ac_stats.speedup ~baseline:r1 stdin_rps :: [ "0%" ];
+    ]
+    @ List.map
+        (fun (n, (rps, _, _, _)) ->
+          [
+            Printf.sprintf "socket x%d" n;
+            Printf.sprintf "%.1f" rps;
+            Ac_stats.speedup ~baseline:r1 rps;
+            "0%";
+          ])
+        clean
+    @ [
+        (let rps, _, _, _ = fault_row in
+         [
+           "socket x4"; Printf.sprintf "%.1f" rps;
+           Ac_stats.speedup ~baseline:r1 rps;
+           Printf.sprintf "%.0f%%" (100. *. fault_rate);
+         ]);
+      ]
+  in
+  print_string
+    (Ac_stats.render_table ~header:[ "Clients"; "Req/s"; "vs socket x1"; "Faults" ] rows);
+  Printf.printf
+    "\n%d requests per client, think %.1fms (2x warm service %.1fms);\n\
+     all ok: %s; divergence: %s; all server exits 0: %s.\n"
+    n_per_client (1000. *. think_s) (1000. *. service_s)
+    (if all_ok then "yes" else "NO")
+    (if diverged then "DIVERGED" else "none")
+    (if all_exit_0 then "yes" else "NO");
+  let per_clients_json =
+    String.concat ","
+      (List.map
+         (fun (n, (rps, _, _, _)) ->
+           Printf.sprintf "{\"clients\":%d,\"req_per_s\":%.1f,\"speedup_vs_1\":%.2f}"
+             n rps (if r1 > 0. then rps /. r1 else 0.))
+         clean)
+  in
+  let fault_json =
+    let rps, _, _, _ = fault_row in
+    Printf.sprintf "{\"clients\":4,\"rate\":%.2f,\"req_per_s\":%.1f}" fault_rate rps
+  in
+  let json =
+    Printf.sprintf
+      "{\"experiment\":\"net\",\"n_per_client\":%d,\"think_ms\":%.2f,\"service_ms\":%.2f,\n\
+       \ \"stdin_req_per_s\":%.1f,\"per_clients\":[%s],\"faulted\":%s,\n\
+       \ \"all_ok\":%b,\"divergence\":%b,\"all_exit_0\":%b}\n"
+      n_per_client (1000. *. think_s) (1000. *. service_s) stdin_rps
+      per_clients_json fault_json all_ok diverged all_exit_0
+  in
+  let out = open_out "BENCH_pr8.json" in
+  output_string out json;
+  close_out out;
+  print_endline "wrote BENCH_pr8.json";
+  if not all_ok then failwith "net: a request failed";
+  if diverged then failwith "net: socket responses diverged from the warm references";
+  if not all_exit_0 then failwith "net: a server did not exit 0 on SIGTERM";
+  if r4 < 1.2 *. r1 then
+    failwith
+      (Printf.sprintf "net: 4-client throughput %.1f req/s not >= 1.2x 1-client %.1f"
+         r4 r1)
+
 let all : (string * (unit -> unit)) list =
   [
     ("fig1", fig1); ("fig2", fig2); ("table1", table1); ("table2", table2);
@@ -1294,5 +1567,5 @@ let all : (string * (unit -> unit)) list =
     ("fig8", fig8); ("table5", table5); ("table6", table6); ("memset", memset);
     ("custom_rule", custom_rule); ("ablation", ablation); ("analysis", analysis);
     ("robustness", robustness); ("perf", perf); ("store", store);
-    ("interproc", interproc); ("faults", faults);
+    ("interproc", interproc); ("faults", faults); ("net", net);
   ]

@@ -30,9 +30,11 @@ module Supervisor = Autocorres.Supervisor
 module Faults = Autocorres.Faults
 module Store = Ac_store.Store
 
-(* Monotonic wall clock in seconds (bechamel's CLOCK_MONOTONIC stub):
-   serve's watchdog must not jump when the system clock is stepped. *)
-let mono_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+(* Monotonic wall clock for serve's watchdog: must not jump when the
+   system clock is stepped.  Shared with [Supervisor.timed] and the
+   store-lock backoff — one clock for every deadline in the service
+   path. *)
+let mono_s = Autocorres.Profile.mono_s
 
 (* Usage errors: one-line diagnostic on stderr, exit 2. *)
 let usage_error fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt
@@ -588,8 +590,21 @@ let analyze file no_heap no_word no_interproc keep_low budgets jobs json store_d
        session exits 0;
      - `status` reports uptime and all counters as JSON;
      - `--inject SPEC` (or $ACC_FAULTS) turns on the deterministic
-       fault-injection harness for soak testing. *)
-let serve jobs request_timeout inject store_dir no_store =
+       fault-injection harness for soak testing.
+
+   Socket mode (this PR): `--socket PATH` (and/or `--tcp PORT` on
+   localhost) serves the same request grammar to many concurrent
+   clients at once, each connection newline-framed exactly like stdin;
+   all connections feed one bounded scheduler (see Ac_serve.Server for
+   the backpressure and drain contract).  Stdin and socket modes share
+   [handle_line] below — one request-handling core, so a response is
+   byte-identical whichever transport carried it.  `--connect PATH`
+   turns the binary into a pipelining line client for shell scripts. *)
+let serve jobs request_timeout inject store_dir no_store socket_path tcp_port
+    max_inflight connect_path =
+  (match connect_path with
+  | Some path -> exit (Ac_serve.Client.run ~path)
+  | None -> ());
   let jobs = max 1 jobs in
   (match inject with
   | None -> ()
@@ -639,12 +654,36 @@ let serve jobs request_timeout inject store_dir no_store =
   in
   let err_json msg =
     incr failures;
-    respond (Printf.sprintf "{\"ok\":false,\"error\":\"%s\"}" (Diag.json_escape msg))
+    Printf.sprintf "{\"ok\":false,\"error\":\"%s\"}" (Diag.json_escape msg)
   in
+  (* Set in socket mode so `status` can report the scheduler. *)
+  let sched_stats : (unit -> Ac_serve.Server.sched_stats) option ref = ref None in
+  (* Counter invariants (asserted by the serve tests):
+     - [requests] counts EVERY non-empty request line the session
+       accepts, across stdin and all socket connections — translate/
+       check/lint, `status` itself, malformed and unknown lines, and
+       shed requests all count, and each counted line gets exactly one
+       response.
+     - [failures] counts the subset answered with "ok":false (bad
+       request, unknown command, internal error, shed), so
+       failures <= requests always.  Before PR 8, malformed lines
+       bumped [failures] but not [requests], so a status probe could
+       report more failures than requests. *)
   let status_json () =
     let s = Supervisor.stats sup in
+    let sched =
+      match !sched_stats with
+      | None -> ""
+      | Some f ->
+        let n = f () in
+        Printf.sprintf
+          ",\"conns\":{\"active\":%d,\"total\":%d},\"sched\":{\"queued\":%d,\"shed\":%d,\"drained\":%d,\"net_io_faults\":%d}"
+          n.Ac_serve.Server.active_conns n.Ac_serve.Server.total_conns
+          n.Ac_serve.Server.queued n.Ac_serve.Server.shed
+          n.Ac_serve.Server.drained n.Ac_serve.Server.net_io_faults
+    in
     Printf.sprintf
-      "{\"ok\":true,\"cmd\":\"status\",\"uptime_s\":%.3f,\"requests\":%d,\"failures\":%d,\"degraded\":%d,\"retries\":%d,\"quarantined\":%d,\"worker_restarts\":%d,\"worker_crashes\":%d,\"deadline_blown\":%d,\"requests_over_deadline\":%d,\"store\":{\"hits\":%d,\"misses\":%d},\"faults_active\":%b,\"shutting_down\":%b}"
+      "{\"ok\":true,\"cmd\":\"status\",\"uptime_s\":%.3f,\"requests\":%d,\"failures\":%d,\"degraded\":%d,\"retries\":%d,\"quarantined\":%d,\"worker_restarts\":%d,\"worker_crashes\":%d,\"deadline_blown\":%d,\"requests_over_deadline\":%d,\"store\":{\"hits\":%d,\"misses\":%d},\"faults_active\":%b,\"shutting_down\":%b%s}"
       (mono_s () -. started) !requests !failures !degraded_total
       s.Supervisor.retries s.Supervisor.quarantined s.Supervisor.restarts
       s.Supervisor.crashes s.Supervisor.deadline_blown !over_deadline
@@ -652,6 +691,7 @@ let serve jobs request_timeout inject store_dir no_store =
       (match store with Some st -> Store.misses st | None -> 0)
       (Faults.active () <> None)
       (Atomic.get shutting)
+      sched
   in
   let read_source file =
     let ic = open_in_bin file in
@@ -659,125 +699,154 @@ let serve jobs request_timeout inject store_dir no_store =
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  let handle line =
-    let line = String.trim line in
-    if line = "" then ()
-    else if line = "status" then respond (status_json ())
-    else begin
-      match String.index_opt line ' ' with
-      | None ->
-        err_json
-          (Printf.sprintf "bad request %S (want: translate|check|lint FILE, or status)"
-             line)
-      | Some i -> (
-        let cmd = String.sub line 0 i in
-        let file = String.trim (String.sub line i (String.length line - i)) in
-        let run () =
-          incr requests;
-          Faults.sleep_if_slow ();
-          let t0 = mono_s () in
-          let res =
-            Driver.run ~options ?store ?pool ~supervisor:sup ~fresh_tables:false
-              (read_source file)
-          in
-          (* The after-the-fact half of the watchdog: the budget deadlines
-             bound the engines from inside, this counts requests that
-             still overran (e.g. many functions each under budget). *)
-          (match request_timeout with
-          | Some t when mono_s () -. t0 > t -> incr over_deadline
-          | _ -> ());
-          degraded_total := !degraded_total + List.length res.Driver.degraded;
-          res
-        in
-        match cmd with
-        | "translate" ->
-          let res = run () in
-          respond
-            (Printf.sprintf "{\"ok\":true,\"cmd\":\"translate\",\"result\":%s}"
-               (result_json ~file res))
-        | "check" ->
-          let res = run () in
-          let kernel =
-            match Driver.check_all res with
-            | Ok () -> "\"ok\""
-            | Error e -> Printf.sprintf "\"failed: %s\"" (Diag.json_escape e)
-          in
-          respond
-            (Printf.sprintf
-               "{\"ok\":true,\"cmd\":\"check\",\"file\":\"%s\",\"kernel\":%s,\"degraded\":%d,\"store\":{\"hits\":%d,\"misses\":%d}}"
-               (Diag.json_escape file) kernel
-               (List.length res.Driver.degraded)
-               res.Driver.store_hits res.Driver.store_misses)
-        | "lint" ->
-          let res = run () in
-          let lenv = res.Driver.ctx.Ac_kernel.Rules.lenv in
-          let findings =
-            Ac_analysis.sort_findings
-              (List.concat_map
-                 (fun fr ->
-                   Ac_analysis.lint_func lenv ~simpl:fr.Driver.fr_simpl
-                     ~sums:res.Driver.sums fr.Driver.fr_l2)
-                 res.Driver.funcs)
-          in
-          (* Findings use the same structured-diagnostic JSON shape as
-             --diag-json (phase/function/line/col/severity/message), so a
-             serve client and a one-shot client parse one format. *)
-          respond
-            (Printf.sprintf "{\"ok\":true,\"cmd\":\"lint\",\"file\":\"%s\",\"findings\":%s}"
-               (Diag.json_escape file)
-               (Diag.list_to_json
-                  (List.map (diag_of_finding ~severity:Diag.Warning) findings)))
-        | other -> err_json (Printf.sprintf "unknown command %S" other))
-    end
-  in
-  (* Stdin line reader over [Unix.read] rather than [input_line]: OCaml
-     channels retry EINTR internally, so a SIGTERM arriving while the
-     session is blocked waiting for a request would be invisible until
-     the next byte shows up.  With a raw read the signal interrupts the
-     syscall, the handler flips [shutting], and the loop exits. *)
-  let inbuf = Buffer.create 4096 in
-  let chunk = Bytes.create 4096 in
-  let rec next_line () : string option =
-    let s = Buffer.contents inbuf in
-    match String.index_opt s '\n' with
-    | Some i ->
-      Buffer.clear inbuf;
-      Buffer.add_substring inbuf s (i + 1) (String.length s - i - 1);
-      Some (String.sub s 0 i)
-    | None ->
-      if Atomic.get shutting then None
+  (* The one request-handling core, shared verbatim by stdin and socket
+     modes: one trimmed non-empty request line in, its one-line JSON
+     response out.  Total by construction — every exception becomes an
+     "ok":false response — because in socket mode a raise would tear
+     down the event loop under every other client. *)
+  let handle_line line : string =
+    incr requests;
+    match
+      if line = "status" then status_json ()
       else begin
-        match Unix.read Unix.stdin chunk 0 (Bytes.length chunk) with
-        | 0 ->
-          (* EOF: a trailing unterminated line still counts as a request. *)
-          if s = "" then None
-          else begin
-            Buffer.clear inbuf;
-            Some s
-          end
-        | n ->
-          Buffer.add_subbytes inbuf chunk 0 n;
-          next_line ()
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> next_line ()
+        match String.index_opt line ' ' with
+        | None ->
+          err_json
+            (Printf.sprintf
+               "bad request %S (want: translate|check|lint FILE, or status)" line)
+        | Some i -> (
+          let cmd = String.sub line 0 i in
+          let file = String.trim (String.sub line i (String.length line - i)) in
+          let run () =
+            Faults.sleep_if_slow ();
+            let t0 = mono_s () in
+            let res =
+              Driver.run ~options ?store ?pool ~supervisor:sup ~fresh_tables:false
+                (read_source file)
+            in
+            (* The after-the-fact half of the watchdog: the budget deadlines
+               bound the engines from inside, this counts requests that
+               still overran (e.g. many functions each under budget). *)
+            (match request_timeout with
+            | Some t when mono_s () -. t0 > t -> incr over_deadline
+            | _ -> ());
+            degraded_total := !degraded_total + List.length res.Driver.degraded;
+            res
+          in
+          match cmd with
+          | "translate" ->
+            let res = run () in
+            Printf.sprintf "{\"ok\":true,\"cmd\":\"translate\",\"result\":%s}"
+              (result_json ~file res)
+          | "check" ->
+            let res = run () in
+            let kernel =
+              match Driver.check_all res with
+              | Ok () -> "\"ok\""
+              | Error e -> Printf.sprintf "\"failed: %s\"" (Diag.json_escape e)
+            in
+            Printf.sprintf
+              "{\"ok\":true,\"cmd\":\"check\",\"file\":\"%s\",\"kernel\":%s,\"degraded\":%d,\"store\":{\"hits\":%d,\"misses\":%d}}"
+              (Diag.json_escape file) kernel
+              (List.length res.Driver.degraded)
+              res.Driver.store_hits res.Driver.store_misses
+          | "lint" ->
+            let res = run () in
+            let lenv = res.Driver.ctx.Ac_kernel.Rules.lenv in
+            let findings =
+              Ac_analysis.sort_findings
+                (List.concat_map
+                   (fun fr ->
+                     Ac_analysis.lint_func lenv ~simpl:fr.Driver.fr_simpl
+                       ~sums:res.Driver.sums fr.Driver.fr_l2)
+                   res.Driver.funcs)
+            in
+            (* Findings use the same structured-diagnostic JSON shape as
+               --diag-json (phase/function/line/col/severity/message), so a
+               serve client and a one-shot client parse one format. *)
+            Printf.sprintf "{\"ok\":true,\"cmd\":\"lint\",\"file\":\"%s\",\"findings\":%s}"
+              (Diag.json_escape file)
+              (Diag.list_to_json
+                 (List.map (diag_of_finding ~severity:Diag.Warning) findings))
+          | other -> err_json (Printf.sprintf "unknown command %S" other))
       end
+    with
+    | resp -> resp
+    (* One failing request (missing file, parse error, even an internal
+       error) answers with ok:false and the session continues. *)
+    | exception Diag.Error d -> err_json (Diag.to_string d)
+    | exception Sys_error m -> err_json m
+    | exception e -> err_json (Diag.message_of_exn e)
   in
-  let rec loop () =
-    if Atomic.get shutting then ()
-    else begin
-      match next_line () with
-      | None -> ()
-      | Some line ->
-        (* One failing request (missing file, parse error, even an internal
-           error) answers with ok:false and the session continues. *)
-        (match handle line with
-        | () -> ()
-        | exception Diag.Error d -> err_json (Diag.to_string d)
-        | exception Sys_error m -> err_json m
-        | exception e -> err_json (Diag.message_of_exn e));
-        loop ()
-    end
+  (* Stdin mode.  The line reader sits on [Unix.read] rather than
+     [input_line]: OCaml channels retry EINTR internally, so a SIGTERM
+     arriving while the session is blocked waiting for a request would
+     be invisible until the next byte shows up.  With a raw read the
+     signal interrupts the syscall, the handler flips [shutting], and
+     the loop exits.  Framing goes through [Ac_serve.Line_buf] — the
+     old reader rebuilt [Buffer.contents] per extracted line, which is
+     O(n²) across a pipelined batch arriving in one chunk; the shared
+     buffer makes delivery chunking irrelevant (and is the same framing
+     the socket server uses). *)
+  let run_stdin () =
+    let lb = Ac_serve.Line_buf.create () in
+    let chunk = Bytes.create 4096 in
+    let rec next_line () : string option =
+      match Ac_serve.Line_buf.next lb with
+      | Some l -> Some l
+      | None ->
+        if Atomic.get shutting then None
+        else begin
+          match Unix.read Unix.stdin chunk 0 (Bytes.length chunk) with
+          | 0 ->
+            (* EOF: a trailing unterminated line still counts as a request. *)
+            Ac_serve.Line_buf.take_rest lb
+          | n ->
+            Ac_serve.Line_buf.add lb chunk 0 n;
+            next_line ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> next_line ()
+        end
+    in
+    let rec loop () =
+      if Atomic.get shutting then ()
+      else begin
+        match next_line () with
+        | None -> ()
+        | Some raw ->
+          let line = String.trim raw in
+          if line <> "" then respond (handle_line line);
+          loop ()
+      end
+    in
+    loop ()
   in
-  loop ();
+  (match (socket_path, tcp_port) with
+  | None, None -> run_stdin ()
+  | _ ->
+    (* Socket mode: many clients, one scheduler (Ac_serve.Server).  A
+       client disappearing mid-response must not kill the server, so
+       writes see EPIPE as an error, not a signal. *)
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ());
+    let cfg =
+      {
+        Ac_serve.Server.socket_path;
+        tcp_port;
+        max_inflight = max 1 max_inflight;
+        backlog = 64;
+        shutting;
+      }
+    in
+    (match Ac_serve.Server.create cfg with
+    | Error m -> usage_error "acc serve: %s" m
+    | Ok srv ->
+      sched_stats := Some (fun () -> Ac_serve.Server.stats srv);
+      (* A shed request is a counted request that failed — the client
+         got a response line, just not the one it wanted. *)
+      Ac_serve.Server.run srv ~handler:handle_line
+        ~on_shed:(fun () ->
+          incr requests;
+          incr failures)));
   (* Flush everything on the way out so the final response line is
      complete even under a signal-driven shutdown; store counters are
      in-memory only, entries were already published atomically. *)
@@ -930,19 +999,62 @@ let serve_cmd =
              'io_error:0.05,worker_crash:0.02,slow:0.01,seed:42'.  Overrides \
              \\$ACC_FAULTS.")
   in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Serve many concurrent clients over a Unix-domain socket at $(docv) \
+             instead of stdin.  Each connection is newline-framed exactly like \
+             stdin mode; all connections share one bounded scheduler.  A stale \
+             socket file left by a dead server is replaced.")
+  in
+  let tcp_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT"
+          ~doc:
+            "Also (or instead) listen on 127.0.0.1:$(docv).  Loopback only — \
+             the server speaks an unauthenticated local protocol.")
+  in
+  let max_inflight_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Backpressure bound for socket mode: at most $(docv) requests \
+             queued or executing across all connections; beyond that, requests \
+             are shed with {\"ok\":false,\"error\":\"overloaded\"} in request \
+             order rather than buffered without bound.")
+  in
+  let connect_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"PATH"
+          ~doc:
+            "Client mode: relay stdin to the socket server at $(docv) and its \
+             responses to stdout (a pipelining line client, so shell scripts \
+             need no socat/netcat).  Exits when the server has answered \
+             everything and closed the connection.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Long-lived batch mode: read newline-delimited requests (translate FILE, \
-          check FILE, lint FILE, status) from stdin and answer each with one JSON \
+          check FILE, lint FILE, status) from stdin — or from many concurrent \
+          socket clients with --socket/--tcp — and answer each with one JSON \
           line, keeping the proof store, worker pool and hash-cons tables warm.  \
           Supervised: crashed worker domains are respawned and their tasks \
-          retried or quarantined; SIGINT/SIGTERM finish the in-flight request \
-          and exit 0.")
+          retried or quarantined; SIGINT/SIGTERM drain in-flight requests \
+          across all connections and exit 0.")
     (protected
        Term.(
-         const (fun a b c d e () -> serve a b c d e)
-         $ jobs $ request_timeout $ inject $ store_dir_arg $ no_store_arg))
+         const (fun a b c d e f g h i () -> serve a b c d e f g h i)
+         $ jobs $ request_timeout $ inject $ store_dir_arg $ no_store_arg
+         $ socket_arg $ tcp_arg $ max_inflight_arg $ connect_arg))
 
 let cache_cmd =
   let action =

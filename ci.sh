@@ -285,6 +285,79 @@ fi
 echo "ok: 300/300 answered, zero divergence"
 rm -rf "$SOAK_STORE" "$SOAK_REQS" "$SOAK_CLEAN" "$SOAK_CLEAN.n" "$SOAK_OUT" "$SOAK_OUT.n"
 
+echo "== socket serve: 4 concurrent clients, clean + 5% io faults, SIGTERM drain =="
+# Four clients pipeline translate/lint streams into one socket server,
+# clean and with socket-I/O fault injection.  Every client's response
+# stream must be byte-identical to the same requests through sequential
+# stdin mode (no stripping: --no-store keeps responses history-free),
+# the server must survive the faults (zero session deaths) and exit 0
+# on SIGTERM.
+SOCK_DIR=$(mktemp -d)
+SOCK="$SOCK_DIR/acc.sock"
+for c in 1 2 3 4; do
+  : > "$SOCK_DIR/req.$c"
+  for f in corpus/*.c; do
+    echo "translate $f" >> "$SOCK_DIR/req.$c"
+    echo "lint $f" >> "$SOCK_DIR/req.$c"
+  done
+  echo "frob$c x" >> "$SOCK_DIR/req.$c"
+  "$ACC" serve --no-store < "$SOCK_DIR/req.$c" > "$SOCK_DIR/ref.$c"
+done
+for inject in "" "--inject io_error:0.05,seed:11"; do
+  # shellcheck disable=SC2086
+  "$ACC" serve --no-store --socket "$SOCK" --max-inflight 256 $inject &
+  spid=$!
+  while [ ! -S "$SOCK" ]; do sleep 0.05; done
+  cpids=""
+  for c in 1 2 3 4; do
+    "$ACC" serve --connect "$SOCK" < "$SOCK_DIR/req.$c" > "$SOCK_DIR/out.$c" &
+    cpids="$cpids $!"
+  done
+  # shellcheck disable=SC2086
+  wait $cpids
+  kill -TERM "$spid"
+  if ! wait "$spid"; then
+    echo "FAIL: socket server did not exit 0 on SIGTERM (inject='$inject')" >&2
+    exit 1
+  fi
+  for c in 1 2 3 4; do
+    if ! cmp -s "$SOCK_DIR/ref.$c" "$SOCK_DIR/out.$c"; then
+      echo "FAIL: socket client $c diverged from stdin mode (inject='$inject')" >&2
+      diff "$SOCK_DIR/ref.$c" "$SOCK_DIR/out.$c" | head -5 >&2 || true
+      exit 1
+    fi
+  done
+  echo "ok: 4 concurrent clients byte-identical to stdin mode (inject='${inject:-none}')"
+done
+
+echo "== socket serve: backpressure sheds structured errors =="
+# A 200-request flood into --max-inflight 2 (the --connect client
+# pipelines, so requests arrive faster than they execute): every line
+# still gets exactly one response, the overflow as the structured
+# overload error — never a hang, never a dropped request.
+"$ACC" serve --no-store --socket "$SOCK" --max-inflight 2 &
+spid=$!
+while [ ! -S "$SOCK" ]; do sleep 0.05; done
+seq 1 200 | sed 's/^/flood/; s/$/ x/' > "$SOCK_DIR/flood"
+"$ACC" serve --connect "$SOCK" < "$SOCK_DIR/flood" > "$SOCK_DIR/flood.out"
+lines=$(wc -l < "$SOCK_DIR/flood.out")
+shed=$(grep -c '^{"ok":false,"error":"overloaded"}$' "$SOCK_DIR/flood.out" || true)
+if [ "$lines" -ne 200 ]; then
+  echo "FAIL: flood got $lines responses, want 200" >&2
+  exit 1
+fi
+if [ "$shed" -eq 0 ]; then
+  echo "FAIL: max-inflight 2 under a 200-request flood shed nothing" >&2
+  exit 1
+fi
+kill -TERM "$spid"
+if ! wait "$spid"; then
+  echo "FAIL: shed-test server did not exit 0 on SIGTERM" >&2
+  exit 1
+fi
+echo "ok: 200/200 answered, $shed shed as structured errors"
+rm -rf "$SOCK_DIR"
+
 echo "== perf bench smoke (divergence between modes fails the bench) =="
 dune exec bench/main.exe -- perf > /dev/null
 
@@ -296,5 +369,8 @@ dune exec bench/main.exe -- interproc > /dev/null
 
 echo "== faults bench (serve under injected faults; asserts zero failures and zero divergence; writes BENCH_pr7.json) =="
 dune exec bench/main.exe -- faults > /dev/null
+
+echo "== net bench (multi-client socket throughput; asserts scaling + zero divergence; writes BENCH_pr8.json) =="
+dune exec bench/main.exe -- net > /dev/null
 
 echo "CI OK"

@@ -17,6 +17,14 @@
    The driver resets the counters at the start of every [Driver.run], so
    a snapshot taken after [run] (+ [check_all]) describes that run. *)
 
+(* Monotonic wall clock in seconds (bechamel's CLOCK_MONOTONIC stub).
+   This is the clock for every deadline and watchdog in the service path
+   — serve's request watchdog, [Supervisor.timed], lock backoff — which
+   must not jump when the system clock is stepped (NTP slew, manual
+   `date`, VM resume).  [Unix.gettimeofday] remains correct only for
+   calendar timestamps and file-mtime comparisons. *)
+let mono_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
 type entry = {
   phase : string;
   calls : int;

@@ -5,6 +5,12 @@
     summed across workers, so under [jobs > 1] a phase total can exceed
     the run's elapsed time — it is cumulative work. *)
 
+(** Monotonic wall clock in seconds ([CLOCK_MONOTONIC]): the clock for
+    deadlines and watchdogs (serve's request watchdog, {!Supervisor},
+    store-lock backoff), immune to system-clock steps.  Only its
+    differences are meaningful. *)
+val mono_s : unit -> float
+
 type entry = {
   phase : string;
   calls : int;  (** units of work recorded (usually functions processed) *)

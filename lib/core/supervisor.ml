@@ -79,13 +79,18 @@ let backoff (t : t) ~attempt =
 (* Run one work item, timing it against the task deadline.  Domains
    cannot be preempted, so a blown deadline is detected after the fact
    and *counted* (the budget plumbing inside the phases is what actually
-   bounds the work); the service degrades rather than kills. *)
+   bounds the work); the service degrades rather than kills.
+
+   Measured on the monotonic clock ([Profile.mono_s]): the deadline is
+   the step-proof watchdog of a serve session that may run for days, so
+   an NTP step or VM resume must not spuriously blow (or mask) it —
+   [Unix.gettimeofday] did both before PR 8. *)
 let timed (t : t) (f : 'a -> 'b) (x : 'a) : 'b =
   match t.task_deadline_s with
   | None -> f x
   | Some d ->
-    let t0 = Unix.gettimeofday () in
-    let finish () = if Unix.gettimeofday () -. t0 > d then Atomic.incr t.deadline_blown in
+    let t0 = Profile.mono_s () in
+    let finish () = if Profile.mono_s () -. t0 > d then Atomic.incr t.deadline_blown in
     let r = try f x with e -> finish (); raise e in
     finish ();
     r

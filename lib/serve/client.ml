@@ -1,0 +1,65 @@
+(* Built-in line client for the socket server: `acc serve --connect
+   PATH` relays stdin to the server and server output to stdout, so
+   shell scripts (ci.sh, the test suite) can talk to the socket without
+   depending on socat/netcat being installed.
+
+   The relay is intentionally dumb — it forwards bytes as they arrive,
+   which makes it a *pipelining* client: requests written to its stdin
+   go out immediately, without waiting for earlier responses.  On stdin
+   EOF it half-closes the socket ([SHUTDOWN_SEND]) so the server sees
+   EOF while responses can still flow back; it exits when the server
+   closes the connection (after answering everything, per the server's
+   reap rule). *)
+
+let write_all fd b ofs len =
+  let off = ref ofs and remaining = ref len in
+  while !remaining > 0 do
+    match Unix.write fd b !off !remaining with
+    | n ->
+      off := !off + n;
+      remaining := !remaining - n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let run ~path : int =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | exception Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "acc serve --connect: %s: %s\n%!" path (Unix.error_message e);
+    1
+  | () ->
+    let buf = Bytes.create 65536 in
+    let stdin_open = ref true in
+    let srv_open = ref true in
+    let rc = ref 0 in
+    (try
+       while !srv_open do
+         let rds = if !stdin_open then [ Unix.stdin; fd ] else [ fd ] in
+         match Unix.select rds [] [] (-1.0) with
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+         | rs, _, _ ->
+           if List.memq Unix.stdin rs then begin
+             match Unix.read Unix.stdin buf 0 (Bytes.length buf) with
+             | 0 ->
+               stdin_open := false;
+               (try Unix.shutdown fd Unix.SHUTDOWN_SEND
+                with Unix.Unix_error _ -> ())
+             | n -> write_all fd buf 0 n
+             | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+           end;
+           if List.memq fd rs then begin
+             match Unix.read fd buf 0 (Bytes.length buf) with
+             | 0 -> srv_open := false
+             | n -> write_all Unix.stdout buf 0 n
+             | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+             | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> srv_open := false
+           end
+       done
+     with Unix.Unix_error (e, _, _) ->
+       (* Server died mid-conversation (EPIPE on write, etc.). *)
+       Printf.eprintf "acc serve --connect: connection lost: %s\n%!"
+         (Unix.error_message e);
+       rc := 1);
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    !rc

@@ -1,0 +1,94 @@
+(* Incremental newline-delimited framing buffer.
+
+   The serve loop's original reader kept one [Buffer.t] and called
+   [Buffer.contents] + [String.index_from] for every extracted line —
+   each extraction copied the *whole* remaining buffer, so a pipelined
+   batch of n requests arriving in one chunk cost O(n²) bytes of
+   copying.  This buffer does the same job with two offsets:
+
+   - [start]: the beginning of un-consumed data (everything before it
+     has already been returned as lines);
+   - [scan]:  where the newline search resumes.  Bytes in
+     [start, scan) have already been scanned and contain no newline, so
+     a long line fed in many chunks is still scanned once.
+
+   Consumed space is reclaimed lazily: when the buffer must grow we
+   first compact (shift [start, len) down to 0); when everything is
+   consumed we reset the offsets.  Net effect: each byte is copied into
+   the buffer once, scanned once, and copied out once — O(total bytes)
+   for any chunking. *)
+
+type t = {
+  mutable buf : Bytes.t;
+  mutable start : int;  (* consumed prefix ends here *)
+  mutable len : int;  (* valid data ends here *)
+  mutable scan : int;  (* newline search resumes here; start <= scan <= len *)
+}
+
+let create ?(capacity = 4096) () =
+  { buf = Bytes.create (max capacity 16); start = 0; len = 0; scan = 0 }
+
+let pending t = t.len - t.start
+
+(* Make room for [n] more bytes: compact first (cheap, and usually
+   enough once lines are being consumed), grow only if still needed. *)
+let reserve t n =
+  if t.len + n > Bytes.length t.buf then begin
+    if t.start > 0 then begin
+      Bytes.blit t.buf t.start t.buf 0 (t.len - t.start);
+      t.len <- t.len - t.start;
+      t.scan <- t.scan - t.start;
+      t.start <- 0
+    end;
+    if t.len + n > Bytes.length t.buf then begin
+      let cap = ref (Bytes.length t.buf * 2) in
+      while t.len + n > !cap do
+        cap := !cap * 2
+      done;
+      let b = Bytes.create !cap in
+      Bytes.blit t.buf 0 b 0 t.len;
+      t.buf <- b
+    end
+  end
+
+let add t (chunk : Bytes.t) ofs n =
+  if n > 0 then begin
+    reserve t n;
+    Bytes.blit chunk ofs t.buf t.len n;
+    t.len <- t.len + n
+  end
+
+let add_string t s = add t (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let next t : string option =
+  (* Manual bounded scan: [Bytes.index_from] would happily run past
+     [len] into stale bytes from previously consumed lines. *)
+  let i = ref t.scan in
+  while !i < t.len && Bytes.get t.buf !i <> '\n' do
+    incr i
+  done;
+  if !i >= t.len then begin
+    t.scan <- t.len;
+    None
+  end
+  else begin
+    let line = Bytes.sub_string t.buf t.start (!i - t.start) in
+    t.start <- !i + 1;
+    t.scan <- t.start;
+    if t.start = t.len then begin
+      t.start <- 0;
+      t.len <- 0;
+      t.scan <- 0
+    end;
+    Some line
+  end
+
+let take_rest t : string option =
+  if t.len = t.start then None
+  else begin
+    let s = Bytes.sub_string t.buf t.start (t.len - t.start) in
+    t.start <- 0;
+    t.len <- 0;
+    t.scan <- 0;
+    Some s
+  end

@@ -1,0 +1,26 @@
+(** Incremental newline-delimited framing buffer: O(total bytes)
+    regardless of how input is chunked, replacing the O(n²)
+    [Buffer.contents]-per-line reader in the original serve loop.
+    Bytes go in via {!add}/{!add_string}; complete lines (without their
+    terminating ['\n']) come out via {!next}. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+(** Bytes buffered but not yet returned as lines. *)
+val pending : t -> int
+
+(** [add t chunk ofs n] appends [chunk.[ofs .. ofs+n-1]]. *)
+val add : t -> Bytes.t -> int -> int -> unit
+
+val add_string : t -> string -> unit
+
+(** Next complete line, consuming it; [None] when no ['\n'] is
+    buffered.  A partial line stays buffered (and stays scanned —
+    re-calling [next] does not rescan it). *)
+val next : t -> string option
+
+(** The unterminated tail, if any — for EOF handling, where a final
+    line without ['\n'] must still be served.  Empties the buffer. *)
+val take_rest : t -> string option

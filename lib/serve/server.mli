@@ -1,0 +1,53 @@
+(** Concurrent socket front-end for [acc serve]: many clients over a
+    Unix-domain socket (and optionally localhost TCP), newline-delimited
+    framing identical to stdin mode, all feeding one bounded in-flight
+    scheduler on a single-threaded [Unix.select] event loop.
+
+    Failure model (summary; DESIGN.md has the full contract):
+    - at most [max_inflight] requests queued/executing across all
+      connections; beyond that, requests are shed with the structured
+      line {!overloaded_response} — in request order, because shed
+      markers ride the same FIFO as real requests;
+    - when [shutting] flips, the loop closes its listeners, harvests
+      requests already sent by clients (one final fault-free read
+      sweep), answers everything queued, flushes, and returns;
+    - injected [Io_error] faults skip one read/write syscall and retry
+      next iteration (transient, never lossy); [Slow] delays accept. *)
+
+type config = {
+  socket_path : string option;
+  tcp_port : int option;  (** bound on 127.0.0.1 only *)
+  max_inflight : int;
+  backlog : int;
+  shutting : bool Atomic.t;  (** flipped by the CLI's signal handlers *)
+}
+
+type sched_stats = {
+  active_conns : int;  (** connections currently open *)
+  total_conns : int;  (** connections ever accepted *)
+  queued : int;  (** items waiting in the scheduler (incl. shed markers) *)
+  shed : int;  (** requests refused with {!overloaded_response} *)
+  drained : int;  (** requests completed during shutdown drain *)
+  net_io_faults : int;  (** injected socket I/O faults absorbed *)
+}
+
+type t
+
+(** The exact line sent for a shed request (without the trailing
+    newline).  Stable: ci and clients match on it byte-for-byte. *)
+val overloaded_response : string
+
+(** Bind and listen.  Unix path: a stale socket file left by a dead
+    server is replaced; any other existing file is an error.  TCP binds
+    loopback only. *)
+val create : config -> (t, string) result
+
+(** Event loop.  [handler] maps one trimmed, non-empty request line to
+    its one-line JSON response (no trailing newline) and MUST be total —
+    serve's handler answers malformed requests with an error object
+    rather than raising.  [on_shed] is invoked once per shed request so
+    the CLI can count it against its request/failure counters.  Returns
+    after a drain completes. *)
+val run : t -> handler:(string -> string) -> on_shed:(unit -> unit) -> unit
+
+val stats : t -> sched_stats

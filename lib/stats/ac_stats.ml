@@ -123,6 +123,11 @@ let render_table ~(header : string list) (rows : string list list) : string =
 let pct_smaller a b =
   if a = 0 then 0. else 100. *. (1. -. (float_of_int b /. float_of_int a))
 
+(* Throughput/latency ratio column for scaling tables ("1.00x",
+   "2.31x"); a non-positive baseline renders as "-" rather than inf. *)
+let speedup ~baseline v =
+  if baseline <= 0. then "-" else Printf.sprintf "%.2fx" (v /. baseline)
+
 (* The ladder column: how many functions ended at each certified level,
    bottom-up — "S/1/2/H/W".  A fully healthy word-abstracted unit reads
    0/0/0/0/n. *)

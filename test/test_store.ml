@@ -419,14 +419,14 @@ let test_serve_lint_diag_shape () =
   close_out oc;
   let req = Filename.temp_file "acc_serve_req" ".txt" in
   let oc = open_out req in
-  Printf.fprintf oc "lint %s\nfrobnicate %s\nlint %s\n" cfile cfile cfile;
+  Printf.fprintf oc "lint %s\nfrobnicate %s\nlint %s\nstatus\n" cfile cfile cfile;
   close_out oc;
   let code, out =
     run_acc (Printf.sprintf "serve --no-store < %s" (Filename.quote req))
   in
   Alcotest.(check int) "serve exits 0 at EOF" 0 code;
   let lines = String.split_on_char '\n' (String.trim out) in
-  Alcotest.(check int) "one response line per request" 3 (List.length lines);
+  Alcotest.(check int) "one response line per request" 4 (List.length lines);
   let first = List.nth lines 0 in
   let bad = List.nth lines 1 in
   let again = List.nth lines 2 in
@@ -446,6 +446,17 @@ let test_serve_lint_diag_shape () =
     ];
   Alcotest.(check bool) "bad request answers ok:false" true (has "\"ok\":false" bad);
   Alcotest.(check bool) "session survives a bad request" true (String.equal first again);
+  (* Counter invariants (documented next to [status_json] in bin/acc.ml):
+     [requests] counts every non-empty request line — the two lints, the
+     malformed "frobnicate", and the status probe itself — and
+     [failures] the ok:false subset, so failures <= requests.  The PR 8
+     regression: malformed lines used to bump failures only, letting a
+     status probe report failures > requests. *)
+  let status = List.nth lines 3 in
+  Alcotest.(check bool) "requests counts all four lines" true
+    (has "\"requests\":4" status);
+  Alcotest.(check bool) "failures counts only the malformed one" true
+    (has "\"failures\":1" status);
   Sys.remove cfile;
   Sys.remove req
 
@@ -685,6 +696,70 @@ let prop_write_truncation =
       (* And a full truncated-at-cut=len copy is just the honest entry. *)
       ok_prog && ok_doctor)
 
+(* ------------------------------------------------------------------ *)
+(* The lock-fd regression (PR 8 satellite): POSIX record locks are owned
+   by the process, and closing ANY fd on the lock file drops ALL of the
+   process's locks on it.  The old [Lock] opened a fresh fd per acquire
+   and closed it on release — so inside one serve process, a best-effort
+   writer's [with_lock] finishing would silently evaporate a strict
+   [acquire] that gc/doctor still held mid-scan.  The fix (refcounted
+   singleton handle, fd never closed) is only observable from OUTSIDE
+   the process, so the probe re-execs this test binary with
+   $ACC_LOCK_PROBE (see test/main.ml): it tries a non-blocking lock and
+   exits 0 if the parent holds it, 1 if nobody does.  (Not [Unix.fork]:
+   forking is forbidden once worker domains exist, and earlier tests
+   spawn them.) *)
+
+let probe_locked dir =
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let env =
+    Array.append (Unix.environment ())
+      [| "ACC_LOCK_PROBE=" ^ Filename.concat dir ".lock" |]
+  in
+  let pid =
+    Unix.create_process_env Sys.executable_name
+      [| Sys.executable_name |]
+      env null null null
+  in
+  Unix.close null;
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED c -> c = 0
+  | _ -> Alcotest.fail "lock probe child died abnormally"
+
+let test_lock_survives_same_process_release () =
+  let dir = fresh_dir () in
+  let module Lock = Ac_store.Lock in
+  (* gc/doctor's strict lock... *)
+  let strict =
+    match Lock.acquire ~timeout_s:2.0 ~dir () with
+    | Ok l -> l
+    | Error m -> Alcotest.fail m
+  in
+  Alcotest.(check bool) "strict acquire excludes other processes" true
+    (probe_locked dir);
+  (* ...then a writer's best-effort critical section in the SAME process.
+     Same-process callers share the refcounted handle (record locks were
+     always re-entrant within a process), so the writer sees locked:true
+     instantly rather than timing out against itself. *)
+  Lock.with_lock ~timeout_s:0.2 ~dir (fun ~locked ->
+      Alcotest.(check bool) "same-process writer shares the lock" true locked);
+  (* THE regression: before the fix, with_lock's release closed its fd
+     and the kernel dropped the strict lock with it. *)
+  Alcotest.(check bool) "strict lock survives a same-process with_lock cycle" true
+    (probe_locked dir);
+  Lock.release strict;
+  Alcotest.(check bool) "last release actually unlocks" false (probe_locked dir);
+  (* Double release is inert — it must not decrement someone else's
+     refcount. *)
+  Lock.release strict;
+  let again =
+    match Lock.acquire ~timeout_s:2.0 ~dir () with
+    | Ok l -> l
+    | Error m -> Alcotest.fail m
+  in
+  Alcotest.(check bool) "lock is reacquirable after release" true (probe_locked dir);
+  Lock.release again
+
 let suite =
   [
     Alcotest.test_case "warm = cold across the corpus" `Quick test_corpus_roundtrip;
@@ -708,4 +783,6 @@ let suite =
     Alcotest.test_case "two processes hammering one store agree" `Quick
       test_two_process_contention;
     QCheck_alcotest.to_alcotest prop_write_truncation;
+    Alcotest.test_case "strict lock survives same-process with_lock (fd-drop fix)"
+      `Quick test_lock_survives_same_process_release;
   ]
