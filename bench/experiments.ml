@@ -1559,6 +1559,151 @@ let net () =
       (Printf.sprintf "net: 4-client throughput %.1f req/s not >= 1.2x 1-client %.1f"
          r4 r1)
 
+(* ------------------------------------------------------------------ *)
+(* PR 9: tracing overhead.  Two bounds back the "zero-cost when off"
+   claim in lib/obs:
+
+   - OFF: an instrumentation site costs one atomic load.  Measured
+     directly (10M gated no-op spans), then scaled by the number of
+     spans a full-corpus translate actually records — that projected
+     cost must be <= 1% of the untraced run.  (The projection is the
+     honest measurement: the real delta is far below timer noise.)
+   - ON: full-corpus translate with tracing enabled vs disabled, paired
+     within each round, median per-round ratio <= 1.05.
+
+   And the invisibility floor: the traced runs' results are
+   fingerprint-identical to the untraced runs'.
+
+   Results go to BENCH_pr9.json in the working directory. *)
+
+let obs () =
+  header "Obs: tracing overhead (PR 9)";
+  let module Obs = Ac_obs.Obs in
+  (* Fixed GC geometry (restored on exit), as in the store/interproc
+     experiments: sub-5% wall-clock comparisons drift more than that
+     between identical processes under the default geometry. *)
+  let gc0 = Gc.get () in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ();
+      Gc.set gc0)
+  @@ fun () ->
+  Gc.set { gc0 with Gc.minor_heap_size = 1 lsl 22; Gc.space_overhead = 200 };
+  let options = { Driver.default_options with Driver.keep_going = true } in
+  let corpus = Csources.all in
+  let translate_corpus () =
+    List.iter (fun (_, src) -> ignore (Driver.run ~options src)) corpus
+  in
+  let fingerprint () =
+    let b = Buffer.create 4096 in
+    List.iter
+      (fun (name, src) ->
+        let res = Driver.run ~options src in
+        Buffer.add_string b name;
+        List.iter
+          (fun fr ->
+            Buffer.add_string b fr.Driver.fr_name;
+            Buffer.add_string b (Driver.level_name (Driver.level_of fr));
+            Buffer.add_string b (Mprint.func_to_string fr.Driver.fr_final))
+          res.Driver.funcs;
+        List.iter (fun d -> Buffer.add_string b d.Driver.dg_name) res.Driver.degraded;
+        Buffer.add_string b (string_of_int res.Driver.budget_hits))
+      corpus;
+    Buffer.contents b
+  in
+  let median l =
+    let sorted = List.sort compare l in
+    List.nth sorted (List.length l / 2)
+  in
+  (* Invisibility: the traced corpus results match the untraced ones. *)
+  Obs.set_enabled false;
+  let fp_off = fingerprint () in
+  Obs.reset ();
+  Obs.set_enabled true;
+  let fp_on = fingerprint () in
+  let events_per_run = List.length (Obs.harvest ()) / List.length corpus in
+  Obs.reset ();
+  Obs.set_enabled false;
+  let divergence = not (String.equal fp_off fp_on) in
+  (* Paired rounds: disabled then enabled inside each round, per-round
+     ratio, median across rounds. *)
+  let rounds = 7 in
+  let time f =
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let pairs =
+    List.init rounds (fun _ ->
+        Obs.set_enabled false;
+        let off_s = time translate_corpus in
+        Obs.reset ();
+        Obs.set_enabled true;
+        let on_s = time translate_corpus in
+        Obs.set_enabled false;
+        Obs.reset ();
+        (off_s, on_s))
+  in
+  let off_s = median (List.map fst pairs) in
+  let on_s = median (List.map snd pairs) in
+  let ratio = median (List.map (fun (o, n) -> n /. o) pairs) in
+  (* The off-path gate: 10M no-op spans with tracing disabled.  Each is
+     the full instrumentation-site cost (atomic load, branch, call). *)
+  let gate_ns =
+    let n = 10_000_000 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      ignore (Sys.opaque_identity (Obs.span ~cat:"bench" "gate" (fun () -> 0)))
+    done;
+    1e9 *. (Unix.gettimeofday () -. t0) /. float_of_int n
+  in
+  (* A span is a B/E pair; instants count as one site each.  Charging
+     every event one gate check over-counts, which is the safe side. *)
+  let sites_per_run = events_per_run in
+  let off_overhead_pct =
+    let per_run_s = float_of_int sites_per_run *. gate_ns *. 1e-9 in
+    100. *. per_run_s /. (off_s /. float_of_int (List.length corpus))
+  in
+  let on_overhead_pct = 100. *. (ratio -. 1.) in
+  print_string
+    (Ac_stats.render_table
+       ~header:[ "Config"; "Corpus translate (s)"; "Overhead" ]
+       [
+         [ "tracing off"; Printf.sprintf "%.4f" off_s; "baseline" ];
+         [ "tracing on"; Printf.sprintf "%.4f" on_s;
+           Printf.sprintf "%.2f%%" on_overhead_pct ];
+       ]);
+  Printf.printf
+    "\ngate: %.1fns per disabled site, %d events per translated file;\n\
+     projected off-path overhead %.4f%% (floor: <= 1%%);\n\
+     enabled overhead %.2f%% (floor: <= 5%%); divergence: %s.\n"
+    gate_ns events_per_run off_overhead_pct on_overhead_pct
+    (if divergence then "DIVERGED" else "none");
+  let json =
+    Printf.sprintf
+      "{\"experiment\":\"obs\",\"rounds\":%d,\"corpus_files\":%d,\n\
+       \ \"off_s\":%.6f,\"on_s\":%.6f,\"ratio\":%.4f,\n\
+       \ \"enabled_overhead_pct\":%.2f,\"gate_ns\":%.2f,\n\
+       \ \"events_per_file\":%d,\"disabled_overhead_pct\":%.4f,\n\
+       \ \"divergence\":%b}\n"
+      rounds (List.length corpus) off_s on_s ratio on_overhead_pct gate_ns
+      events_per_run off_overhead_pct divergence
+  in
+  let out = open_out "BENCH_pr9.json" in
+  output_string out json;
+  close_out out;
+  print_endline "wrote BENCH_pr9.json";
+  if divergence then failwith "obs: traced results diverged from untraced";
+  if off_overhead_pct > 1.0 then
+    failwith
+      (Printf.sprintf "obs: disabled overhead %.4f%% above the 1%% bound"
+         off_overhead_pct);
+  if ratio > 1.05 then
+    failwith
+      (Printf.sprintf "obs: enabled/disabled ratio %.4f above the 1.05 bound" ratio)
+
 let all : (string * (unit -> unit)) list =
   [
     ("fig1", fig1); ("fig2", fig2); ("table1", table1); ("table2", table2);
@@ -1567,5 +1712,5 @@ let all : (string * (unit -> unit)) list =
     ("fig8", fig8); ("table5", table5); ("table6", table6); ("memset", memset);
     ("custom_rule", custom_rule); ("ablation", ablation); ("analysis", analysis);
     ("robustness", robustness); ("perf", perf); ("store", store);
-    ("interproc", interproc); ("faults", faults); ("net", net);
+    ("interproc", interproc); ("faults", faults); ("net", net); ("obs", obs);
   ]

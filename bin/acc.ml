@@ -29,6 +29,8 @@ module Pool = Autocorres.Pool
 module Supervisor = Autocorres.Supervisor
 module Faults = Autocorres.Faults
 module Store = Ac_store.Store
+module Obs = Ac_obs.Obs
+module Metrics = Ac_obs.Metrics
 
 (* Monotonic wall clock for serve's watchdog: must not jump when the
    system clock is stepped.  Shared with [Supervisor.timed] and the
@@ -96,6 +98,12 @@ let options_of ?(no_discharge = false) ?(no_interproc = false) ?(keep_going = fa
 let file_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"C source file")
 
+(* translate accepts several files (one run each, same options/store) so
+   a whole corpus can be traced into one file: `acc translate --trace
+   t.json corpus/*.c`.  With a single file the behaviour is unchanged. *)
+let files_arg =
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE" ~doc:"C source file(s)")
+
 (* ------------------------------------------------------------------ *)
 (* The persistent proof store (--store DIR / $ACC_STORE / --no-store). *)
 
@@ -132,6 +140,53 @@ let store_of ~store_dir ~no_store : Store.t option =
     match Store.open_ ~dir:d () with
     | Ok st -> Some st
     | Error m -> raise (Diag.Error (Diag.make ~severity:Diag.Error Diag.Store m)))
+
+(* ------------------------------------------------------------------ *)
+(* Tracing (--trace FILE on translate/check/analyze/serve, `acc trace`).
+
+   Tracing is observation only: enabling it changes no output byte —
+   the CLI/serve tests and ci.sh byte-compare traced vs untraced runs.
+   The trace file is written from [at_exit] because subcommands exit
+   directly (e.g. translate exits 1 on degraded functions) and the trace
+   must cover those paths too. *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a structured trace of the run (per-function pipeline phases, \
+           pool/supervisor events, store I/O, serve request lifecycle) and \
+           write it to $(docv) on exit.  Chrome trace_event JSON by default \
+           (open in about:tracing or Perfetto); see --trace-format.  Output \
+           bytes are identical with or without tracing.")
+
+let trace_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("chrome", `Chrome); ("jsonl", `Jsonl) ]) `Chrome
+    & info [ "trace-format" ] ~docv:"FMT"
+        ~doc:"Trace file format: $(b,chrome) (trace_event JSON) or $(b,jsonl) \
+              (one event object per line, for streaming consumers)")
+
+let write_trace ~format path =
+  let evs = Obs.harvest () in
+  let s = match format with `Chrome -> Obs.to_chrome evs | `Jsonl -> Obs.to_jsonl evs in
+  match
+    let oc = open_out path in
+    output_string oc s;
+    close_out oc
+  with
+  | () -> ()
+  | exception Sys_error m -> Printf.eprintf "acc: cannot write trace: %s\n%!" m
+
+let setup_trace trace format =
+  match trace with
+  | None -> ()
+  | Some path ->
+    Obs.set_enabled true;
+    at_exit (fun () -> write_trace ~format path)
 
 let no_heap =
   Arg.(value & flag & info [ "no-heap-abs" ] ~doc:"Disable heap abstraction (Sec 4)")
@@ -311,41 +366,48 @@ let result_json ~file (res : Driver.result) : string =
     res.Driver.quarantined res.Driver.restarts
     (Diag.list_to_json res.Driver.diags)
 
-let translate file no_heap no_word no_discharge no_interproc keep_low stage func_filter
-    keep_going diag_json budgets jobs store_dir no_store =
-  let source = read_file file in
+let translate files no_heap no_word no_discharge no_interproc keep_low stage func_filter
+    keep_going diag_json budgets jobs store_dir no_store trace trace_format =
+  setup_trace trace trace_format;
   let options =
     options_of ~no_discharge ~no_interproc ~keep_going ~budgets ~jobs ~no_heap ~no_word
       ~keep_low ()
   in
   let store = store_of ~store_dir ~no_store in
-  let res = run_frontend ?store ~file ~options source in
-  if diag_json then print_endline (result_json ~file res)
-  else begin
-    with_funcs res func_filter (fun fr ->
-        (match stage with
-        | `Simpl -> print_endline (Ac_simpl.Print.func_to_string fr.Driver.fr_simpl)
-        | `L1 -> print_endline (Ac_monad.Mprint.func_to_string fr.Driver.fr_l1)
-        | `L2 -> print_endline (Ac_monad.Mprint.func_to_string fr.Driver.fr_l2)
-        | `Final -> print_endline (Ac_monad.Mprint.func_to_string fr.Driver.fr_final));
+  let any_degraded = ref false in
+  List.iter
+    (fun file ->
+      let source = read_file file in
+      let res = run_frontend ?store ~file ~options source in
+      if diag_json then print_endline (result_json ~file res)
+      else begin
+        with_funcs res func_filter (fun fr ->
+            (match stage with
+            | `Simpl -> print_endline (Ac_simpl.Print.func_to_string fr.Driver.fr_simpl)
+            | `L1 -> print_endline (Ac_monad.Mprint.func_to_string fr.Driver.fr_l1)
+            | `L2 -> print_endline (Ac_monad.Mprint.func_to_string fr.Driver.fr_l2)
+            | `Final -> print_endline (Ac_monad.Mprint.func_to_string fr.Driver.fr_final));
+            List.iter
+              (fun (phase, why) -> Printf.printf "  (%s skipped: %s)\n" phase why)
+              fr.Driver.fr_skipped);
         List.iter
-          (fun (phase, why) -> Printf.printf "  (%s skipped: %s)\n" phase why)
-          fr.Driver.fr_skipped);
-    List.iter
-      (fun (d : Driver.degraded) ->
-        match func_filter with
-        | Some name when name <> d.Driver.dg_name -> ()
-        | _ ->
-          Printf.printf "/* %s: degraded to %s */\n" d.Driver.dg_name
-            (Driver.level_name (Driver.degraded_level d)))
-      res.Driver.degraded;
-    (* Diagnostics go to stderr, compiler-style. *)
-    List.iter (fun d -> prerr_endline (Diag.to_string ~file d)) res.Driver.diags
-  end;
-  if res.Driver.degraded <> [] then exit 1
+          (fun (d : Driver.degraded) ->
+            match func_filter with
+            | Some name when name <> d.Driver.dg_name -> ()
+            | _ ->
+              Printf.printf "/* %s: degraded to %s */\n" d.Driver.dg_name
+                (Driver.level_name (Driver.degraded_level d)))
+          res.Driver.degraded;
+        (* Diagnostics go to stderr, compiler-style. *)
+        List.iter (fun d -> prerr_endline (Diag.to_string ~file d)) res.Driver.diags
+      end;
+      if res.Driver.degraded <> [] then any_degraded := true)
+    files;
+  if !any_degraded then exit 1
 
 let check file no_heap no_word no_discharge no_interproc keep_low keep_going budgets
-    cases jobs uncached store_dir no_store =
+    cases jobs uncached store_dir no_store trace trace_format =
+  setup_trace trace trace_format;
   let source = read_file file in
   let options =
     options_of ~no_discharge ~no_interproc ~keep_going ~budgets ~jobs ~no_heap ~no_word
@@ -496,7 +558,8 @@ let lint file no_heap no_word no_interproc keep_low jobs store_dir no_store =
    keeps).  Exit 0 when nothing was refuted, 1 on refuted findings,
    2 on input/internal errors. *)
 let analyze file no_heap no_word no_interproc keep_low budgets jobs json store_dir
-    no_store =
+    no_store trace trace_format =
+  setup_trace trace trace_format;
   let source = read_file file in
   let options =
     options_of ~no_interproc ~keep_going:true ~budgets ~jobs ~no_heap ~no_word ~keep_low
@@ -601,10 +664,11 @@ let analyze file no_heap no_word no_interproc keep_low budgets jobs json store_d
    byte-identical whichever transport carried it.  `--connect PATH`
    turns the binary into a pipelining line client for shell scripts. *)
 let serve jobs request_timeout inject store_dir no_store socket_path tcp_port
-    max_inflight connect_path =
+    max_inflight connect_path trace trace_format =
   (match connect_path with
   | Some path -> exit (Ac_serve.Client.run ~path)
   | None -> ());
+  setup_trace trace trace_format;
   let jobs = max 1 jobs in
   (match inject with
   | None -> ()
@@ -632,10 +696,21 @@ let serve jobs request_timeout inject store_dir no_store socket_path tcp_port
       ~keep_low:[] ()
   in
   let started = mono_s () in
-  let requests = ref 0 in
-  let failures = ref 0 in
-  let degraded_total = ref 0 in
-  let over_deadline = ref 0 in
+  (* Session counters live in the metrics registry (one source of truth
+     for `status`, the `metrics` verb and any future exporter) instead
+     of ad-hoc refs.  An increment is one atomic op, so these stay on
+     even when tracing is off. *)
+  let m_requests = Metrics.counter "serve.requests" in
+  let m_failures = Metrics.counter "serve.failures" in
+  let m_degraded = Metrics.counter "serve.degraded" in
+  let m_over_deadline = Metrics.counter "serve.requests_over_deadline" in
+  let m_shed = Metrics.counter "serve.shed" in
+  let m_store_hits = Metrics.counter "serve.store_hits" in
+  let m_store_misses = Metrics.counter "serve.store_misses" in
+  let m_retries = Metrics.counter "serve.retries" in
+  let m_quarantined = Metrics.counter "serve.quarantined" in
+  let m_restarts = Metrics.counter "serve.worker_restarts" in
+  let h_latency = Metrics.histogram "serve.request_latency_s" in
   (* Graceful shutdown: the handler only flips a flag (async-signal-safe);
      the main loop finishes the in-flight request, flushes, and exits.
      A signal while blocked in [Unix.read] surfaces as EINTR, so the
@@ -653,7 +728,7 @@ let serve jobs request_timeout inject store_dir no_store socket_path tcp_port
     flush stdout
   in
   let err_json msg =
-    incr failures;
+    Metrics.incr m_failures;
     Printf.sprintf "{\"ok\":false,\"error\":\"%s\"}" (Diag.json_escape msg)
   in
   (* Set in socket mode so `status` can report the scheduler. *)
@@ -682,16 +757,30 @@ let serve jobs request_timeout inject store_dir no_store socket_path tcp_port
           n.Ac_serve.Server.queued n.Ac_serve.Server.shed
           n.Ac_serve.Server.drained n.Ac_serve.Server.net_io_faults
     in
+    (* Request-latency percentiles from the histogram, in ms.  Appended
+       AFTER every pre-existing field (including the conditional socket
+       [sched] block) so PR 7/8 consumers parsing a status prefix keep
+       working; precision is one log bucket (~19%). *)
+    let lat =
+      Printf.sprintf ",\"latency_ms\":{\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f}"
+        (1000. *. Metrics.quantile h_latency 0.50)
+        (1000. *. Metrics.quantile h_latency 0.95)
+        (1000. *. Metrics.quantile h_latency 0.99)
+    in
     Printf.sprintf
-      "{\"ok\":true,\"cmd\":\"status\",\"uptime_s\":%.3f,\"requests\":%d,\"failures\":%d,\"degraded\":%d,\"retries\":%d,\"quarantined\":%d,\"worker_restarts\":%d,\"worker_crashes\":%d,\"deadline_blown\":%d,\"requests_over_deadline\":%d,\"store\":{\"hits\":%d,\"misses\":%d},\"faults_active\":%b,\"shutting_down\":%b%s}"
-      (mono_s () -. started) !requests !failures !degraded_total
+      "{\"ok\":true,\"cmd\":\"status\",\"uptime_s\":%.3f,\"requests\":%d,\"failures\":%d,\"degraded\":%d,\"retries\":%d,\"quarantined\":%d,\"worker_restarts\":%d,\"worker_crashes\":%d,\"deadline_blown\":%d,\"requests_over_deadline\":%d,\"store\":{\"hits\":%d,\"misses\":%d},\"faults_active\":%b,\"shutting_down\":%b%s%s}"
+      (mono_s () -. started)
+      (Metrics.counter_value m_requests)
+      (Metrics.counter_value m_failures)
+      (Metrics.counter_value m_degraded)
       s.Supervisor.retries s.Supervisor.quarantined s.Supervisor.restarts
-      s.Supervisor.crashes s.Supervisor.deadline_blown !over_deadline
+      s.Supervisor.crashes s.Supervisor.deadline_blown
+      (Metrics.counter_value m_over_deadline)
       (match store with Some st -> Store.hits st | None -> 0)
       (match store with Some st -> Store.misses st | None -> 0)
       (Faults.active () <> None)
       (Atomic.get shutting)
-      sched
+      sched lat
   in
   let read_source file =
     let ic = open_in_bin file in
@@ -705,9 +794,16 @@ let serve jobs request_timeout inject store_dir no_store socket_path tcp_port
      "ok":false response — because in socket mode a raise would tear
      down the event loop under every other client. *)
   let handle_line line : string =
-    incr requests;
-    match
+    Metrics.incr m_requests;
+    let t0 = mono_s () in
+    let body () =
+      match
       if line = "status" then status_json ()
+      else if line = "metrics" then
+        (* The whole registry: session counters plus the latency
+           histogram (count/mean/p50/p95/p99). *)
+        Printf.sprintf "{\"ok\":true,\"cmd\":\"metrics\",\"metrics\":%s}"
+          (Metrics.to_json ())
       else begin
         match String.index_opt line ' ' with
         | None ->
@@ -728,9 +824,16 @@ let serve jobs request_timeout inject store_dir no_store socket_path tcp_port
                bound the engines from inside, this counts requests that
                still overran (e.g. many functions each under budget). *)
             (match request_timeout with
-            | Some t when mono_s () -. t0 > t -> incr over_deadline
+            | Some t when mono_s () -. t0 > t -> Metrics.incr m_over_deadline
             | _ -> ());
-            degraded_total := !degraded_total + List.length res.Driver.degraded;
+            Metrics.add m_degraded (List.length res.Driver.degraded);
+            (* Per-request store/supervision activity, via the counters the
+               driver already aggregates for this run. *)
+            Metrics.add m_store_hits res.Driver.store_hits;
+            Metrics.add m_store_misses res.Driver.store_misses;
+            Metrics.add m_retries res.Driver.retries;
+            Metrics.add m_quarantined res.Driver.quarantined;
+            Metrics.add m_restarts res.Driver.restarts;
             res
           in
           match cmd with
@@ -770,13 +873,25 @@ let serve jobs request_timeout inject store_dir no_store socket_path tcp_port
                  (List.map (diag_of_finding ~severity:Diag.Warning) findings))
           | other -> err_json (Printf.sprintf "unknown command %S" other))
       end
-    with
-    | resp -> resp
-    (* One failing request (missing file, parse error, even an internal
-       error) answers with ok:false and the session continues. *)
-    | exception Diag.Error d -> err_json (Diag.to_string d)
-    | exception Sys_error m -> err_json m
-    | exception e -> err_json (Diag.message_of_exn e)
+      with
+      | resp -> resp
+      (* One failing request (missing file, parse error, even an internal
+         error) answers with ok:false and the session continues. *)
+      | exception Diag.Error d -> err_json (Diag.to_string d)
+      | exception Sys_error m -> err_json m
+      | exception e -> err_json (Diag.message_of_exn e)
+    in
+    let resp =
+      if Obs.enabled () then
+        (* Trace id: the request ordinal, attached to every event this
+           request records (driver phases included) via the domain-local
+           context. *)
+        let rid = Printf.sprintf "req-%d" (Metrics.counter_value m_requests) in
+        Obs.with_ctx rid (fun () -> Obs.span ~cat:"serve" "serve.request" body)
+      else body ()
+    in
+    Metrics.observe h_latency (mono_s () -. t0);
+    resp
   in
   (* Stdin mode.  The line reader sits on [Unix.read] rather than
      [input_line]: OCaml channels retry EINTR internally, so a SIGTERM
@@ -845,8 +960,9 @@ let serve jobs request_timeout inject store_dir no_store socket_path tcp_port
          got a response line, just not the one it wanted. *)
       Ac_serve.Server.run srv ~handler:handle_line
         ~on_shed:(fun () ->
-          incr requests;
-          incr failures)));
+          Metrics.incr m_requests;
+          Metrics.incr m_failures;
+          Metrics.incr m_shed)));
   (* Flush everything on the way out so the final response line is
      complete even under a signal-driven shutdown; store counters are
      in-memory only, entries were already published atomically. *)
@@ -886,6 +1002,159 @@ let cache action store_dir max_entries grace purge =
         r.Store.dr_tmp_quarantined r.Store.dr_quarantine_files
         (if purge then Printf.sprintf " (purged %d)" r.Store.dr_purged else ""))
 
+(* ------------------------------------------------------------------ *)
+(* `acc trace`: run a traced translation over one or more files and write
+   the merged trace, or validate an existing trace file
+   (`--validate TRACE`).  The validator is deliberately self-contained —
+   it checks the structural invariants a trace viewer relies on
+   (balanced B/E per thread, monotone timestamps, integer pid/tid) over
+   the one-event-per-line format this binary emits, so ci.sh needs no
+   external JSON tooling. *)
+
+let find_sub (s : string) (pat : string) : int option =
+  let n = String.length s and m = String.length pat in
+  let rec go i =
+    if i + m > n then None else if String.sub s i m = pat then Some i else go (i + 1)
+  in
+  go 0
+
+(* Raw value text after ["key":], up to the next [,}] — fields this
+   binary emits in fixed order ahead of the free-form [args] object, so
+   the first match is the real field. *)
+let field_raw line key =
+  match find_sub line (Printf.sprintf "\"%s\":" key) with
+  | None -> None
+  | Some i ->
+    let start = i + String.length key + 3 in
+    let rec stop j =
+      if j >= String.length line then j
+      else match line.[j] with ',' | '}' -> j | _ -> stop (j + 1)
+    in
+    Some (String.sub line start (stop start - start))
+
+let field_str line key =
+  match field_raw line key with
+  | Some v
+    when String.length v >= 2 && v.[0] = '"' && v.[String.length v - 1] = '"' ->
+    Some (String.sub v 1 (String.length v - 2))
+  | _ -> None
+
+let validate_trace path =
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        prerr_endline ("acc trace: invalid trace: " ^ m);
+        exit 1)
+      fmt
+  in
+  let lines = String.split_on_char '\n' (read_file path) in
+  let is_event l =
+    String.length l > 7 && String.sub l 0 8 = "{\"name\":"
+  in
+  let events = List.filter is_event lines in
+  if events = [] then fail "no events in %s" path;
+  (* Per-tid span stack (B pushes, E must match the top) and last
+     timestamp (must be monotone per tid — events within a tid are in
+     buffer order). *)
+  let stacks : (int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+  let last_ts : (int, float ref) Hashtbl.t = Hashtbl.create 8 in
+  let tids = Hashtbl.create 8 in
+  List.iteri
+    (fun i line ->
+      let ln = i + 1 in
+      let name =
+        match field_str line "name" with
+        | Some n -> n
+        | None -> fail "line %d: missing name" ln
+      in
+      let ph =
+        match field_str line "ph" with
+        | Some p -> p
+        | None -> fail "line %d: missing ph" ln
+      in
+      let int_field key =
+        match field_raw line key with
+        | Some v -> (
+          match int_of_string_opt v with
+          | Some n when n >= 0 -> n
+          | _ -> fail "line %d: bad %s %S" ln key v)
+        | None -> fail "line %d: missing %s" ln key
+      in
+      let pid = int_field "pid" in
+      ignore pid;
+      let tid = int_field "tid" in
+      Hashtbl.replace tids tid ();
+      let ts =
+        match Option.bind (field_raw line "ts") float_of_string_opt with
+        | Some t when t >= 0. && Float.is_finite t -> t
+        | _ -> fail "line %d: bad ts" ln
+      in
+      (match Hashtbl.find_opt last_ts tid with
+      | Some r ->
+        if ts < !r then fail "line %d: ts not monotone on tid %d" ln tid;
+        r := ts
+      | None -> Hashtbl.add last_ts tid (ref ts));
+      let stack =
+        match Hashtbl.find_opt stacks tid with
+        | Some s -> s
+        | None ->
+          let s = ref [] in
+          Hashtbl.add stacks tid s;
+          s
+      in
+      match ph with
+      | "B" -> stack := name :: !stack
+      | "E" -> (
+        match !stack with
+        | top :: rest ->
+          if top <> name then
+            fail "line %d: E %S does not match open span %S on tid %d" ln name top tid;
+          stack := rest
+        | [] -> fail "line %d: E %S with no open span on tid %d" ln name tid)
+      | "i" | "I" -> ()
+      | "X" -> (
+        match Option.bind (field_raw line "dur") float_of_string_opt with
+        | Some d when d >= 0. && Float.is_finite d -> ()
+        | _ -> fail "line %d: X event with bad dur" ln)
+      | other -> fail "line %d: unknown ph %S" ln other)
+    events;
+  Hashtbl.iter
+    (fun tid s ->
+      match !s with
+      | [] -> ()
+      | top :: _ -> fail "unbalanced trace: span %S still open on tid %d" top tid)
+    stacks;
+  Printf.printf "%s: OK: %d events, %d threads\n" path (List.length events)
+    (Hashtbl.length tids)
+
+let trace_run files out format jobs validate =
+  match validate with
+  | Some tpath -> validate_trace tpath
+  | None ->
+    if files = [] then
+      usage_error "acc trace: no input files (or use --validate TRACE)";
+    let out =
+      match out with
+      | Some o -> o
+      | None -> usage_error "acc trace: --out FILE required"
+    in
+    Obs.set_enabled true;
+    let options =
+      options_of ~keep_going:true ~jobs ~no_heap:false ~no_word:false ~keep_low:[] ()
+    in
+    let funcs = ref 0 in
+    List.iter
+      (fun file ->
+        let source = read_file file in
+        Obs.with_ctx (Filename.basename file) @@ fun () ->
+        let res = run_frontend ~file ~options source in
+        funcs := !funcs + List.length res.Driver.funcs)
+      files;
+    let evs = Obs.harvest () in
+    write_trace ~format out;
+    Printf.printf "trace: %d file(s), %d function(s), %d event(s) -> %s\n"
+      (List.length files) !funcs (List.length evs) out
+
 (* Wrap a fully-applied command body in [protect], keeping cmdliner's
    n-ary term application readable. *)
 let protected term = Term.(const protect $ term $ const ())
@@ -895,11 +1164,11 @@ let translate_cmd =
     (Cmd.info "translate" ~doc:"Abstract a C file and print the result")
     (protected
        Term.(
-         const (fun a b c d e f g h i j k l m n () ->
-             translate a b c d e f g h i j k l m n)
-         $ file_arg $ no_heap $ no_word $ no_discharge $ no_interproc $ keep_low $ stage
+         const (fun a b c d e f g h i j k l m n o p () ->
+             translate a b c d e f g h i j k l m n o p)
+         $ files_arg $ no_heap $ no_word $ no_discharge $ no_interproc $ keep_low $ stage
          $ func_filter $ keep_going $ diag_json $ budgets_term $ jobs $ store_dir_arg
-         $ no_store_arg))
+         $ no_store_arg $ trace_arg $ trace_format_arg))
 
 let check_cmd =
   let cases =
@@ -918,10 +1187,11 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Re-validate derivations and differential-test the abstraction")
     (protected
        Term.(
-         const (fun a b c d e f g h i j k l m () -> check a b c d e f g h i j k l m)
+         const (fun a b c d e f g h i j k l m n o () ->
+             check a b c d e f g h i j k l m n o)
          $ file_arg $ no_heap $ no_word $ no_discharge $ no_interproc $ keep_low
          $ keep_going $ budgets_term $ cases $ jobs $ uncached $ store_dir_arg
-         $ no_store_arg))
+         $ no_store_arg $ trace_arg $ trace_format_arg))
 
 let stats_cmd =
   let profile =
@@ -973,9 +1243,9 @@ let analyze_cmd =
           nothing is refuted, 1 on refuted findings, 2 on input errors.")
     (protected
        Term.(
-         const (fun a b c d e f g h i j () -> analyze a b c d e f g h i j)
+         const (fun a b c d e f g h i j k l () -> analyze a b c d e f g h i j k l)
          $ file_arg $ no_heap $ no_word $ no_interproc $ keep_low $ budgets_term $ jobs
-         $ json $ store_dir_arg $ no_store_arg))
+         $ json $ store_dir_arg $ no_store_arg $ trace_arg $ trace_format_arg))
 
 let serve_cmd =
   let request_timeout =
@@ -1052,9 +1322,42 @@ let serve_cmd =
           across all connections and exit 0.")
     (protected
        Term.(
-         const (fun a b c d e f g h i () -> serve a b c d e f g h i)
+         const (fun a b c d e f g h i j k () -> serve a b c d e f g h i j k)
          $ jobs $ request_timeout $ inject $ store_dir_arg $ no_store_arg
-         $ socket_arg $ tcp_arg $ max_inflight_arg $ connect_arg))
+         $ socket_arg $ tcp_arg $ max_inflight_arg $ connect_arg $ trace_arg
+         $ trace_format_arg))
+
+let trace_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Where to write the merged trace")
+  in
+  let validate_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "validate" ] ~docv:"TRACE"
+          ~doc:
+            "Instead of running anything, check that $(docv) is a well-formed \
+             trace: every begin has a matching end on its thread, timestamps \
+             are monotone per thread, pids/tids are valid.  Exit 0 when OK, 1 \
+             otherwise.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a traced translation over FILE(s) and write the merged trace \
+          (Chrome trace_event JSON for about:tracing/Perfetto, or JSONL), or \
+          validate an existing trace with --validate.  Equivalent to `acc \
+          translate --trace` but quiet: it prints a one-line summary instead \
+          of the translated program.")
+    (protected
+       Term.(
+         const (fun a b c d e () -> trace_run a b c d e)
+         $ Arg.(value & pos_all string [] & info [] ~docv:"FILE" ~doc:"C source file(s)")
+         $ out_arg $ trace_format_arg $ jobs $ validate_arg))
 
 let cache_cmd =
   let action =
@@ -1117,4 +1420,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ translate_cmd; check_cmd; stats_cmd; lint_cmd; analyze_cmd; serve_cmd;
-            cache_cmd ]))
+            trace_cmd; cache_cmd ]))

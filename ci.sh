@@ -373,4 +373,58 @@ dune exec bench/main.exe -- faults > /dev/null
 echo "== net bench (multi-client socket throughput; asserts scaling + zero divergence; writes BENCH_pr8.json) =="
 dune exec bench/main.exe -- net > /dev/null
 
+echo "== obs: tracing is byte-invisible and traces validate =="
+OBS_DIR=$(mktemp -d)
+# Traced vs untraced corpus translate: stdout and stderr byte-identical,
+# and the emitted trace passes the validator (balanced B/E per thread,
+# monotone timestamps, valid pids/tids).
+# shellcheck disable=SC2086
+"$ACC" translate --keep-going --no-store corpus/*.c \
+  > "$OBS_DIR/t.plain" 2> "$OBS_DIR/t.plain.err"
+# shellcheck disable=SC2086
+"$ACC" translate --keep-going --no-store --trace "$OBS_DIR/t.json" corpus/*.c \
+  > "$OBS_DIR/t.traced" 2> "$OBS_DIR/t.traced.err"
+if ! cmp -s "$OBS_DIR/t.plain" "$OBS_DIR/t.traced"; then
+  echo "FAIL: --trace changed translate stdout" >&2
+  exit 1
+fi
+if ! cmp -s "$OBS_DIR/t.plain.err" "$OBS_DIR/t.traced.err"; then
+  echo "FAIL: --trace changed translate stderr" >&2
+  exit 1
+fi
+"$ACC" trace --validate "$OBS_DIR/t.json"
+# The dedicated trace driver, in both formats.
+# shellcheck disable=SC2086
+"$ACC" trace -o "$OBS_DIR/d.json" corpus/*.c > /dev/null
+"$ACC" trace --validate "$OBS_DIR/d.json"
+# shellcheck disable=SC2086
+"$ACC" trace -o "$OBS_DIR/d.jsonl" --trace-format jsonl corpus/*.c > /dev/null
+echo "ok: traced translate byte-identical; traces validate"
+
+echo "== obs: traced serve session is byte-identical =="
+# A 72-request serve session (translate + lint over the corpus, twice):
+# traced responses byte-identical to untraced, and the serve trace
+# (request lifecycle spans) validates.
+: > "$OBS_DIR/serve.req"
+for pass in 1 2; do
+  for f in corpus/*.c; do
+    echo "translate $f" >> "$OBS_DIR/serve.req"
+    echo "lint $f" >> "$OBS_DIR/serve.req"
+  done
+done
+"$ACC" serve --no-store < "$OBS_DIR/serve.req" > "$OBS_DIR/serve.plain"
+"$ACC" serve --no-store --trace "$OBS_DIR/serve.json" < "$OBS_DIR/serve.req" \
+  > "$OBS_DIR/serve.traced"
+if ! cmp -s "$OBS_DIR/serve.plain" "$OBS_DIR/serve.traced"; then
+  echo "FAIL: --trace changed serve responses" >&2
+  exit 1
+fi
+"$ACC" trace --validate "$OBS_DIR/serve.json"
+nreq=$(wc -l < "$OBS_DIR/serve.req")
+echo "ok: $nreq-request traced serve session byte-identical; trace validates"
+rm -rf "$OBS_DIR"
+
+echo "== obs bench (asserts off-path <= 1%, enabled <= 5%, zero divergence; writes BENCH_pr9.json) =="
+dune exec bench/main.exe -- obs > /dev/null
+
 echo "CI OK"

@@ -190,7 +190,15 @@ let compute (lenv : Layout.env) (fs : M.func list) :
     !added
   in
   let rec outer round =
-    let table = recompute () in
+    (* One span per refinement round — each is a whole-program bottom-up
+       recompute, the unit of fixpoint work worth seeing on a trace. *)
+    let table =
+      if Ac_obs.Obs.enabled () then
+        Ac_obs.Obs.span ~cat:"analysis"
+          ~args:[ ("round", string_of_int round) ]
+          "summary.round" recompute
+      else recompute ()
+    in
     if round >= !rounds then begin
       (* Out of refinement rounds; if more contexts were wanted, record
          the degradation (the table itself stays valid and checkable). *)

@@ -451,6 +451,7 @@ let replay_entry (ctx : Rules.ctx) ~(sums_digest : string) (f : Ir.func) (e : St
 
 let run ?(options = default_options) ?store ?pool:ext_pool ?supervisor
     ?(fresh_tables = true) (source : string) : result =
+  Ac_obs.Obs.span ~cat:"driver" "driver.run" @@ fun () ->
   install_budgets options.budgets;
   reset_budget_counters ();
   (* Per-run invalidation of the hash-cons intern table (worker domains
@@ -528,7 +529,7 @@ let run ?(options = default_options) ?store ?pool:ext_pool ?supervisor
           match List.assoc_opt name store_keys with
           | None -> None
           | Some key -> (
-            match Profile.record "store_load" (fun () -> Store.load st ~key) with
+            match Profile.record ~func:name "store_load" (fun () -> Store.load st ~key) with
             | Store.Hit e when String.equal e.Store.e_name name -> Some (name, e)
             | Store.Hit _ ->
               Store.demote_hit st;
@@ -557,7 +558,7 @@ let run ?(options = default_options) ?store ?pool:ext_pool ?supervisor
       (fun (f : Ir.func) ->
         let diags = ref [] in
         match
-          Profile.record "l1" (fun () ->
+          Profile.record ~func:f.Ir.name "l1" (fun () ->
               attempt ~keep_going ~phase:Diag.L1 ~fname:f.Ir.name ~recoverable:false diags
                 (fun () -> L1.convert_func base_ctx f))
         with
@@ -669,7 +670,7 @@ let run ?(options = default_options) ?store ?pool:ext_pool ?supervisor
           | Some entry -> entry
           | None ->
             let buf = ref [] in
-            let r = Profile.record "l2" (fun () -> l2_convert ctx buf l1f) in
+            let r = Profile.record ~func:l1f.M.name "l2" (fun () -> l2_convert ctx buf l1f) in
             (r, List.rev !buf))
         rows
     in
@@ -816,7 +817,7 @@ let run ?(options = default_options) ?store ?pool:ext_pool ?supervisor
      abstracted bodies no longer match them. *)
   let discharge_ctx = { base_ctx with Rules.nothrows } in
   let discharge ~phase ?(sums = []) ctx diags (f : M.func) : (M.func * Thm.t) option =
-    Profile.record "guard_discharge" (fun () ->
+    Profile.record ~func:f.M.name "guard_discharge" (fun () ->
         match
           attempt ~keep_going ~phase ~fname:f.M.name ~recoverable:true diags (fun () ->
               Ac_analysis.discharge_func ctx ~sums f)
@@ -878,7 +879,7 @@ let run ?(options = default_options) ?store ?pool:ext_pool ?supervisor
           if not opts.heap_abs then None
           else begin
             match
-              Profile.record "heap_abs" (fun () ->
+              Profile.record ~func:name "heap_abs" (fun () ->
                   attempt ~keep_going ~phase:Diag.Heap_abs ~fname:name ~recoverable:true
                     diags (fun () -> Hl.convert_func ~polish:options.polish ctx l2f))
             with
@@ -906,7 +907,7 @@ let run ?(options = default_options) ?store ?pool:ext_pool ?supervisor
       | exception Thm.Kernel_error reason -> Result.Error reason
     in
     match
-      Profile.record "word_abs" (fun () ->
+      Profile.record ~func:name "word_abs" (fun () ->
           attempt ~keep_going ~phase:Diag.Word_abs ~fname:name ~recoverable:true diags
             probe)
     with
@@ -985,7 +986,7 @@ let run ?(options = default_options) ?store ?pool:ext_pool ?supervisor
         let chain =
           let wa_chain_ctx = { ctx with Rules.wvars = wa_wvars } in
           match
-            Profile.record "chain" (fun () ->
+            Profile.record ~func:name "chain" (fun () ->
                 attempt ~keep_going ~phase:Diag.Chain ~fname:name ~recoverable:true diags
                   (fun () ->
                     Thm.by_opt wa_chain_ctx (Rules.Fn_chain name)
@@ -1028,7 +1029,7 @@ let run ?(options = default_options) ?store ?pool:ext_pool ?supervisor
       (fun (f : Ir.func) ->
         let e = List.assoc f.Ir.name entries in
         let r =
-          Profile.record "store_replay" (fun () ->
+          Profile.record ~func:f.Ir.name "store_replay" (fun () ->
               match replay_entry ctx ~sums_digest:(sums_digest_for f.Ir.name) f e with
               | r -> r
               | exception ex -> Result.error (Diag.message_of_exn ex))

@@ -90,7 +90,8 @@ let worker_loop (t : t) (alive : bool ref) () =
       t.active <- t.active - 1;
       if died then begin
         alive := false;
-        Atomic.incr t.crashed
+        Atomic.incr t.crashed;
+        Ac_obs.Obs.instant ~cat:"pool" "pool.worker_death"
       end;
       if t.active = 0 then Condition.broadcast t.work_done;
       Mutex.unlock t.mu;
@@ -141,7 +142,10 @@ let respawn (t : t) : int =
   List.iter (fun w -> Domain.join w.dom) dead;
   let fresh = List.map (fun _ -> spawn_worker t) dead in
   t.workers <- live @ fresh;
-  List.length fresh
+  let n = List.length fresh in
+  if n > 0 && Ac_obs.Obs.enabled () then
+    Ac_obs.Obs.instant ~cat:"pool" ~args:[ ("count", string_of_int n) ] "pool.respawn";
+  n
 
 type 'b outcome =
   | Done of 'b
@@ -161,7 +165,7 @@ let map_outcomes (t : t) (f : 'a -> 'b) (xs : 'a list) : 'b outcome array =
     let items = Array.of_list xs in
     let slots : 'b outcome array = Array.make n (Lost "not attempted") in
     let caller = Domain.self () in
-    let run i =
+    let run_item i =
       match
         if Faults.fire Faults.Worker_crash then
           raise (Crash "injected worker-domain crash");
@@ -174,6 +178,16 @@ let map_outcomes (t : t) (f : 'a -> 'b) (xs : 'a list) : 'b outcome array =
            loss and keeps draining (the pool must survive its owner). *)
         if Domain.self () <> caller then raise (Crash m)
       | exception e -> slots.(i) <- Failed (e, Printexc.get_raw_backtrace ())
+    in
+    (* Span per dispatched item, on the executing domain.  The injected
+       [Crash] above is raised inside the span, and [Obs.span] closes it
+       from [Fun.protect], so traced B/E events stay balanced even when
+       the worker domain dies. *)
+    let run i =
+      if Ac_obs.Obs.enabled () then
+        Ac_obs.Obs.span ~cat:"pool" ~args:[ ("item", string_of_int i) ] "pool.task"
+          (fun () -> run_item i)
+      else run_item i
     in
     let next = Atomic.make 0 in
     Mutex.lock t.mu;

@@ -2,9 +2,12 @@
 
    [record phase f] measures one unit of phase work — wall-clock seconds
    and bytes allocated on the executing domain — and folds it into the
-   global per-phase accumulator.  Workers call it concurrently, so the
-   accumulator is mutex-protected; the measurement itself runs outside
-   the lock.
+   executing domain's own accumulator table.  Accumulation is per-domain
+   (each table has its own mutex, uncontended on the hot path because
+   only the owning domain writes to it); [snapshot] merges every
+   domain's table at harvest time.  Workers under [--jobs N] therefore
+   contribute their phase work with no cross-domain lock traffic, and
+   nothing is silently attributed to the main domain.
 
    Two readings to keep straight:
    - wall seconds are summed across workers, so under [--jobs N] a
@@ -34,51 +37,101 @@ type entry = {
 
 type cell = { mutable c_calls : int; mutable c_wall : float; mutable c_alloc : float }
 
-let mu = Mutex.create ()
-let tbl : (string, cell) Hashtbl.t = Hashtbl.create 16
+(* One table per domain.  The per-table mutex exists for the benefit of
+   the cross-domain readers ([snapshot]/[reset]); the owning domain is
+   the only writer, so [add] never contends in steady state. *)
+type dtab = { dt_mu : Mutex.t; dt_tbl : (string, cell) Hashtbl.t }
+
+let reg_mu = Mutex.create ()
+let registry : dtab list ref = ref []
+
+let tab_key : dtab Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let t = { dt_mu = Mutex.create (); dt_tbl = Hashtbl.create 16 } in
+      Mutex.lock reg_mu;
+      registry := t :: !registry;
+      Mutex.unlock reg_mu;
+      t)
 
 (* Phases in pipeline order, so snapshots render in a stable, meaningful
    order regardless of which phase happened to be recorded first. *)
 let canonical_order =
   [ "parse"; "l1"; "l2"; "guard_discharge"; "heap_abs"; "word_abs"; "chain"; "check" ]
 
+let all_tabs () =
+  Mutex.lock reg_mu;
+  let tabs = !registry in
+  Mutex.unlock reg_mu;
+  tabs
+
 let reset () =
-  Mutex.lock mu;
-  Hashtbl.reset tbl;
-  Mutex.unlock mu
+  List.iter
+    (fun t ->
+      Mutex.lock t.dt_mu;
+      Hashtbl.reset t.dt_tbl;
+      Mutex.unlock t.dt_mu)
+    (all_tabs ())
 
 let add phase dt da =
-  Mutex.lock mu;
+  let t = Domain.DLS.get tab_key in
+  Mutex.lock t.dt_mu;
   let c =
-    match Hashtbl.find_opt tbl phase with
+    match Hashtbl.find_opt t.dt_tbl phase with
     | Some c -> c
     | None ->
       let c = { c_calls = 0; c_wall = 0.; c_alloc = 0. } in
-      Hashtbl.add tbl phase c;
+      Hashtbl.add t.dt_tbl phase c;
       c
   in
   c.c_calls <- c.c_calls + 1;
   c.c_wall <- c.c_wall +. dt;
   c.c_alloc <- c.c_alloc +. da;
-  Mutex.unlock mu
+  Mutex.unlock t.dt_mu
 
-let record (phase : string) (f : unit -> 'a) : 'a =
-  let t0 = Unix.gettimeofday () in
-  let a0 = Gc.allocated_bytes () in
-  Fun.protect
-    ~finally:(fun () ->
-      add phase (Unix.gettimeofday () -. t0) (Gc.allocated_bytes () -. a0))
-    f
+let record ?(cat = "driver") ?func (phase : string) (f : unit -> 'a) : 'a =
+  let measured () =
+    let t0 = Unix.gettimeofday () in
+    let a0 = Gc.allocated_bytes () in
+    Fun.protect
+      ~finally:(fun () ->
+        add phase (Unix.gettimeofday () -. t0) (Gc.allocated_bytes () -. a0))
+      f
+  in
+  (* Gate here (not just inside [Obs.span]) so the args list is never
+     allocated when tracing is off. *)
+  if Ac_obs.Obs.enabled () then
+    let args = match func with Some fn -> [ ("func", fn) ] | None -> [] in
+    Ac_obs.Obs.span ~cat ~args phase measured
+  else measured ()
 
 let snapshot () : entry list =
-  Mutex.lock mu;
+  (* Merge every domain's table into one per-phase map. *)
+  let merged : (string, cell) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun t ->
+      Mutex.lock t.dt_mu;
+      Hashtbl.iter
+        (fun phase c ->
+          let m =
+            match Hashtbl.find_opt merged phase with
+            | Some m -> m
+            | None ->
+              let m = { c_calls = 0; c_wall = 0.; c_alloc = 0. } in
+              Hashtbl.add merged phase m;
+              m
+          in
+          m.c_calls <- m.c_calls + c.c_calls;
+          m.c_wall <- m.c_wall +. c.c_wall;
+          m.c_alloc <- m.c_alloc +. c.c_alloc)
+        t.dt_tbl;
+      Mutex.unlock t.dt_mu)
+    (all_tabs ());
   let all =
     Hashtbl.fold
       (fun phase c acc ->
         { phase; calls = c.c_calls; wall_s = c.c_wall; alloc_bytes = c.c_alloc } :: acc)
-      tbl []
+      merged []
   in
-  Mutex.unlock mu;
   let rank p =
     let rec go i = function
       | [] -> List.length canonical_order

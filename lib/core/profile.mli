@@ -1,9 +1,13 @@
 (** Per-phase profiling counters for the pipeline (wall clock and
-    allocation), aggregated across worker domains.  {!Driver.run} resets
-    the counters at its start and records each phase's per-function work;
-    a snapshot taken afterwards describes that run.  Wall seconds are
-    summed across workers, so under [jobs > 1] a phase total can exceed
-    the run's elapsed time — it is cumulative work. *)
+    allocation), accumulated per domain and merged at harvest.
+    {!Driver.run} resets the counters at its start and records each
+    phase's per-function work; a snapshot taken afterwards describes
+    that run.  Workers write to their own domain-local table (no
+    cross-domain lock traffic on the hot path) and {!snapshot} merges
+    all tables, so work done inside pool workers is never silently
+    dropped or attributed to the main domain.  Wall seconds are summed
+    across workers, so under [jobs > 1] a phase total can exceed the
+    run's elapsed time — it is cumulative work. *)
 
 (** Monotonic wall clock in seconds ([CLOCK_MONOTONIC]): the clock for
     deadlines and watchdogs (serve's request watchdog, {!Supervisor},
@@ -20,10 +24,14 @@ type entry = {
 
 val reset : unit -> unit
 
-(** [record phase f] runs [f ()], folding its wall time and allocation
-    into [phase]'s accumulator (thread-safe; measurement outside the
-    lock).  Exceptions propagate, with the partial work still counted. *)
-val record : string -> (unit -> 'a) -> 'a
+(** [record ?cat ?func phase f] runs [f ()], folding its wall time and
+    allocation into [phase]'s accumulator on the executing domain
+    (thread-safe; measurement outside the lock).  Exceptions propagate,
+    with the partial work still counted.  When tracing is enabled the
+    unit of work is also emitted as an [Obs] span named [phase] in
+    category [cat] (default ["driver"]) with [func] (the function being
+    processed, when known) attached as a span argument. *)
+val record : ?cat:string -> ?func:string -> string -> (unit -> 'a) -> 'a
 
 (** Per-phase totals in pipeline order. *)
 val snapshot : unit -> entry list

@@ -104,12 +104,18 @@ let rec run_item (t : t) ~prior (f : 'a -> 'b) (x : 'a) : 'b =
        item runs under the ordinary degradation ladder — any real
        failure inside [f] surfaces normally. *)
     Atomic.incr t.quarantined;
+    if Ac_obs.Obs.enabled () then
+      Ac_obs.Obs.instant ~cat:"sup" ~args:[ ("prior", string_of_int prior) ]
+        "sup.quarantine";
     Faults.with_mask (fun () -> timed t f x)
   end
   else begin
     if prior > 0 then begin
       backoff t ~attempt:prior;
-      Atomic.incr t.retries
+      Atomic.incr t.retries;
+      if Ac_obs.Obs.enabled () then
+        Ac_obs.Obs.instant ~cat:"sup" ~args:[ ("attempt", string_of_int prior) ]
+          "sup.retry"
     end;
     match
       if Faults.fire Faults.Worker_crash then
@@ -136,7 +142,9 @@ let map (t : t) ?pool (f : 'a -> 'b) (xs : 'a list) : 'b list =
          the *next* map runs at full parallelism, then retry the lost
          items here. *)
       ignore (Atomic.fetch_and_add t.crashes lost);
-      ignore (Atomic.fetch_and_add t.restarts (Pool.respawn p))
+      ignore (Atomic.fetch_and_add t.restarts (Pool.respawn p));
+      if Ac_obs.Obs.enabled () then
+        Ac_obs.Obs.instant ~cat:"sup" ~args:[ ("lost", string_of_int lost) ] "sup.recover"
     end;
     let resolved =
       Array.mapi

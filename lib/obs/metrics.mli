@@ -1,0 +1,59 @@
+(** Metrics registry: named counters, gauges and log-bucketed
+    histograms.  Cheap enough to stay always-on (an increment is one
+    [Atomic] op); spans are the gated, heavier half of [lib/obs].
+
+    Like span buffers, metrics live outside the kernel trust boundary:
+    they observe the pipeline, they cannot influence any theorem. *)
+
+type counter
+type gauge
+type histogram
+
+(** Find-or-create by name.  Registered metrics are process-global and
+    survive across runs; names are unique per kind — asking for an
+    existing name returns the same instance.  Raises [Invalid_argument]
+    if the name is already registered as a different kind. *)
+
+val counter : string -> counter
+
+val gauge : string -> gauge
+
+val histogram : string -> histogram
+
+(** {1 Counters} *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+(** {1 Gauges} *)
+
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {1 Histograms}
+
+    Buckets are logarithmic: base 1e-6 (1µs when observing seconds),
+    ratio 2^(1/4) per bucket (~19% relative width), 128 buckets —
+    covering 1µs to ~71min.  Observations clamp into the edge
+    buckets. *)
+
+val observe : histogram -> float -> unit
+
+val hist_count : histogram -> int
+
+(** [quantile h p] for [p] in [0,1]: the geometric midpoint of the
+    bucket containing the [p]-th ranked observation; 0 if empty.
+    Accurate to one bucket width (~19%). *)
+val quantile : histogram -> float -> float
+
+(** {1 Registry} *)
+
+(** All metrics as one JSON object:
+    [{"counters":{..},"gauges":{..},"histograms":{name:{"count":..,
+    "mean":..,"p50":..,"p95":..,"p99":..}}}] — names sorted, floats
+    rendered with [%.6g]-style stability. *)
+val to_json : unit -> string
+
+(** Zero every registered metric (tests and bench rounds). *)
+val reset_all : unit -> unit

@@ -1,0 +1,231 @@
+(* Tracing runtime.  Design constraints, in order:
+
+   1. Zero cost when off: one [Atomic.get] per site, nothing else — no
+      allocation, no clock read.  Callers with non-trivial argument
+      lists should gate on [enabled ()] themselves so the list is never
+      built when tracing is off.
+   2. No cross-domain locking on the hot path: each domain appends to
+      its own buffer under its own mutex.  Only the owner appends, so
+      the lock is uncontended except during harvest/reset — it exists
+      to make those two cross-domain readers safe, not to arbitrate
+      writers.
+   3. Crash-tolerant balance: [span] emits its end event from
+      [Fun.protect ~finally], so a [Pool.Crash] (or any exception)
+      escaping the traced work still closes the span and harvested B/E
+      events stay balanced under fault injection.
+
+   Trust boundary: this module is observation only.  The kernel never
+   reads these buffers; no certificate or theorem depends on them. *)
+
+let mono_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+type ph = B | E | I | X
+
+type ev = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ph : ph;
+  ev_ts : float;
+  ev_dur : float;
+  ev_tid : int;
+  ev_seq : int;
+  ev_args : (string * string) list;
+}
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+(* Cap per domain: a runaway traced loop degrades to dropped events, not
+   to unbounded memory.  2^20 events ~ 100MB worst case per domain. *)
+let max_events_per_domain = 1 lsl 20
+
+let dropped_total = Atomic.make 0
+let dropped () = Atomic.get dropped_total
+
+let dummy_ev =
+  { ev_name = ""; ev_cat = ""; ev_ph = I; ev_ts = 0.; ev_dur = 0.; ev_tid = 0;
+    ev_seq = 0; ev_args = [] }
+
+type buf = {
+  b_tid : int;
+  b_mu : Mutex.t;
+  mutable b_evs : ev array;
+  mutable b_len : int;
+}
+
+let reg_mu = Mutex.create ()
+let registry : buf list ref = ref []
+
+(* One buffer per domain, created lazily on first event and registered
+   for harvest.  A respawned worker domain gets a fresh buffer; dead
+   domains' buffers stay registered (their events are still wanted) —
+   growth is bounded by the number of respawns. *)
+let buf_key : buf Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        { b_tid = (Domain.self () :> int); b_mu = Mutex.create ();
+          b_evs = Array.make 256 dummy_ev; b_len = 0 }
+      in
+      Mutex.lock reg_mu;
+      registry := b :: !registry;
+      Mutex.unlock reg_mu;
+      b)
+
+let ctx_key : string option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let push (b : buf) (e : ev) =
+  Mutex.lock b.b_mu;
+  let n = b.b_len in
+  if n >= max_events_per_domain then Atomic.incr dropped_total
+  else begin
+    if n = Array.length b.b_evs then begin
+      let bigger = Array.make (2 * n) dummy_ev in
+      Array.blit b.b_evs 0 bigger 0 n;
+      b.b_evs <- bigger
+    end;
+    b.b_evs.(n) <- { e with ev_seq = n };
+    b.b_len <- n + 1
+  end;
+  Mutex.unlock b.b_mu
+
+let emit ~cat ~ph ?(dur = 0.) ?(ts = nan) ~args name =
+  let b = Domain.DLS.get buf_key in
+  let args =
+    match Domain.DLS.get ctx_key with
+    | Some c -> ("ctx", c) :: args
+    | None -> args
+  in
+  let ts = if Float.is_nan ts then mono_s () else ts in
+  push b
+    { ev_name = name; ev_cat = cat; ev_ph = ph; ev_ts = ts; ev_dur = dur;
+      ev_tid = b.b_tid; ev_seq = 0; ev_args = args }
+
+let span ~cat ?(args = []) name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    emit ~cat ~ph:B ~args name;
+    Fun.protect ~finally:(fun () -> emit ~cat ~ph:E ~args:[] name) f
+  end
+
+let instant ~cat ?(args = []) name =
+  if Atomic.get enabled_flag then emit ~cat ~ph:I ~args name
+
+let complete ~cat ?(args = []) ~ts0 ~dur name =
+  if Atomic.get enabled_flag then emit ~cat ~ph:X ~dur ~ts:ts0 ~args name
+
+let with_ctx id f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let old = Domain.DLS.get ctx_key in
+    Domain.DLS.set ctx_key (Some id);
+    Fun.protect ~finally:(fun () -> Domain.DLS.set ctx_key old) f
+  end
+
+let harvest () : ev list =
+  Mutex.lock reg_mu;
+  let bufs = !registry in
+  Mutex.unlock reg_mu;
+  let all =
+    List.concat_map
+      (fun b ->
+        Mutex.lock b.b_mu;
+        let l = Array.to_list (Array.sub b.b_evs 0 b.b_len) in
+        Mutex.unlock b.b_mu;
+        l)
+      bufs
+  in
+  (* Deterministic merge: [ts] is non-decreasing within a buffer (the
+     clock is monotonic), so sorting by (ts, tid, seq) preserves each
+     domain's append order while interleaving domains stably. *)
+  List.sort
+    (fun a b ->
+      match Float.compare a.ev_ts b.ev_ts with
+      | 0 -> (
+        match Int.compare a.ev_tid b.ev_tid with
+        | 0 -> Int.compare a.ev_seq b.ev_seq
+        | c -> c)
+      | c -> c)
+    all
+
+let reset () =
+  Mutex.lock reg_mu;
+  let bufs = !registry in
+  Mutex.unlock reg_mu;
+  List.iter
+    (fun b ->
+      Mutex.lock b.b_mu;
+      b.b_len <- 0;
+      Mutex.unlock b.b_mu)
+    bufs;
+  Atomic.set dropped_total 0
+
+(* --- export --- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let ph_str = function B -> "B" | E -> "E" | I -> "i" | X -> "X"
+
+(* One event rendered as a single-line JSON object.  [t0] rebases the
+   monotonic timestamps so traces start near 0; Chrome wants ts (and
+   dur) in microseconds. *)
+let render_ev buf ~pid ~t0 e =
+  Buffer.add_string buf
+    (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f"
+       (json_escape e.ev_name) (json_escape e.ev_cat) (ph_str e.ev_ph) pid e.ev_tid
+       ((e.ev_ts -. t0) *. 1e6));
+  if e.ev_ph = X then Buffer.add_string buf (Printf.sprintf ",\"dur\":%.3f" (e.ev_dur *. 1e6));
+  if e.ev_ph = I then Buffer.add_string buf ",\"s\":\"t\"";
+  (match e.ev_args with
+  | [] -> ()
+  | args ->
+    Buffer.add_string buf ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+      args;
+    Buffer.add_char buf '}');
+  Buffer.add_char buf '}'
+
+let min_ts evs = List.fold_left (fun acc e -> Float.min acc e.ev_ts) infinity evs
+
+let to_chrome evs =
+  let pid = Unix.getpid () in
+  let t0 = match evs with [] -> 0. | _ -> min_ts evs in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      render_ev buf ~pid ~t0 e)
+    evs;
+  Buffer.add_string buf
+    (Printf.sprintf "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":\"%d\"}}\n"
+       (dropped ()));
+  Buffer.contents buf
+
+let to_jsonl evs =
+  let pid = Unix.getpid () in
+  let t0 = match evs with [] -> 0. | _ -> min_ts evs in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      render_ev buf ~pid ~t0 e;
+      Buffer.add_char buf '\n')
+    evs;
+  Buffer.contents buf

@@ -45,6 +45,7 @@
    and drain-time flushes bypass injection: shutdown must terminate. *)
 
 module Faults = Autocorres.Faults
+module Obs = Ac_obs.Obs
 
 type config = {
   socket_path : string option;
@@ -66,7 +67,10 @@ type sched_stats = {
 type conn = {
   c_fd : Unix.file_descr;
   c_buf : Line_buf.t;
-  c_out : Bytes.t Queue.t;  (* responses awaiting write, each '\n'-terminated *)
+  (* Responses awaiting write, each '\n'-terminated, paired with their
+     enqueue timestamp (0. when tracing is off) so the flush latency can
+     be emitted as a span when the last byte leaves. *)
+  c_out : (Bytes.t * float) Queue.t;
   mutable c_out_bytes : int;
   mutable c_ofs : int;  (* partial-write offset into the head of c_out *)
   mutable c_eof : bool;
@@ -77,8 +81,9 @@ type conn = {
 (* [i_req = None] is a shed marker: it occupies the connection's slot in
    the FIFO so the overload response comes out in request order, but it
    does not count against [max_inflight] (shedding under load must not
-   itself consume capacity). *)
-type item = { i_conn : conn; i_req : string option }
+   itself consume capacity).  [i_ts] is the ingest timestamp (0. when
+   tracing is off) from which queue wait is measured. *)
+type item = { i_conn : conn; i_req : string option; i_ts : float }
 
 type t = {
   cfg : config;
@@ -167,7 +172,7 @@ let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 let enqueue_out (c : conn) (resp : string) =
   if not c.c_dead then begin
     let b = Bytes.of_string (resp ^ "\n") in
-    Queue.push b c.c_out;
+    Queue.push (b, if Obs.enabled () then Obs.mono_s () else 0.) c.c_out;
     c.c_out_bytes <- c.c_out_bytes + Bytes.length b
   end
 
@@ -179,18 +184,21 @@ let run (t : t) ~(handler : string -> string) ~(on_shed : unit -> unit) : unit =
      neither get a response nor count as requests. *)
   let ingest (c : conn) raw =
     let line = String.trim raw in
-    if line <> "" then
+    if line <> "" then begin
+      let ts = if Obs.enabled () then Obs.mono_s () else 0. in
       if t.inflight >= t.cfg.max_inflight then begin
         t.shed <- t.shed + 1;
         on_shed ();
+        Obs.instant ~cat:"serve" "req.shed";
         c.c_pending <- c.c_pending + 1;
-        Queue.push { i_conn = c; i_req = None } t.queue
+        Queue.push { i_conn = c; i_req = None; i_ts = ts } t.queue
       end
       else begin
         t.inflight <- t.inflight + 1;
         c.c_pending <- c.c_pending + 1;
-        Queue.push { i_conn = c; i_req = Some line } t.queue
+        Queue.push { i_conn = c; i_req = Some line; i_ts = ts } t.queue
       end
+    end
   in
   let drain_lines (c : conn) =
     let rec go () =
@@ -227,6 +235,9 @@ let run (t : t) ~(handler : string -> string) ~(on_shed : unit -> unit) : unit =
         }
       in
       t.total_conns <- t.total_conns + 1;
+      if Obs.enabled () then
+        Obs.instant ~cat:"serve" ~args:[ ("total", string_of_int t.total_conns) ]
+          "conn.accept";
       t.conns <- c :: t.conns
     | exception
         Unix.Unix_error
@@ -256,14 +267,19 @@ let run (t : t) ~(handler : string -> string) ~(on_shed : unit -> unit) : unit =
     if (not t.draining) && Faults.fire Faults.Io_error then
       t.net_io_faults <- t.net_io_faults + 1
     else if not (Queue.is_empty c.c_out) then begin
-      let b = Queue.peek c.c_out in
+      let b, enq_ts = Queue.peek c.c_out in
       match Unix.write c.c_fd b c.c_ofs (Bytes.length b - c.c_ofs) with
       | n ->
         c.c_ofs <- c.c_ofs + n;
         c.c_out_bytes <- c.c_out_bytes - n;
         if c.c_ofs = Bytes.length b then begin
           ignore (Queue.pop c.c_out);
-          c.c_ofs <- 0
+          c.c_ofs <- 0;
+          (* Response fully handed to the kernel: the flush interval runs
+             from response enqueue to last byte written. *)
+          if enq_ts > 0. then
+            Obs.complete ~cat:"serve" ~ts0:enq_ts ~dur:(Obs.mono_s () -. enq_ts)
+              "req.flush"
         end
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
         ->
@@ -283,10 +299,13 @@ let run (t : t) ~(handler : string -> string) ~(on_shed : unit -> unit) : unit =
   let execute_one () =
     match Queue.take_opt t.queue with
     | None -> ()
-    | Some { i_conn = c; i_req = None } ->
+    | Some { i_conn = c; i_req = None; i_ts = _ } ->
       c.c_pending <- c.c_pending - 1;
       enqueue_out c overloaded_response
-    | Some { i_conn = c; i_req = Some req } ->
+    | Some { i_conn = c; i_req = Some req; i_ts } ->
+      if i_ts > 0. then
+        Obs.complete ~cat:"serve" ~ts0:i_ts ~dur:(Obs.mono_s () -. i_ts)
+          "req.queue_wait";
       (* The handler runs even if the client vanished: counters and
          store effects must not depend on connection lifetime. *)
       let resp = handler req in
@@ -304,7 +323,11 @@ let run (t : t) ~(handler : string -> string) ~(on_shed : unit -> unit) : unit =
           && not (c.c_eof && c.c_pending = 0 && Queue.is_empty c.c_out))
         t.conns
     in
-    List.iter (fun c -> close_quietly c.c_fd) finished;
+    List.iter
+      (fun c ->
+        close_quietly c.c_fd;
+        Obs.instant ~cat:"serve" "conn.close")
+      finished;
     t.conns <- live
   in
 

@@ -83,6 +83,7 @@ let handle_of path =
    refcount check and the probe itself, so a caller backing off never
    inflates another caller's wait. *)
 let acquire ?(timeout_s = 5.0) ~dir () =
+  Ac_obs.Obs.span ~cat:"store" "store.lock_wait" @@ fun () ->
   mkdirs dir;
   let path = lock_path dir in
   let deadline = mono_s () +. timeout_s in

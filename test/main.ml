@@ -38,4 +38,5 @@ let () =
       ("perf_layer", Test_perf_layer.suite);
       ("store", Test_store.suite);
       ("serve", Test_serve.suite);
+      ("obs", Test_obs.suite);
     ]
