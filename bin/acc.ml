@@ -31,6 +31,7 @@ module Faults = Autocorres.Faults
 module Store = Ac_store.Store
 module Obs = Ac_obs.Obs
 module Metrics = Ac_obs.Metrics
+module Effort = Ac_obs.Effort
 
 (* Monotonic wall clock for serve's watchdog: must not jump when the
    system clock is stepped.  Shared with [Supervisor.timed] and the
@@ -41,6 +42,15 @@ let mono_s = Autocorres.Profile.mono_s
 (* Usage errors: one-line diagnostic on stderr, exit 2. *)
 let usage_error fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt
 
+(* Flight recorder (serve --flight-recorder): when armed, this holds the
+   dump action — harvest the span rings, repair truncation, write the
+   trace file.  Consulted from the SIGUSR1 check, the serve watchdog on
+   a deadline overrun, and the fatal-exit paths in [protect], so a
+   misbehaving session leaves its last N events on disk for post-mortem
+   even when nobody asked for a full --trace. *)
+let flight_dump : (unit -> unit) option ref = ref None
+let maybe_dump_flight () = match !flight_dump with Some f -> f () | None -> ()
+
 (* The last line of defence for the exit-code contract: anything a command
    body lets escape is an internal error — one line on stderr, exit 2,
    never cmdliner's uncaught-exception dump. *)
@@ -48,9 +58,11 @@ let protect (f : unit -> unit) () =
   match f () with
   | () -> ()
   | exception Diag.Error d ->
+    maybe_dump_flight ();
     prerr_endline (Diag.to_string d);
     exit 1
   | exception e ->
+    maybe_dump_flight ();
     Printf.eprintf "acc: internal error: %s\n%!" (Diag.message_of_exn e);
     exit 2
 
@@ -172,6 +184,11 @@ let trace_format_arg =
 
 let write_trace ~format path =
   let evs = Obs.harvest () in
+  (* Ring mode overwrites the oldest events, which can orphan B/E pairs;
+     repair the stream so every dump passes `acc trace --validate`.
+     Identity when the buffers are unbounded, so plain --trace output is
+     byte-for-byte what it always was. *)
+  let evs = if Obs.ring () <> None then Obs.repair evs else evs in
   let s = match format with `Chrome -> Obs.to_chrome evs | `Jsonl -> Obs.to_jsonl evs in
   match
     let oc = open_out path in
@@ -461,6 +478,15 @@ let stats file profile profile_json jobs store_dir no_store =
   in
   let store = store_of ~store_dir ~no_store in
   let (_ : Driver.result) = run_frontend ~file ~options source in
+  (* Proof-effort accounting for the profile: the kernel hook is
+     installed from here — outside the kernel — and reset after the
+     probe run above so the profile counts exactly one measured
+     translation. *)
+  if profile || profile_json then begin
+    Ac_kernel.Thm.set_obs_hook (Some Effort.on_rule);
+    Effort.set_enabled true;
+    Effort.reset ()
+  end;
   let row, res =
     Ac_stats.measure ~options ?store ~name:(Filename.basename file) source
   in
@@ -485,7 +511,29 @@ let stats file profile profile_json jobs store_dir no_store =
       Printf.printf "\nstore: %d hits, %d misses\n" res.Driver.store_hits
         res.Driver.store_misses;
       Printf.printf "pool: %d retries, %d quarantined, %d restarts\n"
-        res.Driver.retries res.Driver.quarantined res.Driver.restarts
+        res.Driver.retries res.Driver.quarantined res.Driver.restarts;
+      (* Where the kernel's work went: rule applications, chain shapes,
+         and which pass paid for each discharged guard. *)
+      let total = Effort.total_applications () in
+      if total > 0 then begin
+        let chains = Metrics.counter_value (Metrics.counter "kernel.chains") in
+        let hd = Metrics.histogram "kernel.chain_depth" in
+        let hs = Metrics.histogram "kernel.chain_size" in
+        Printf.printf
+          "kernel: %d rule applications; %d chains (depth p50 %.0f p95 %.0f, \
+           size p50 %.0f p95 %.0f)\n"
+          total chains (Metrics.quantile hd 0.50) (Metrics.quantile hd 0.95)
+          (Metrics.quantile hs 0.50) (Metrics.quantile hs 0.95);
+        let top =
+          List.filteri (fun i _ -> i < 5) (Effort.rule_counts ())
+          |> List.map (fun (r, n) -> Printf.sprintf "%s %d" r n)
+        in
+        Printf.printf "top rules: %s\n" (String.concat ", " top);
+        Printf.printf "discharge provenance: %d intra, %d interproc, %d scrub_dead\n"
+          (Metrics.counter_value (Metrics.counter "kernel.discharged_intra"))
+          (Metrics.counter_value (Metrics.counter "kernel.discharged_interproc"))
+          (Metrics.counter_value (Metrics.counter "kernel.discharged_scrub_dead"))
+      end
     end
   end
 
@@ -664,11 +712,46 @@ let analyze file no_heap no_word no_interproc keep_low budgets jobs json store_d
    byte-identical whichever transport carried it.  `--connect PATH`
    turns the binary into a pipelining line client for shell scripts. *)
 let serve jobs request_timeout inject store_dir no_store socket_path tcp_port
-    max_inflight connect_path trace trace_format =
+    max_inflight connect_path trace trace_format metrics_port flight_recorder
+    flight_dump_path slow_ms slow_log =
   (match connect_path with
   | Some path -> exit (Ac_serve.Client.run ~path)
   | None -> ());
+  if metrics_port <> None && socket_path = None && tcp_port = None then
+    usage_error "acc serve: --metrics-port requires socket mode (--socket or --tcp)";
   setup_trace trace trace_format;
+  (* Flight recorder: bounded per-domain span rings (overwrite-oldest),
+     dumped on SIGUSR1, on a watchdog deadline overrun, and on fatal
+     exit.  Dumps are repaired for truncation, so they always validate. *)
+  let usr1_requested = Atomic.make false in
+  (match flight_recorder with
+  | None -> ()
+  | Some n ->
+    if n <= 0 then usage_error "acc serve: --flight-recorder: N must be positive";
+    Obs.set_enabled true;
+    Obs.set_ring (Some n);
+    let path =
+      match flight_dump_path with
+      | Some p -> p
+      | None -> Printf.sprintf "acc-flight-%d.json" (Unix.getpid ())
+    in
+    flight_dump := Some (fun () -> write_trace ~format:trace_format path);
+    (try
+       Sys.set_signal Sys.sigusr1
+         (Sys.Signal_handle (fun _ -> Atomic.set usr1_requested true))
+     with Invalid_argument _ | Sys_error _ -> ()));
+  (* Honour a pending SIGUSR1 outside any syscall: called once per event
+     loop tick in socket mode and per line in stdin mode. *)
+  let check_usr1 () =
+    if Atomic.compare_and_set usr1_requested true false then maybe_dump_flight ()
+  in
+  (* Proof-effort accounting is armed whenever the scrape plane is up:
+     the kernel hook stays a no-op otherwise, and CI byte-compares
+     hooked vs unhooked sessions. *)
+  if metrics_port <> None then begin
+    Ac_kernel.Thm.set_obs_hook (Some Effort.on_rule);
+    Effort.set_enabled true
+  end;
   let jobs = max 1 jobs in
   (match inject with
   | None -> ()
@@ -711,6 +794,26 @@ let serve jobs request_timeout inject store_dir no_store socket_path tcp_port
   let m_quarantined = Metrics.counter "serve.quarantined" in
   let m_restarts = Metrics.counter "serve.worker_restarts" in
   let h_latency = Metrics.histogram "serve.request_latency_s" in
+  (* Mirror of [Obs.dropped] (events lost to buffer caps or ring
+     overwrites), refreshed before every exposition so the scrape and
+     the status verb agree. *)
+  let m_trace_dropped = Metrics.counter "trace.dropped_events" in
+  (* Slow-request log: requests whose wall-clock exceeds the threshold
+     append one structured JSONL record.  The channel opens lazily (the
+     common case logs nothing) and appends, so operators can tail one
+     file across server restarts. *)
+  let slow_cfg =
+    match (slow_ms, slow_log) with
+    | None, None -> None
+    | ms, path ->
+      Some
+        ( Option.value ms ~default:1000.,
+          lazy
+            (open_out_gen
+               [ Open_wronly; Open_append; Open_creat ]
+               0o644
+               (Option.value path ~default:"acc-slow.jsonl")) )
+  in
   (* Graceful shutdown: the handler only flips a flag (async-signal-safe);
      the main loop finishes the in-flight request, flushes, and exits.
      A signal while blocked in [Unix.read] surfaces as EINTR, so the
@@ -767,8 +870,12 @@ let serve jobs request_timeout inject store_dir no_store socket_path tcp_port
         (1000. *. Metrics.quantile h_latency 0.95)
         (1000. *. Metrics.quantile h_latency 0.99)
     in
+    (* Trace events lost to span-buffer caps or flight-recorder ring
+       overwrites.  Appended after [lat], preserving every earlier
+       prefix. *)
+    let dropped = Printf.sprintf ",\"dropped\":%d" (Obs.dropped ()) in
     Printf.sprintf
-      "{\"ok\":true,\"cmd\":\"status\",\"uptime_s\":%.3f,\"requests\":%d,\"failures\":%d,\"degraded\":%d,\"retries\":%d,\"quarantined\":%d,\"worker_restarts\":%d,\"worker_crashes\":%d,\"deadline_blown\":%d,\"requests_over_deadline\":%d,\"store\":{\"hits\":%d,\"misses\":%d},\"faults_active\":%b,\"shutting_down\":%b%s%s}"
+      "{\"ok\":true,\"cmd\":\"status\",\"uptime_s\":%.3f,\"requests\":%d,\"failures\":%d,\"degraded\":%d,\"retries\":%d,\"quarantined\":%d,\"worker_restarts\":%d,\"worker_crashes\":%d,\"deadline_blown\":%d,\"requests_over_deadline\":%d,\"store\":{\"hits\":%d,\"misses\":%d},\"faults_active\":%b,\"shutting_down\":%b%s%s%s}"
       (mono_s () -. started)
       (Metrics.counter_value m_requests)
       (Metrics.counter_value m_failures)
@@ -780,7 +887,7 @@ let serve jobs request_timeout inject store_dir no_store socket_path tcp_port
       (match store with Some st -> Store.misses st | None -> 0)
       (Faults.active () <> None)
       (Atomic.get shutting)
-      sched lat
+      sched lat dropped
   in
   let read_source file =
     let ic = open_in_bin file in
@@ -793,8 +900,22 @@ let serve jobs request_timeout inject store_dir no_store socket_path tcp_port
      response out.  Total by construction — every exception becomes an
      "ok":false response — because in socket mode a raise would tear
      down the event loop under every other client. *)
-  let handle_line line : string =
+  (* Per-request activity for the slow-request log, filled in by [run]
+     below.  Request execution is serialized (stdin loop or the socket
+     scheduler's execute-one), so plain refs are race-free. *)
+  let req_store_hits = ref 0 in
+  let req_store_misses = ref 0 in
+  let req_retries = ref 0 in
+  let req_degraded = ref 0 in
+  let req_overrun = ref false in
+  let handle_line ?(queued_s = 0.) line : string =
     Metrics.incr m_requests;
+    let rid_n = Metrics.counter_value m_requests in
+    req_store_hits := 0;
+    req_store_misses := 0;
+    req_retries := 0;
+    req_degraded := 0;
+    req_overrun := false;
     let t0 = mono_s () in
     let body () =
       match
@@ -824,7 +945,13 @@ let serve jobs request_timeout inject store_dir no_store socket_path tcp_port
                bound the engines from inside, this counts requests that
                still overran (e.g. many functions each under budget). *)
             (match request_timeout with
-            | Some t when mono_s () -. t0 > t -> Metrics.incr m_over_deadline
+            | Some t when mono_s () -. t0 > t ->
+              Metrics.incr m_over_deadline;
+              req_overrun := true;
+              (* A deadline overrun is exactly the moment the last N
+                 events matter: dump the flight recorder (no-op when not
+                 armed). *)
+              maybe_dump_flight ()
             | _ -> ());
             Metrics.add m_degraded (List.length res.Driver.degraded);
             (* Per-request store/supervision activity, via the counters the
@@ -834,6 +961,10 @@ let serve jobs request_timeout inject store_dir no_store socket_path tcp_port
             Metrics.add m_retries res.Driver.retries;
             Metrics.add m_quarantined res.Driver.quarantined;
             Metrics.add m_restarts res.Driver.restarts;
+            req_store_hits := res.Driver.store_hits;
+            req_store_misses := res.Driver.store_misses;
+            req_retries := res.Driver.retries;
+            req_degraded := List.length res.Driver.degraded;
             res
           in
           match cmd with
@@ -886,11 +1017,26 @@ let serve jobs request_timeout inject store_dir no_store socket_path tcp_port
         (* Trace id: the request ordinal, attached to every event this
            request records (driver phases included) via the domain-local
            context. *)
-        let rid = Printf.sprintf "req-%d" (Metrics.counter_value m_requests) in
+        let rid = Printf.sprintf "req-%d" rid_n in
         Obs.with_ctx rid (fun () -> Obs.span ~cat:"serve" "serve.request" body)
       else body ()
     in
-    Metrics.observe h_latency (mono_s () -. t0);
+    let dur = mono_s () -. t0 in
+    Metrics.observe h_latency dur;
+    (match slow_cfg with
+    | Some (threshold_ms, oc) when 1000. *. dur >= threshold_ms ->
+      let verb =
+        match String.index_opt line ' ' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let oc = Lazy.force oc in
+      Printf.fprintf oc
+        "{\"rid\":%d,\"verb\":\"%s\",\"latency_ms\":%.3f,\"queue_ms\":%.3f,\"store_hits\":%d,\"store_misses\":%d,\"retries\":%d,\"degraded\":%d,\"over_deadline\":%b}\n"
+        rid_n (Diag.json_escape verb) (1000. *. dur) (1000. *. queued_s)
+        !req_store_hits !req_store_misses !req_retries !req_degraded !req_overrun;
+      flush oc
+    | _ -> ());
     resp
   in
   (* Stdin mode.  The line reader sits on [Unix.read] rather than
@@ -923,6 +1069,7 @@ let serve jobs request_timeout inject store_dir no_store socket_path tcp_port
         end
     in
     let rec loop () =
+      check_usr1 ();
       if Atomic.get shutting then ()
       else begin
         match next_line () with
@@ -947,10 +1094,52 @@ let serve jobs request_timeout inject store_dir no_store socket_path tcp_port
       {
         Ac_serve.Server.socket_path;
         tcp_port;
+        metrics_port;
         max_inflight = max 1 max_inflight;
         backlog = 64;
         shutting;
       }
+    in
+    (* The scrape/health plane.  Rendered in the select loop between
+       request executions, so every exposition sees the registry
+       quiescent — cumulative histogram buckets can never tear. *)
+    let metrics_body () =
+      Metrics.set_counter m_trace_dropped (Obs.dropped ());
+      Metrics.to_openmetrics () ^ Effort.to_openmetrics () ^ "# EOF\n"
+    in
+    let readyz () =
+      (* Ready = willing and able to take a request: not draining, the
+         store lock reachable (a wedged lock blocks every store path),
+         and no worker domain dead without a respawn. *)
+      if Atomic.get shutting then Error "draining"
+      else
+        let store_ok =
+          match store with
+          | None -> true
+          | Some st -> (
+            match
+              Ac_store.Lock.with_lock ~timeout_s:0.2 ~dir:(Store.dir st)
+                (fun ~locked -> locked)
+            with
+            | ok -> ok
+            | exception _ -> false)
+        in
+        if not store_ok then Error "store lock unreachable"
+        else
+          let s = Supervisor.stats sup in
+          if s.Supervisor.crashes > s.Supervisor.restarts then
+            Error "worker pool degraded"
+          else Ok ()
+    in
+    let http path =
+      match path with
+      | "/metrics" -> (200, metrics_body ())
+      | "/healthz" -> (200, "ok\n")
+      | "/readyz" -> (
+        match readyz () with
+        | Ok () -> (200, "ready\n")
+        | Error why -> (503, why ^ "\n"))
+      | _ -> (404, "not found\n")
     in
     (match Ac_serve.Server.create cfg with
     | Error m -> usage_error "acc serve: %s" m
@@ -958,14 +1147,21 @@ let serve jobs request_timeout inject store_dir no_store socket_path tcp_port
       sched_stats := Some (fun () -> Ac_serve.Server.stats srv);
       (* A shed request is a counted request that failed — the client
          got a response line, just not the one it wanted. *)
-      Ac_serve.Server.run srv ~handler:handle_line
+      Ac_serve.Server.run ~http ~on_tick:check_usr1
+        ~handler:(fun ~queued_s line -> handle_line ~queued_s line)
         ~on_shed:(fun () ->
           Metrics.incr m_requests;
           Metrics.incr m_failures;
-          Metrics.incr m_shed)));
+          Metrics.incr m_shed)
+        srv));
   (* Flush everything on the way out so the final response line is
      complete even under a signal-driven shutdown; store counters are
-     in-memory only, entries were already published atomically. *)
+     in-memory only, entries were already published atomically.  An
+     in-progress --trace is written here, right after the drain, rather
+     than only from [at_exit]: the drain promised every harvested
+     request a response, and the trace of those requests is part of the
+     same promise (the at_exit rewrite is then a harmless no-op). *)
+  (match trace with Some path -> write_trace ~format:trace_format path | None -> ());
   flush stdout
 
 (* `acc cache stat|clear|gc|doctor`: maintenance of the persistent proof
@@ -1155,6 +1351,47 @@ let trace_run files out format jobs validate =
     Printf.printf "trace: %d file(s), %d function(s), %d event(s) -> %s\n"
       (List.length files) !funcs (List.length evs) out
 
+(* ------------------------------------------------------------------ *)
+(* `acc effort`: translate FILE(s) with proof-effort accounting armed and
+   report where the kernel's work went — per-rule application counts,
+   refinement-chain shapes, guard-discharge provenance.  The kernel
+   observation hook is installed HERE, from outside the kernel; the
+   translation output itself is byte-identical to an unhooked run (ci.sh
+   asserts it). *)
+let effort_run files json jobs store_dir no_store =
+  if files = [] then usage_error "acc effort: no input files";
+  Ac_kernel.Thm.set_obs_hook (Some Effort.on_rule);
+  Effort.set_enabled true;
+  let options =
+    options_of ~keep_going:true ~jobs ~no_heap:false ~no_word:false ~keep_low:[] ()
+  in
+  let store = store_of ~store_dir ~no_store in
+  List.iter
+    (fun file ->
+      let source = read_file file in
+      let (_ : Driver.result) = run_frontend ?store ~file ~options source in
+      ())
+    files;
+  if json then print_endline (Effort.snapshot_json ())
+  else begin
+    Printf.printf "proof effort over %d file(s):\n" (List.length files);
+    Printf.printf "  %-32s %10s\n" "rule" "applied";
+    List.iter
+      (fun (r, n) -> Printf.printf "  %-32s %10d\n" r n)
+      (Effort.rule_counts ());
+    Printf.printf "  %-32s %10d\n" "total" (Effort.total_applications ());
+    let chains = Metrics.counter_value (Metrics.counter "kernel.chains") in
+    let hd = Metrics.histogram "kernel.chain_depth" in
+    let hs = Metrics.histogram "kernel.chain_size" in
+    Printf.printf "chains: %d (depth p50 %.0f p95 %.0f, size p50 %.0f p95 %.0f)\n"
+      chains (Metrics.quantile hd 0.50) (Metrics.quantile hd 0.95)
+      (Metrics.quantile hs 0.50) (Metrics.quantile hs 0.95);
+    Printf.printf "discharge provenance: %d intra, %d interproc, %d scrub_dead\n"
+      (Metrics.counter_value (Metrics.counter "kernel.discharged_intra"))
+      (Metrics.counter_value (Metrics.counter "kernel.discharged_interproc"))
+      (Metrics.counter_value (Metrics.counter "kernel.discharged_scrub_dead"))
+  end
+
 (* Wrap a fully-applied command body in [protect], keeping cmdliner's
    n-ary term application readable. *)
 let protected term = Term.(const protect $ term $ const ())
@@ -1310,6 +1547,61 @@ let serve_cmd =
              need no socat/netcat).  Exits when the server has answered \
              everything and closed the connection.")
   in
+  let metrics_port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:
+            "Serve an OpenMetrics/Prometheus scrape endpoint on \
+             127.0.0.1:$(docv): GET /metrics (counters, gauges, latency \
+             histograms, proof-effort series), /healthz (liveness), /readyz \
+             (store lock reachable, worker pool healthy).  Handled by the \
+             same select loop as request traffic — request output stays \
+             byte-identical whether or not anyone scrapes.  Socket mode \
+             only.")
+  in
+  let flight_recorder_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some 65536) (some int) None
+      & info [ "flight-recorder" ] ~docv:"N"
+          ~doc:
+            "Keep the last $(docv) trace events per domain in a bounded ring \
+             (overwrite-oldest, default 65536) instead of unbounded buffers, \
+             and dump them on SIGUSR1, on a --request-timeout overrun, and on \
+             fatal exit.  Dumps are truncation-repaired, so they always pass \
+             `acc trace --validate`.")
+  in
+  let flight_dump_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-dump" ] ~docv:"FILE"
+          ~doc:
+            "Where --flight-recorder writes its dumps (default \
+             acc-flight-<pid>.json, in --trace-format)")
+  in
+  let slow_ms_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Slow-request threshold: requests taking longer than $(docv) \
+             milliseconds append a structured JSONL record (rid, verb, \
+             latency, queue wait, store hits/misses, retries) to the \
+             --slow-log file (default 1000 when only --slow-log is given)")
+  in
+  let slow_log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slow-log" ] ~docv:"FILE"
+          ~doc:
+            "Slow-request log file, appended and flushed per record (default \
+             acc-slow.jsonl when only --slow-ms is given)")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1322,10 +1614,12 @@ let serve_cmd =
           across all connections and exit 0.")
     (protected
        Term.(
-         const (fun a b c d e f g h i j k () -> serve a b c d e f g h i j k)
+         const (fun a b c d e f g h i j k l m n o p () ->
+             serve a b c d e f g h i j k l m n o p)
          $ jobs $ request_timeout $ inject $ store_dir_arg $ no_store_arg
          $ socket_arg $ tcp_arg $ max_inflight_arg $ connect_arg $ trace_arg
-         $ trace_format_arg))
+         $ trace_format_arg $ metrics_port_arg $ flight_recorder_arg
+         $ flight_dump_arg $ slow_ms_arg $ slow_log_arg))
 
 let trace_cmd =
   let out_arg =
@@ -1358,6 +1652,29 @@ let trace_cmd =
          const (fun a b c d e () -> trace_run a b c d e)
          $ Arg.(value & pos_all string [] & info [] ~docv:"FILE" ~doc:"C source file(s)")
          $ out_arg $ trace_format_arg $ jobs $ validate_arg))
+
+let effort_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Machine output: one JSON object with per-rule application \
+             counts, chain depth/size histograms and discharge provenance")
+  in
+  Cmd.v
+    (Cmd.info "effort"
+       ~doc:
+         "Proof-effort report: translate FILE(s) with kernel observation \
+          armed and report per-rule application counts, refinement-chain \
+          depth/size, and guard-discharge provenance (intraprocedural vs \
+          interprocedural vs dead-code scrubbing).  Observation only: the \
+          translation output is byte-identical to an unobserved run.")
+    (protected
+       Term.(
+         const (fun a b c d e () -> effort_run a b c d e)
+         $ Arg.(value & pos_all string [] & info [] ~docv:"FILE" ~doc:"C source file(s)")
+         $ json $ jobs $ store_dir_arg $ no_store_arg))
 
 let cache_cmd =
   let action =
@@ -1420,4 +1737,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ translate_cmd; check_cmd; stats_cmd; lint_cmd; analyze_cmd; serve_cmd;
-            trace_cmd; cache_cmd ]))
+            trace_cmd; cache_cmd; effort_cmd ]))

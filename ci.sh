@@ -427,4 +427,100 @@ rm -rf "$OBS_DIR"
 echo "== obs bench (asserts off-path <= 1%, enabled <= 5%, zero divergence; writes BENCH_pr9.json) =="
 dune exec bench/main.exe -- obs > /dev/null
 
+echo "== telemetry soak: 4 clients + /metrics scrape + SIGUSR1 flight dump =="
+# Four clients soak a fault-injected socket server with the whole
+# telemetry plane armed (scrape port, flight recorder, slow log).
+# Mid-soak the scrape endpoints are curled and the flight recorder is
+# dumped with SIGUSR1; the dump must pass `acc trace --validate`, the
+# scrape must be OpenMetrics text ending in `# EOF`, and every client's
+# response stream must stay byte-identical to the untelemetered
+# reference — telemetry must never leak into request output.
+TEL_DIR=$(mktemp -d)
+TSOCK="$TEL_DIR/acc.sock"
+MPORT=$((22000 + $$ % 10000))
+for c in 1 2 3 4; do
+  : > "$TEL_DIR/req.$c"
+  for pass in 1 2 3; do
+    for f in corpus/*.c; do
+      echo "translate $f" >> "$TEL_DIR/req.$c"
+      echo "lint $f" >> "$TEL_DIR/req.$c"
+    done
+  done
+  "$ACC" serve --no-store < "$TEL_DIR/req.$c" > "$TEL_DIR/ref.$c"
+done
+# 4 clients x 3 corpus passes pipeline ~384 requests; --max-inflight must
+# exceed that or the backpressure shedder (correctly) answers "overloaded"
+# and the byte-compare below sees the shed, not a telemetry leak.
+"$ACC" serve --no-store --socket "$TSOCK" --max-inflight 1024 \
+  --inject io_error:0.05,seed:11 \
+  --metrics-port "$MPORT" \
+  --flight-recorder 8192 --flight-dump "$TEL_DIR/flight.json" \
+  --slow-ms 0 --slow-log "$TEL_DIR/slow.jsonl" &
+spid=$!
+while [ ! -S "$TSOCK" ]; do sleep 0.05; done
+cpids=""
+for c in 1 2 3 4; do
+  "$ACC" serve --connect "$TSOCK" < "$TEL_DIR/req.$c" > "$TEL_DIR/out.$c" &
+  cpids="$cpids $!"
+done
+sleep 0.3
+curl -fsS "http://127.0.0.1:$MPORT/healthz" > "$TEL_DIR/healthz" &&
+  grep -q "ok" "$TEL_DIR/healthz"
+curl -fsS "http://127.0.0.1:$MPORT/readyz" > /dev/null
+curl -fsS "http://127.0.0.1:$MPORT/metrics" > "$TEL_DIR/metrics.midsoak"
+kill -USR1 "$spid"
+tries=0
+until [ -s "$TEL_DIR/flight.json" ] || [ $tries -ge 100 ]; do
+  sleep 0.05; tries=$((tries + 1))
+done
+"$ACC" trace --validate "$TEL_DIR/flight.json"
+# shellcheck disable=SC2086
+wait $cpids
+curl -fsS "http://127.0.0.1:$MPORT/metrics" > "$TEL_DIR/metrics.final"
+kill -TERM "$spid"
+if ! wait "$spid"; then
+  echo "FAIL: telemetered server did not exit 0 on SIGTERM" >&2
+  exit 1
+fi
+for out in metrics.midsoak metrics.final; do
+  if ! tail -c 6 "$TEL_DIR/$out" | grep -q "# EOF"; then
+    echo "FAIL: $out is not terminated OpenMetrics text" >&2
+    exit 1
+  fi
+done
+for series in acc_serve_requests_total acc_serve_request_latency_s_bucket \
+              acc_trace_dropped_events_total acc_kernel_rule_applications_total; do
+  if ! grep -q "^$series" "$TEL_DIR/metrics.final"; then
+    echo "FAIL: /metrics is missing the $series series" >&2
+    exit 1
+  fi
+done
+for c in 1 2 3 4; do
+  if ! cmp -s "$TEL_DIR/ref.$c" "$TEL_DIR/out.$c"; then
+    echo "FAIL: telemetered client $c diverged from untelemetered reference" >&2
+    diff "$TEL_DIR/ref.$c" "$TEL_DIR/out.$c" | head -5 >&2 || true
+    exit 1
+  fi
+done
+if [ ! -s "$TEL_DIR/slow.jsonl" ]; then
+  echo "FAIL: --slow-ms 0 produced no slow-log records" >&2
+  exit 1
+fi
+python3 - "$TEL_DIR/slow.jsonl" <<'PYEOF'
+import json, sys
+n = 0
+for line in open(sys.argv[1]):
+    rec = json.loads(line)
+    for k in ("rid", "verb", "latency_ms"):
+        assert k in rec, f"slow-log record missing {k}: {rec}"
+    n += 1
+print(f"slow log: {n} records, all parse")
+PYEOF
+nreq=$(wc -l < "$TEL_DIR/req.1")
+echo "ok: 4x$nreq-request telemetered soak byte-identical; flight dump and scrape validate"
+rm -rf "$TEL_DIR"
+
+echo "== telemetry bench (A/A-validated floor; asserts disabled <= 1%, armed <= 5%, zero divergence; writes BENCH_pr10.json) =="
+dune exec bench/main.exe -- telemetry > /dev/null
+
 echo "CI OK"

@@ -79,6 +79,40 @@ let discharge_func (ctx : Rules.ctx) ?(sums = []) (f : M.func) : (M.func * Thm.t
     | J.Equiv (m', m) when not (M.equal m' m) -> Some ({ f with M.body = m' }, thm)
     | _ -> None)
 
+(* [discharge_func] fused with the provenance count: one fixpoint, one
+   replay over the memoized invariant table to count analysis-proven
+   guards, one kernel walk.  Same certificate (and so the same theorem
+   and rewritten body) as [discharge_func]; the count is what
+   [count_provable] would report, without re-solving the fixpoint.  The
+   driver switches to this entry when effort accounting is armed. *)
+let discharge_func_counted (ctx : Rules.ctx) ?(sums = []) (f : M.func) :
+    (M.func * Thm.t) option * int =
+  let tbl = Hashtbl.create 8 in
+  (* [fixpoint_solver] mutes [on_guard] during speculative widening
+     rounds and every loop body is re-walked once with its stable
+     invariant, so counting here fires exactly once per reachable guard
+     with the same verdict a [replay_solver] pass over [tbl] would
+     report — the count is [count_provable]'s number without the extra
+     walk, and the certificate (hence the theorem) is untouched. *)
+  let proven = ref 0 in
+  let on_guard _ _ v = if v = Some true then incr proven in
+  let sv = fixpoint_solver ~on_guard ~sums tbl in
+  let (_ : M.t * A.aout) = A.walk ctx.Rules.lenv sv 0 A.env_top f.M.body in
+  let invs =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let cert = { A.c_invs = invs; c_sums = sums } in
+  let r =
+    match Thm.by_opt ctx (Rules.Rule_guard_true (f.M.body, cert)) [] with
+    | None -> None
+    | Some thm -> (
+      match Thm.concl thm with
+      | J.Equiv (m', m) when not (M.equal m' m) -> Some ({ f with M.body = m' }, thm)
+      | _ -> None)
+  in
+  (r, !proven)
+
 (* How many guards of [m] the analysis proves true under [sums] — a pure
    analysis count, no kernel involved; the driver runs it with and
    without the summary table to attribute discharges intra vs inter for

@@ -818,11 +818,32 @@ let run ?(options = default_options) ?store ?pool:ext_pool ?supervisor
   let discharge_ctx = { base_ctx with Rules.nothrows } in
   let discharge ~phase ?(sums = []) ctx diags (f : M.func) : (M.func * Thm.t) option =
     Profile.record ~func:f.M.name "guard_discharge" (fun () ->
+        (* Proof-effort provenance (display/telemetry only, gated): of
+           the guards this pass removed, how many did the analysis prove
+           true — under the summary table when one was supplied
+           (interprocedural) — and how many vanished with dead code
+           scrubbed by the certificate walk.  The counted entry fuses
+           the count into the discharge (one extra replay walk, paid
+           only when effort accounting is armed) and produces the same
+           certificate, so results are byte-identical either way. *)
+        let counted = Ac_obs.Effort.enabled () in
         match
           attempt ~keep_going ~phase ~fname:f.M.name ~recoverable:true diags (fun () ->
-              Ac_analysis.discharge_func ctx ~sums f)
+              if counted then Ac_analysis.discharge_func_counted ctx ~sums f
+              else (Ac_analysis.discharge_func ctx ~sums f, 0))
         with
-        | Some r -> r
+        | Some ((Some (f', _) as r), provable) ->
+          if counted then begin
+            let removed =
+              Ac_analysis.guard_count f.M.body - Ac_analysis.guard_count f'.M.body
+            in
+            Ac_obs.Effort.record_discharge
+              (if sums <> [] then Ac_obs.Effort.Interproc else Ac_obs.Effort.Intra)
+              ~proven:(min removed provable)
+              ~scrubbed:(max 0 (removed - provable))
+          end;
+          r
+        | Some (r, _) -> r
         | None -> None)
   in
   let l2_results =
@@ -995,6 +1016,10 @@ let run ?(options = default_options) ?store ?pool:ext_pool ?supervisor
           | Some c -> c
           | None -> None
         in
+        (match chain with
+        | Some c when Ac_obs.Effort.enabled () ->
+          Ac_obs.Effort.observe_chain ~depth:(Thm.depth c) ~size:(Thm.size c)
+        | _ -> ());
         (if chain = None then
            diags :=
              Diag.make ~func:name ~severity:Diag.Warning ~recoverable:true Diag.Chain

@@ -281,6 +281,110 @@ let rule_name = function
   | Hs_call_concrete _ -> "hs_call_concrete"
   | Fn_chain _ -> "fn_chain"
 
+(* Dense numbering of the rule set, mirroring [rule_name]'s granularity
+   (one id per reported name, so [W_binop] splits by operator).  Observers
+   can count applications in a flat array instead of hashing the name on
+   the minting hot path.  [W_custom] has no static id — its name is
+   user-chosen — and maps to -1; ids of built-in rules are < [num_rule_ids]. *)
+let num_rule_ids = 92
+
+let rule_id = function
+  | L1 _ -> 0
+  | Eq_refl _ -> 1
+  | Eq_trans -> 2
+  | Eq_sym -> 3
+  | Eq_bind _ -> 4
+  | Eq_try _ -> 5
+  | Eq_cond _ -> 6
+  | Eq_while _ -> 7
+  | Rw_return_bind _ -> 8
+  | Rw_gets_bind _ -> 9
+  | Rw_bind_return _ -> 10
+  | Rw_bind_assoc _ -> 11
+  | Rw_gets_pure _ -> 12
+  | Rw_guard_true _ -> 13
+  | Rw_cond_true _ -> 14
+  | Rw_cond_false _ -> 15
+  | Rw_cond_same _ -> 16
+  | Rw_try_nothrow _ -> 17
+  | Rw_seq_unit _ -> 18
+  | Rw_lift _ -> 19
+  | Rw_simp _ -> 20
+  | Rw_elim_returns _ -> 21
+  | Rw_dead_after_throw _ -> 22
+  | Rw_dead_after_fail _ -> 23
+  | Rw_cond_return _ -> 24
+  | Rw_discharge _ -> 25
+  | Rw_prune_loop _ -> 26
+  | Rw_hoist_guard _ -> 27
+  | Rw_guard_past_write _ -> 28
+  | Rw_dup_guard _ -> 29
+  | Rw_discharge_cond_guard _ -> 30
+  | Rw_discharge_loop_guard _ -> 31
+  | Rule_guard_true _ -> 32
+  | W_triv _ -> 33
+  | W_var _ -> 34
+  | W_const _ -> 35
+  | W_id _ -> 36
+  | W_binop (op, _, _) -> (
+    match op with
+    | E.Add -> 37
+    | E.Sub -> 38
+    | E.Mul -> 39
+    | E.Div -> 40
+    | E.Rem -> 41
+    | _ -> 42)
+  | W_neg _ -> 43
+  | W_recon _ -> 44
+  | W_ite -> 45
+  | W_tuple -> 46
+  | W_node _ -> 47
+  | W_shortcircuit _ -> 48
+  | W_unconv _ -> 49
+  | W_abs_any _ -> 50
+  | W_weaken _ -> 51
+  | W_custom _ -> -1
+  | Ws_ret -> 52
+  | Ws_gets -> 53
+  | Ws_guard _ -> 54
+  | Ws_modify _ -> 55
+  | Ws_fail _ -> 56
+  | Ws_unknown _ -> 57
+  | Ws_throw _ -> 58
+  | Ws_bind _ -> 59
+  | Ws_try _ -> 60
+  | Ws_cond -> 61
+  | Ws_while _ -> 62
+  | Ws_call _ -> 63
+  | Ws_exec_concrete _ -> 64
+  | Ws_wrap_guard -> 65
+  | Hv_id _ -> 66
+  | Hv_read _ -> 67
+  | Hv_read_field _ -> 68
+  | Hv_node _ -> 69
+  | Hv_shortcircuit _ -> 70
+  | Hv_ite -> 71
+  | Hv_weaken _ -> 72
+  | Hs_pure _ -> 73
+  | Hs_ret -> 74
+  | Hs_gets -> 75
+  | Hs_guard_ptr _ -> 76
+  | Hs_guard_strengthen _ -> 77
+  | Hs_guard _ -> 78
+  | Hs_modify _ -> 79
+  | Hs_write _ -> 80
+  | Hs_write_field _ -> 81
+  | Hs_fail -> 82
+  | Hs_unknown _ -> 83
+  | Hs_throw -> 84
+  | Hs_bind _ -> 85
+  | Hs_try _ -> 86
+  | Hs_cond -> 87
+  | Hs_while _ -> 88
+  | Hs_call _ -> 89
+  | Hs_call_concrete _ -> 90
+  | Fn_chain _ -> 91
+
 (* ------------------------------------------------------------------ *)
 (* Helpers shared by the word rules. *)
 

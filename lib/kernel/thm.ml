@@ -19,6 +19,16 @@ type t = {
          id carries no logical content: checking never consults it, and
          it is read-only, so nothing outside the kernel can alter a
          theorem node in any way. *)
+  d_depth : int;
+  d_size : int;
+      (* Derivation shape, maintained incrementally at mint time (a fold
+         over [prems], which the constructor is holding anyway).  The
+         recursive definitions — depth = longest premise path, size =
+         applications counted with multiplicity under sharing — would
+         cost a full derivation walk per query, which telemetry performs
+         once per function chain; these fields make that O(1).  Like
+         [id], they carry no logical content and [check] never reads
+         them. *)
 }
 
 exception Kernel_error of string
@@ -45,11 +55,38 @@ let set_fault_hook h = fault_hook := h
 let injected rule =
   match !fault_hook with Some f -> f (Rules.rule_name rule) | None -> false
 
+(* Observation hook: when installed, called with the dense rule id
+   ([Rules.rule_id]; -1 for custom rules) and rule name of every
+   SUCCESSFUL mint ([by]/[by_opt]).  Strictly write-only telemetry — the
+   hook cannot veto, alter or construct a theorem, and the kernel never
+   reads anything back from it, so the trusted surface is unchanged.  It
+   is installed from outside (the CLI's effort accounting); the kernel
+   itself depends on no observability code and defaults to a no-op.
+   Cost when uninstalled: one ref read per mint. *)
+let obs_hook : (int -> string -> unit) option ref = ref None
+
+let set_obs_hook h = obs_hook := h
+
+let observed rule =
+  match !obs_hook with
+  | Some f -> f (Rules.rule_id rule) (Rules.rule_name rule)
+  | None -> ()
+
+let rec shape d s = function
+  | [] -> (d + 1, s + 1)
+  | p :: tl -> shape (if p.d_depth > d then p.d_depth else d) (s + p.d_size) tl
+
+let mint concl rule prems =
+  let d_depth, d_size = shape 0 0 prems in
+  { concl; rule; prems; id = Atomic.fetch_and_add next_id 1; d_depth; d_size }
+
 let by (ctx : Rules.ctx) (rule : Rules.rule) (prems : t list) : t =
   if injected rule then
     raise (Kernel_error (Printf.sprintf "%s: injected fault" (Rules.rule_name rule)));
   match Rules.infer ctx rule (List.map (fun p -> p.concl) prems) with
-  | Result.Ok concl -> { concl; rule; prems; id = Atomic.fetch_and_add next_id 1 }
+  | Result.Ok concl ->
+    observed rule;
+    mint concl rule prems
   | Result.Error msg ->
     raise (Kernel_error (Printf.sprintf "%s: %s" (Rules.rule_name rule) msg))
 
@@ -57,7 +94,9 @@ let by_opt ctx rule prems =
   if injected rule then None
   else
     match Rules.infer ctx rule (List.map (fun p -> p.concl) prems) with
-    | Result.Ok concl -> Some { concl; rule; prems; id = Atomic.fetch_and_add next_id 1 }
+    | Result.Ok concl ->
+      observed rule;
+      Some (mint concl rule prems)
     | Result.Error _ -> None
 
 (* Re-validate an entire derivation bottom-up. *)
@@ -79,7 +118,8 @@ let rec check (ctx : Rules.ctx) (t : t) : (unit, string) result =
     | Result.Error msg -> Result.error (Rules.rule_name t.rule ^ ": " ^ msg))
 
 (* Statistics and display. *)
-let rec size t = 1 + List.fold_left (fun n p -> n + size p) 0 t.prems
+let size t = t.d_size
+let depth t = t.d_depth
 
 let rec pp_derivation ?(depth = 0) ?(max_depth = max_int) fmt t =
   if depth <= max_depth then begin

@@ -41,6 +41,16 @@ val by_opt : Rules.ctx -> Rules.rule -> t list -> t option
     uninstall. *)
 val set_fault_hook : (string -> bool) option -> unit
 
+(** Observation hook: receives the dense rule id ([Rules.rule_id]; -1
+    for custom rules) and rule name of every SUCCESSFUL theorem mint
+    ([by]/[by_opt]).  Write-only telemetry — the hook cannot veto, alter
+    or construct a theorem, and the kernel reads nothing back, so it
+    stays outside the trusted surface.  Installed from outside the
+    kernel (the CLI's proof-effort accounting installs
+    [Ac_obs.Effort.on_rule]); defaults to a no-op.  Pass [None] to
+    uninstall. *)
+val set_obs_hook : (int -> string -> unit) option -> unit
+
 (** Independently re-validate the entire stored derivation.
 
     There is deliberately NO constructor that bypasses [Rules.infer] —
@@ -54,6 +64,9 @@ val check : Rules.ctx -> t -> (unit, string) result
 
 (** Number of rule applications in the derivation. *)
 val size : t -> int
+
+(** Longest premise path in the derivation (a leaf has depth 1). *)
+val depth : t -> int
 
 val pp_derivation : ?depth:int -> ?max_depth:int -> Format.formatter -> t -> unit
 val derivation_to_string : ?max_depth:int -> t -> string

@@ -82,6 +82,10 @@ let incr c = Atomic.incr c.c_v
 let add c n = ignore (Atomic.fetch_and_add c.c_v n)
 let counter_value c = Atomic.get c.c_v
 
+(* For counters that mirror a value owned elsewhere (e.g. the span
+   buffers' dropped-event count): overwrite rather than accumulate. *)
+let set_counter c n = Atomic.set c.c_v n
+
 let set_gauge g v = Atomic.set g.g_v v
 let gauge_value g = Atomic.get g.g_v
 
@@ -103,8 +107,20 @@ let observe h v =
 let hist_count h = Atomic.get h.h_total
 let hist_sum h = Atomic.get h.h_sum
 
+let reset_histogram h =
+  Array.iter (fun a -> Atomic.set a 0) h.h_counts;
+  Atomic.set h.h_total 0;
+  Atomic.set h.h_sum 0.
+
 (* Geometric midpoint of bucket i: lo·r^(i+0.5). *)
 let bucket_mid i = h_lo *. Float.pow 2. ((float_of_int i +. 0.5) /. 4.)
+
+(* Exclusive upper bound of bucket i: lo·r^(i+1).  This is the value an
+   OpenMetrics exposition needs for the cumulative [le] label — the
+   midpoints alone cannot express the bucket layout. *)
+let num_buckets = h_buckets
+let bucket_ub i = h_lo *. Float.pow 2. (float_of_int (i + 1) /. 4.)
+let bucket_count h i = Atomic.get h.h_counts.(i)
 
 let quantile h p =
   let total = hist_count h in
@@ -161,6 +177,69 @@ let to_json () =
   in
   Printf.sprintf "{\"counters\":{%s},\"gauges\":{%s},\"histograms\":{%s}}" counters gauges
     hists
+
+(* --- OpenMetrics / Prometheus text exposition --- *)
+
+(* Registry names use dots ("serve.requests"); a Prometheus metric name
+   is [a-zA-Z_:][a-zA-Z0-9_:]*.  Map every other byte to '_' and prefix
+   "acc_" so the series namespace is ours. *)
+let om_name name =
+  let b = Bytes.of_string ("acc_" ^ name) in
+  Bytes.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ()
+      | _ -> Bytes.set b i '_')
+    b;
+  Bytes.to_string b
+
+(* Stable float rendering for sample values and [le] bounds: shortest
+   round-trippable decimal keeps the labels identical across scrapes. *)
+let om_num v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+(* The whole registry in Prometheus/OpenMetrics text exposition:
+   counters as [_total] samples, gauges plain, histograms as cumulative
+   [_bucket{le="..."}] series (non-empty buckets plus the mandatory
+   [+Inf]) with [_sum] and [_count].  No trailing [# EOF] — the caller
+   composes additional series and terminates the exposition. *)
+let to_openmetrics () =
+  Mutex.lock mu;
+  let all = Hashtbl.fold (fun _ m acc -> m :: acc) tbl [] in
+  Mutex.unlock mu;
+  let name_of = function C c -> c.c_name | G g -> g.g_name | H h -> h.h_name in
+  let all = List.sort (fun a b -> String.compare (name_of a) (name_of b)) all in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun m ->
+      match m with
+      | C c ->
+        let n = om_name c.c_name in
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" n);
+        Buffer.add_string buf (Printf.sprintf "%s_total %d\n" n (counter_value c))
+      | G g ->
+        let n = om_name g.g_name in
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" n);
+        Buffer.add_string buf (Printf.sprintf "%s %s\n" n (om_num (gauge_value g)))
+      | H h ->
+        let n = om_name h.h_name in
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" n);
+        let cum = ref 0 in
+        for i = 0 to h_buckets - 1 do
+          let c = Atomic.get h.h_counts.(i) in
+          if c > 0 then begin
+            cum := !cum + c;
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n (om_num (bucket_ub i)) !cum)
+          end
+        done;
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n (hist_count h));
+        Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" n (om_num (hist_sum h)));
+        Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n (hist_count h)))
+    all;
+  Buffer.contents buf
 
 let reset_all () =
   Mutex.lock mu;

@@ -26,6 +26,10 @@ val incr : counter -> unit
 val add : counter -> int -> unit
 val counter_value : counter -> int
 
+(** Overwrite the counter with an externally-owned value (e.g. mirroring
+    the span buffers' dropped-event count into the registry). *)
+val set_counter : counter -> int -> unit
+
 (** {1 Gauges} *)
 
 val set_gauge : gauge -> float -> unit
@@ -42,6 +46,24 @@ val observe : histogram -> float -> unit
 
 val hist_count : histogram -> int
 
+(** Sum of every observed value (CAS-accumulated float).  With
+    {!hist_count} this is the OpenMetrics [_sum]/[_count] pair. *)
+val hist_sum : histogram -> float
+
+(** Number of buckets (fixed layout, shared by every histogram). *)
+val num_buckets : int
+
+(** Exclusive upper bound of bucket [i] — the OpenMetrics [le] label.
+    [bucket_ub (num_buckets - 1)] is the bound of the clamp bucket;
+    observations beyond it are still counted there. *)
+val bucket_ub : int -> float
+
+(** Observations landed in bucket [i] (non-cumulative). *)
+val bucket_count : histogram -> int -> int
+
+(** Zero one histogram (see {!reset_all} for the whole registry). *)
+val reset_histogram : histogram -> unit
+
 (** [quantile h p] for [p] in [0,1]: the geometric midpoint of the
     bucket containing the [p]-th ranked observation; 0 if empty.
     Accurate to one bucket width (~19%). *)
@@ -54,6 +76,14 @@ val quantile : histogram -> float -> float
     "mean":..,"p50":..,"p95":..,"p99":..}}}] — names sorted, floats
     rendered with [%.6g]-style stability. *)
 val to_json : unit -> string
+
+(** The whole registry in Prometheus/OpenMetrics text exposition —
+    [# TYPE] headers, counters as [name_total], histograms as cumulative
+    [name_bucket{le="..."}] series (non-empty buckets plus [+Inf]) with
+    [name_sum] and [name_count].  Registry names are sanitised to
+    Prometheus identifiers and prefixed [acc_].  The caller appends any
+    extra series and the terminating [# EOF] line. *)
+val to_openmetrics : unit -> string
 
 (** Zero every registered metric (tests and bench rounds). *)
 val reset_all : unit -> unit

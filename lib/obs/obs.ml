@@ -43,6 +43,19 @@ let max_events_per_domain = 1 lsl 20
 let dropped_total = Atomic.make 0
 let dropped () = Atomic.get dropped_total
 
+(* Flight-recorder ring mode: when [ring_cap] is positive, each domain
+   buffer becomes a bounded ring of that many slots and a full buffer
+   overwrites its OLDEST event instead of dropping the new one.  The
+   per-buffer append counter [b_seq] keeps increasing across wraps, so
+   (ts, tid, seq) merge order — and the validator's per-tid seq
+   monotonicity — survive overwrites.  Overwritten events count as
+   dropped: overflow stays visible either way.  Arm before recording
+   (the CLI does, at startup); flipping modes mid-buffer is not
+   supported. *)
+let ring_cap = Atomic.make 0
+let set_ring n = Atomic.set ring_cap (match n with Some c when c > 0 -> c | _ -> 0)
+let ring () = match Atomic.get ring_cap with 0 -> None | c -> Some c
+
 let dummy_ev =
   { ev_name = ""; ev_cat = ""; ev_ph = I; ev_ts = 0.; ev_dur = 0.; ev_tid = 0;
     ev_seq = 0; ev_args = [] }
@@ -51,7 +64,8 @@ type buf = {
   b_tid : int;
   b_mu : Mutex.t;
   mutable b_evs : ev array;
-  mutable b_len : int;
+  mutable b_len : int;  (* live slots (= min b_seq cap in ring mode) *)
+  mutable b_seq : int;  (* events ever appended; never decreases *)
 }
 
 let reg_mu = Mutex.create ()
@@ -65,7 +79,7 @@ let buf_key : buf Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
       let b =
         { b_tid = (Domain.self () :> int); b_mu = Mutex.create ();
-          b_evs = Array.make 256 dummy_ev; b_len = 0 }
+          b_evs = Array.make 256 dummy_ev; b_len = 0; b_seq = 0 }
       in
       Mutex.lock reg_mu;
       registry := b :: !registry;
@@ -74,19 +88,35 @@ let buf_key : buf Domain.DLS.key =
 
 let ctx_key : string option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
+let grow_to (b : buf) (want : int) =
+  if want > Array.length b.b_evs then begin
+    let bigger = Array.make (max want (2 * Array.length b.b_evs)) dummy_ev in
+    Array.blit b.b_evs 0 bigger 0 b.b_len;
+    b.b_evs <- bigger
+  end
+
 let push (b : buf) (e : ev) =
   Mutex.lock b.b_mu;
-  let n = b.b_len in
-  if n >= max_events_per_domain then Atomic.incr dropped_total
-  else begin
-    if n = Array.length b.b_evs then begin
-      let bigger = Array.make (2 * n) dummy_ev in
-      Array.blit b.b_evs 0 bigger 0 n;
-      b.b_evs <- bigger
-    end;
-    b.b_evs.(n) <- { e with ev_seq = n };
-    b.b_len <- n + 1
-  end;
+  (match Atomic.get ring_cap with
+  | 0 ->
+    (* Unbounded append mode: drop when the per-domain cap is hit. *)
+    let n = b.b_len in
+    if n >= max_events_per_domain then Atomic.incr dropped_total
+    else begin
+      if n = Array.length b.b_evs then grow_to b (2 * n);
+      b.b_evs.(n) <- { e with ev_seq = b.b_seq };
+      b.b_len <- n + 1;
+      b.b_seq <- b.b_seq + 1
+    end
+  | cap ->
+    (* Ring mode: overwrite the oldest slot once full.  The array only
+       ever grows up to [cap], so a quiet domain stays small. *)
+    let slot = b.b_seq mod cap in
+    grow_to b (min cap (slot + 1));
+    if b.b_seq >= cap then Atomic.incr dropped_total;
+    b.b_evs.(slot) <- { e with ev_seq = b.b_seq };
+    b.b_seq <- b.b_seq + 1;
+    b.b_len <- min b.b_seq cap);
   Mutex.unlock b.b_mu
 
 let emit ~cat ~ph ?(dur = 0.) ?(ts = nan) ~args name =
@@ -148,6 +178,73 @@ let harvest () : ev list =
       | c -> c)
     all
 
+(* Truncation repair for flight-recorder dumps.  A ring overwrite cuts a
+   prefix off each domain's stream, and a dump can land while spans are
+   still open, so a raw harvest may contain:
+   - E events whose B was overwritten (they close spans opened before
+     the retained window), and
+   - B events with no E yet (spans open at dump time).
+   Repair restores the validator's invariants without touching any event
+   that already pairs up: walking each tid in order, an E that matches
+   no open B in the window is dropped; every B still open at the end is
+   closed with a synthetic E at that tid's final timestamp.  On an
+   already-balanced stream this is the identity. *)
+let repair (evs : ev list) : ev list =
+  let stacks : (int, (string * string) list ref) Hashtbl.t = Hashtbl.create 8 in
+  let last_ts : (int, float) Hashtbl.t = Hashtbl.create 8 in
+  let stack_of tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some s -> s
+    | None ->
+      let s = ref [] in
+      Hashtbl.add stacks tid s;
+      s
+  in
+  let kept =
+    List.filter
+      (fun e ->
+        Hashtbl.replace last_ts e.ev_tid e.ev_ts;
+        match e.ev_ph with
+        | B ->
+          let s = stack_of e.ev_tid in
+          s := (e.ev_name, e.ev_cat) :: !s;
+          true
+        | E -> (
+          let s = stack_of e.ev_tid in
+          match !s with
+          | (top, _) :: rest when top = e.ev_name ->
+            s := rest;
+            true
+          | _ -> false (* closes a span lost to the ring: orphaned *))
+        | I | X -> true)
+      evs
+  in
+  (* Close every span still open, innermost first, at the tid's last
+     seen timestamp (ts stays monotone per tid). *)
+  let closers =
+    Hashtbl.fold
+      (fun tid s acc ->
+        let ts = try Hashtbl.find last_ts tid with Not_found -> 0. in
+        List.fold_left
+          (fun acc (name, cat) ->
+            { ev_name = name; ev_cat = cat; ev_ph = E; ev_ts = ts; ev_dur = 0.;
+              ev_tid = tid; ev_seq = 0; ev_args = [] }
+            :: acc)
+          acc !s)
+      stacks []
+  in
+  (* Synthetic closers get fresh sequence numbers above every real one,
+     assigned in emission order, so per-tid seq stays strictly
+     increasing through the repaired tail. *)
+  let next = ref (List.fold_left (fun m e -> max m e.ev_seq) (-1) evs + 1) in
+  kept
+  @ List.map
+      (fun e ->
+        let s = !next in
+        incr next;
+        { e with ev_seq = s })
+      (List.rev closers)
+
 let reset () =
   Mutex.lock reg_mu;
   let bufs = !registry in
@@ -156,6 +253,7 @@ let reset () =
     (fun b ->
       Mutex.lock b.b_mu;
       b.b_len <- 0;
+      b.b_seq <- 0;
       Mutex.unlock b.b_mu)
     bufs;
   Atomic.set dropped_total 0

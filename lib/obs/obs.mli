@@ -73,8 +73,31 @@ val with_ctx : string -> (unit -> 'a) -> 'a
     non-decreasing per buffer and [seq] breaks ties). *)
 val harvest : unit -> ev list
 
-(** Events discarded because a domain buffer hit its cap. *)
+(** Events discarded because a domain buffer hit its cap — in ring mode,
+    events overwritten by newer ones. *)
 val dropped : unit -> int
+
+(** {1 Flight-recorder ring mode}
+
+    [set_ring (Some n)] bounds every domain buffer to [n] slots and
+    switches overflow from drop-newest to overwrite-OLDEST, so the
+    buffers always hold the most recent window — dumpable after the
+    interesting thing has already happened.  Per-buffer sequence numbers
+    keep increasing across overwrites, so harvest merge order is
+    preserved.  Arm before recording; [set_ring None] returns new pushes
+    to unbounded append mode. *)
+
+val set_ring : int option -> unit
+
+(** The armed ring capacity, if any. *)
+val ring : unit -> int option
+
+(** Truncation repair for mid-run dumps: drops E events whose B was lost
+    to the ring, and closes spans still open at dump time with synthetic
+    E events at the thread's last timestamp — the output always passes
+    [acc trace --validate].  The identity on balanced streams.  Apply to
+    a {!harvest} result before export. *)
+val repair : ev list -> ev list
 
 (** Clear every buffer and the dropped counter. *)
 val reset : unit -> unit

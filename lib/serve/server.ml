@@ -50,6 +50,7 @@ module Obs = Ac_obs.Obs
 type config = {
   socket_path : string option;
   tcp_port : int option;  (* bound on 127.0.0.1 only *)
+  metrics_port : int option;  (* scrape/health HTTP plane, 127.0.0.1 only *)
   max_inflight : int;
   backlog : int;
   shutting : bool Atomic.t;  (* flipped by the CLI's signal handlers *)
@@ -85,10 +86,29 @@ type conn = {
    tracing is off) from which queue wait is measured. *)
 type item = { i_conn : conn; i_req : string option; i_ts : float }
 
+(* One scrape connection on the metrics plane: read until the blank line
+   ending the request head, answer once, close.  Scrapes are handled in
+   the select loop itself — between request executions, never during one
+   — so a [/metrics] render always sees the registry quiescent with
+   respect to the translation core. *)
+type hconn = {
+  h_fd : Unix.file_descr;
+  h_buf : Buffer.t;
+  mutable h_out : Bytes.t;  (* empty until the request head is complete *)
+  mutable h_ofs : int;
+  mutable h_responded : bool;
+  mutable h_dead : bool;
+}
+
+(* A request head larger than this is not a scrape; answer 400. *)
+let max_http_head = 8192
+
 type t = {
   cfg : config;
   mutable listeners : Unix.file_descr list;
+  mutable mlistener : Unix.file_descr option;  (* metrics plane *)
   mutable conns : conn list;
+  mutable hconns : hconn list;
   queue : item Queue.t;
   mutable inflight : int;  (* real requests queued or executing *)
   mutable total_conns : int;
@@ -137,14 +157,17 @@ let create (cfg : config) : (t, string) result =
     | Some p -> ls := listen_tcp p cfg.backlog :: !ls
     | None -> ());
     if !ls = [] then failwith "socket server: no listen address (need --socket or --tcp)";
-    !ls
+    let ml = Option.map (fun p -> listen_tcp p cfg.backlog) cfg.metrics_port in
+    (!ls, ml)
   with
-  | listeners ->
+  | listeners, mlistener ->
     Ok
       {
         cfg;
         listeners;
+        mlistener;
         conns = [];
+        hconns = [];
         queue = Queue.create ();
         inflight = 0;
         total_conns = 0;
@@ -176,16 +199,53 @@ let enqueue_out (c : conn) (resp : string) =
     c.c_out_bytes <- c.c_out_bytes + Bytes.length b
   end
 
-let run (t : t) ~(handler : string -> string) ~(on_shed : unit -> unit) : unit =
+(* Minimal HTTP/1.0-style framing for the metrics plane: status line,
+   Content-Length, Connection: close.  [body] is rendered by the CLI's
+   [http] callback; scrapers (Prometheus, curl) need nothing more. *)
+let http_response (status : int) (body : string) : Bytes.t =
+  let reason =
+    match status with
+    | 200 -> "OK"
+    | 400 -> "Bad Request"
+    | 404 -> "Not Found"
+    | 503 -> "Service Unavailable"
+    | _ -> "Error"
+  in
+  Bytes.of_string
+    (Printf.sprintf
+       "HTTP/1.1 %d %s\r\nContent-Type: text/plain; version=0.0.4; \
+        charset=utf-8\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+       status reason (String.length body) body)
+
+(* First token after the verb in the request line ("GET /metrics
+   HTTP/1.1" -> "/metrics"); None if the head is not a GET. *)
+let http_path (head : string) : string option =
+  let line =
+    match String.index_opt head '\r' with
+    | Some i -> String.sub head 0 i
+    | None -> ( match String.index_opt head '\n' with
+      | Some i -> String.sub head 0 i
+      | None -> head)
+  in
+  match String.split_on_char ' ' line with
+  | "GET" :: path :: _ when path <> "" -> Some path
+  | _ -> None
+
+let run ?(http = fun (_ : string) -> (404, "not found\n"))
+    ?(on_tick = fun () -> ()) ~(handler : queued_s:float -> string -> string)
+    ~(on_shed : unit -> unit) (t : t) : unit =
   let chunk = Bytes.create 65536 in
 
   (* One trimmed request line enters the scheduler — or is shed.  Empty
      lines are skipped here, exactly as stdin mode skips them, so they
-     neither get a response nor count as requests. *)
+     neither get a response nor count as requests.  The ingest timestamp
+     is always taken (queue wait feeds the slow-request log and the
+     latency breakdown even with tracing off); only the span emission
+     stays gated on [Obs.enabled]. *)
   let ingest (c : conn) raw =
     let line = String.trim raw in
     if line <> "" then begin
-      let ts = if Obs.enabled () then Obs.mono_s () else 0. in
+      let ts = Obs.mono_s () in
       if t.inflight >= t.cfg.max_inflight then begin
         t.shed <- t.shed + 1;
         on_shed ();
@@ -293,6 +353,73 @@ let run (t : t) ~(handler : string -> string) ~(on_shed : unit -> unit) : unit =
     end
   in
 
+  (* --- metrics plane (scrape/health HTTP) ---
+     No fault injection here: the ops plane must stay readable precisely
+     when the request plane is being tortured. *)
+  let http_accept lfd =
+    match Unix.accept ~cloexec:true lfd with
+    | cfd, _ ->
+      Unix.set_nonblock cfd;
+      t.hconns <-
+        { h_fd = cfd; h_buf = Buffer.create 256; h_out = Bytes.empty; h_ofs = 0;
+          h_responded = false; h_dead = false }
+        :: t.hconns
+    | exception
+        Unix.Unix_error
+          ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+      ()
+  in
+  let http_respond (h : hconn) =
+    let head = Buffer.contents h.h_buf in
+    let status, body =
+      match http_path head with
+      | Some path -> http path
+      | None -> (400, "bad request\n")
+    in
+    h.h_out <- http_response status body;
+    h.h_responded <- true
+  in
+  let head_complete (h : hconn) =
+    let s = Buffer.contents h.h_buf in
+    let mem sub =
+      let n = String.length sub and l = String.length s in
+      let rec go i = i + n <= l && (String.sub s i n = sub || go (i + 1)) in
+      go 0
+    in
+    mem "\r\n\r\n" || mem "\n\n"
+  in
+  let http_read (h : hconn) =
+    match Unix.read h.h_fd chunk 0 (Bytes.length chunk) with
+    | 0 -> if not h.h_responded then h.h_dead <- true
+    | n ->
+      Buffer.add_subbytes h.h_buf chunk 0 n;
+      if head_complete h then http_respond h
+      else if Buffer.length h.h_buf > max_http_head then begin
+        h.h_out <- http_response 400 "bad request\n";
+        h.h_responded <- true
+      end
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+      ()
+    | exception Unix.Unix_error _ -> h.h_dead <- true
+  in
+  let http_write (h : hconn) =
+    match Unix.write h.h_fd h.h_out h.h_ofs (Bytes.length h.h_out - h.h_ofs) with
+    | n ->
+      h.h_ofs <- h.h_ofs + n;
+      (* Connection: close — one answer per scrape connection. *)
+      if h.h_ofs = Bytes.length h.h_out then h.h_dead <- true
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+      ()
+    | exception Unix.Unix_error _ -> h.h_dead <- true
+  in
+  let http_reap () =
+    let live, finished = List.partition (fun h -> not h.h_dead) t.hconns in
+    List.iter (fun h -> close_quietly h.h_fd) finished;
+    t.hconns <- live
+  in
+
   (* Run at most ONE queued request, then return to the select loop so
      I/O stays responsive while a long translation runs between
      iterations. *)
@@ -303,12 +430,12 @@ let run (t : t) ~(handler : string -> string) ~(on_shed : unit -> unit) : unit =
       c.c_pending <- c.c_pending - 1;
       enqueue_out c overloaded_response
     | Some { i_conn = c; i_req = Some req; i_ts } ->
-      if i_ts > 0. then
-        Obs.complete ~cat:"serve" ~ts0:i_ts ~dur:(Obs.mono_s () -. i_ts)
-          "req.queue_wait";
+      let queued_s = Obs.mono_s () -. i_ts in
+      if Obs.enabled () then
+        Obs.complete ~cat:"serve" ~ts0:i_ts ~dur:queued_s "req.queue_wait";
       (* The handler runs even if the client vanished: counters and
          store effects must not depend on connection lifetime. *)
-      let resp = handler req in
+      let resp = handler ~queued_s req in
       t.inflight <- t.inflight - 1;
       c.c_pending <- c.c_pending - 1;
       if t.draining then t.drained <- t.drained + 1;
@@ -335,6 +462,12 @@ let run (t : t) ~(handler : string -> string) ~(on_shed : unit -> unit) : unit =
     t.draining <- true;
     List.iter close_quietly t.listeners;
     t.listeners <- [];
+    (* The metrics plane dies immediately: scrapes, unlike request
+       lines, are not promised an answer across shutdown. *)
+    Option.iter close_quietly t.mlistener;
+    t.mlistener <- None;
+    List.iter (fun h -> close_quietly h.h_fd) t.hconns;
+    t.hconns <- [];
     (* Final read sweep: harvest everything each client already sent —
        those requests were promised a response.  Non-blocking, and
        bypassing fault injection (shutdown must make progress).  After
@@ -371,6 +504,7 @@ let run (t : t) ~(handler : string -> string) ~(on_shed : unit -> unit) : unit =
 
   let stop = ref false in
   while not !stop do
+    on_tick ();
     if Atomic.get t.cfg.shutting && not t.draining then enter_drain ();
     if finished () then begin
       List.iter (fun c -> close_quietly c.c_fd) t.conns;
@@ -383,6 +517,10 @@ let run (t : t) ~(handler : string -> string) ~(on_shed : unit -> unit) : unit =
     else begin
       let rds =
         (if t.draining then [] else t.listeners)
+        @ (match t.mlistener with Some fd when not t.draining -> [ fd ] | _ -> [])
+        @ List.filter_map
+            (fun h -> if h.h_dead || h.h_responded then None else Some h.h_fd)
+            t.hconns
         @ List.filter_map
             (fun c ->
               if c.c_dead || c.c_eof || t.draining || c.c_out_bytes > max_unflushed
@@ -392,10 +530,16 @@ let run (t : t) ~(handler : string -> string) ~(on_shed : unit -> unit) : unit =
       in
       let wrs =
         List.filter_map
-          (fun c ->
-            if (not c.c_dead) && not (Queue.is_empty c.c_out) then Some c.c_fd
+          (fun h ->
+            if (not h.h_dead) && h.h_responded && h.h_ofs < Bytes.length h.h_out
+            then Some h.h_fd
             else None)
-          t.conns
+          t.hconns
+        @ List.filter_map
+            (fun c ->
+              if (not c.c_dead) && not (Queue.is_empty c.c_out) then Some c.c_fd
+              else None)
+            t.conns
       in
       let timeout = if Queue.is_empty t.queue then 0.5 else 0.0 in
       let r_ready, w_ready =
@@ -406,18 +550,27 @@ let run (t : t) ~(handler : string -> string) ~(on_shed : unit -> unit) : unit =
       List.iter
         (fun fd ->
           if List.memq fd t.listeners then do_accept fd
+          else if (match t.mlistener with Some m -> fd == m | None -> false) then
+            http_accept fd
           else
-            match List.find_opt (fun c -> c.c_fd == fd) t.conns with
-            | Some c -> do_read c
-            | None -> ())
+            match List.find_opt (fun h -> h.h_fd == fd) t.hconns with
+            | Some h -> http_read h
+            | None -> (
+              match List.find_opt (fun c -> c.c_fd == fd) t.conns with
+              | Some c -> do_read c
+              | None -> ()))
         r_ready;
       List.iter
         (fun fd ->
-          match List.find_opt (fun c -> c.c_fd == fd) t.conns with
-          | Some c -> do_write c
-          | None -> ())
+          match List.find_opt (fun h -> h.h_fd == fd) t.hconns with
+          | Some h -> http_write h
+          | None -> (
+            match List.find_opt (fun c -> c.c_fd == fd) t.conns with
+            | Some c -> do_write c
+            | None -> ()))
         w_ready;
       execute_one ();
-      reap ()
+      reap ();
+      http_reap ()
     end
   done

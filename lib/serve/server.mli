@@ -17,6 +17,12 @@
 type config = {
   socket_path : string option;
   tcp_port : int option;  (** bound on 127.0.0.1 only *)
+  metrics_port : int option;
+      (** scrape/health HTTP plane ([GET /metrics] etc.), 127.0.0.1 only.
+          Served by the same select loop — scrapes are answered between
+          request executions, so a render always sees the metrics
+          registry quiescent, and request output stays byte-identical
+          whether or not anyone is scraping. *)
   max_inflight : int;
   backlog : int;
   shutting : bool Atomic.t;  (** flipped by the CLI's signal handlers *)
@@ -45,9 +51,24 @@ val create : config -> (t, string) result
 (** Event loop.  [handler] maps one trimmed, non-empty request line to
     its one-line JSON response (no trailing newline) and MUST be total —
     serve's handler answers malformed requests with an error object
-    rather than raising.  [on_shed] is invoked once per shed request so
-    the CLI can count it against its request/failure counters.  Returns
-    after a drain completes. *)
-val run : t -> handler:(string -> string) -> on_shed:(unit -> unit) -> unit
+    rather than raising.  [queued_s] is the time the request spent in
+    the scheduler queue before execution (feeds the slow-request log).
+    [on_shed] is invoked once per shed request so the CLI can count it
+    against its request/failure counters.
+
+    [http] answers one metrics-plane request: path -> (status, body);
+    the server adds the HTTP framing and closes the connection after the
+    response.  Only consulted when [metrics_port] is set.  [on_tick]
+    runs once per loop iteration, between I/O and execution — the CLI
+    uses it to honour SIGUSR1 flight-recorder dumps promptly.
+
+    Returns after a drain completes. *)
+val run :
+  ?http:(string -> int * string) ->
+  ?on_tick:(unit -> unit) ->
+  handler:(queued_s:float -> string -> string) ->
+  on_shed:(unit -> unit) ->
+  t ->
+  unit
 
 val stats : t -> sched_stats

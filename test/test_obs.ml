@@ -424,6 +424,192 @@ let test_serve_status_latency_and_metrics () =
       | ls -> Alcotest.fail (Printf.sprintf "expected 4 response lines, got %d" (List.length ls)))
 
 (* ------------------------------------------------------------------ *)
+(* PR 10: flight-recorder ring mode.  A bounded per-domain buffer that
+   overwrites the oldest events must still harvest — after [Obs.repair]
+   — into a stream the validator accepts, whatever got truncated. *)
+
+let with_ring cap f =
+  with_tracing (fun () ->
+      Obs.set_ring (Some cap);
+      Fun.protect ~finally:(fun () -> Obs.set_ring None) f)
+
+let test_ring_repair_identity () =
+  with_ring 64 (fun () ->
+      Obs.span ~cat:"t" "outer" (fun () ->
+          Obs.instant ~cat:"t" "tick";
+          Obs.span ~cat:"t" "inner" (fun () -> ()));
+      let evs = Obs.harvest () in
+      Alcotest.(check int) "fits the ring: nothing dropped" 0 (Obs.dropped ());
+      Alcotest.(check bool) "repair is the identity on balanced streams" true
+        (Obs.repair evs = evs))
+
+let test_ring_overwrite_and_closers () =
+  with_ring 8 (fun () ->
+      for _ = 1 to 10 do
+        Obs.span ~cat:"t" "s" (fun () -> Obs.instant ~cat:"t" "i")
+      done;
+      (* dump mid-span: the ring has overwritten early events, and the
+         still-open span needs a synthetic closer *)
+      Obs.span ~cat:"t" "open" (fun () ->
+          let evs = Obs.repair (Obs.harvest ()) in
+          Alcotest.(check bool) "ring overwrote the oldest events" true
+            (Obs.dropped () > 0);
+          Alcotest.(check (option string)) "repaired dump well-formed" None
+            (check_wellformed evs);
+          Alcotest.(check bool) "open span closed synthetically" true
+            (List.exists
+               (fun e -> e.Obs.ev_ph = Obs.E && String.equal e.Obs.ev_name "open")
+               evs)))
+
+(* qcheck: any (capacity, nesting depth, workload size), dumped while a
+   span is still open — the repaired harvest is well-formed per tid
+   (balanced B/E with stack discipline, strictly increasing seq,
+   monotone ts), and the dropped counter fires exactly when the workload
+   exceeded the ring. *)
+let prop_ring_harvest_wellformed =
+  let open QCheck in
+  Test.make ~name:"ring-mode harvest repairs to a well-formed stream" ~count:100
+    (triple (int_range 2 48) (int_range 1 6) (int_range 0 40))
+    (fun (cap, depth, rounds) ->
+      with_ring cap (fun () ->
+          let rec nest d =
+            if d = 0 then Obs.instant ~cat:"t" "leaf"
+            else Obs.span ~cat:"t" (Printf.sprintf "d%d" d) (fun () -> nest (d - 1))
+          in
+          for _ = 1 to rounds do
+            nest depth
+          done;
+          Obs.span ~cat:"t" "live" (fun () ->
+              let evs = Obs.repair (Obs.harvest ()) in
+              (match check_wellformed evs with
+              | Some e -> Test.fail_reportf "ill-formed repaired dump: %s" e
+              | None -> ());
+              let emitted = (rounds * ((2 * depth) + 1)) + 1 in
+              if emitted > cap && Obs.dropped () = 0 then
+                Test.fail_report "overflow did not bump the dropped counter";
+              if emitted <= cap && Obs.dropped () > 0 then
+                Test.fail_report "no overflow but dropped > 0";
+              true)))
+
+(* ------------------------------------------------------------------ *)
+(* PR 10: the kernel observation hook.  Hooked runs must be
+   byte-identical to unhooked ones — the hook counts successful rule
+   applications and cannot influence a theorem. *)
+
+let test_effort_hook_invisible () =
+  let src = Csources.gcd_c ^ "\n" ^ Csources.div_guarded_c in
+  let clean = fingerprint (Driver.run ~options:keep_going src) in
+  Ac_kernel.Thm.set_obs_hook (Some Ac_obs.Effort.on_rule);
+  Ac_obs.Effort.set_enabled true;
+  Ac_obs.Effort.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Ac_obs.Effort.set_enabled false;
+      Ac_kernel.Thm.set_obs_hook None;
+      Ac_obs.Effort.reset ())
+    (fun () ->
+      let hooked = fingerprint (Driver.run ~options:keep_going src) in
+      Alcotest.(check bool) "hooked run fingerprint-identical to unhooked" true
+        (String.equal clean hooked);
+      Alcotest.(check bool) "rule applications counted" true
+        (Ac_obs.Effort.total_applications () > 0);
+      let counts = Ac_obs.Effort.rule_counts () in
+      Alcotest.(check int) "per-rule counts sum to the total"
+        (Ac_obs.Effort.total_applications ())
+        (List.fold_left (fun a (_, n) -> a + n) 0 counts);
+      let rec descending = function
+        | (_, a) :: ((_, b) :: _ as tl) -> a >= b && descending tl
+        | _ -> true
+      in
+      Alcotest.(check bool) "rule_counts most-applied first" true (descending counts);
+      let json = Ac_obs.Effort.snapshot_json () in
+      Alcotest.(check bool) "snapshot has rule_applications" true
+        (contains json "\"rule_applications\":{");
+      Alcotest.(check bool) "snapshot has provenance" true
+        (contains json "\"discharge_provenance\":{");
+      Ac_obs.Effort.reset ();
+      Alcotest.(check int) "reset zeroes the tables" 0
+        (Ac_obs.Effort.total_applications ()))
+
+(* ------------------------------------------------------------------ *)
+(* PR 10: OpenMetrics text exposition.  Every sample line must parse,
+   histogram buckets are cumulative with per-bucket [le] bounds ending
+   in [+Inf] = count, and [_sum]/[_count] match the observations. *)
+
+let test_openmetrics_exposition () =
+  Metrics.reset_all ();
+  let c = Metrics.counter "t.om_req" in
+  Metrics.add c 3;
+  let h = Metrics.histogram "t.om_lat" in
+  List.iter (Metrics.observe h) [ 0.002; 0.004; 0.3 ];
+  let text = Metrics.to_openmetrics () in
+  Alcotest.(check bool) "counter TYPE header" true
+    (contains text "# TYPE acc_t_om_req counter");
+  Alcotest.(check bool) "counter sample as _total" true
+    (contains text "acc_t_om_req_total 3");
+  Alcotest.(check bool) "histogram TYPE header" true
+    (contains text "# TYPE acc_t_om_lat histogram");
+  Alcotest.(check bool) "_count" true (contains text "acc_t_om_lat_count 3");
+  Alcotest.(check (float 1e-9)) "hist_sum API" 0.306 (Metrics.hist_sum h);
+  let total = ref 0 in
+  for i = 0 to Metrics.num_buckets - 1 do
+    total := !total + Metrics.bucket_count h i
+  done;
+  Alcotest.(check int) "bucket counts sum to count" 3 !total;
+  Alcotest.(check bool) "bucket bounds increase" true
+    (Metrics.bucket_ub 1 > Metrics.bucket_ub 0);
+  let lines = String.split_on_char '\n' text in
+  (* every non-comment line is "name[{labels}] value" with a float value *)
+  List.iter
+    (fun l ->
+      if l <> "" && l.[0] <> '#' then
+        match String.rindex_opt l ' ' with
+        | None -> Alcotest.fail ("unparseable sample line: " ^ l)
+        | Some i -> (
+          match float_of_string_opt (String.sub l (i + 1) (String.length l - i - 1)) with
+          | Some _ -> ()
+          | None -> Alcotest.fail ("non-numeric sample value: " ^ l)))
+    lines;
+  let bucket_prefix = "acc_t_om_lat_bucket{le=\"" in
+  let buckets =
+    List.filter_map
+      (fun l ->
+        if Astring.String.is_prefix ~affix:bucket_prefix l then (
+          let start = String.length bucket_prefix in
+          let stop = String.index_from l start '"' in
+          let le = String.sub l start (stop - start) in
+          match String.rindex_opt l ' ' with
+          | Some i ->
+            Some (le, float_of_string (String.sub l (i + 1) (String.length l - i - 1)))
+          | None -> None)
+        else None)
+      lines
+  in
+  Alcotest.(check bool) "at least two finite buckets plus +Inf" true
+    (List.length buckets >= 3);
+  let rec cumulative last = function
+    | [] -> true
+    | (_, v) :: tl -> v >= last && cumulative v tl
+  in
+  Alcotest.(check bool) "bucket series cumulative" true (cumulative 0. buckets);
+  (match List.rev buckets with
+  | (le, v) :: (le_prev, _) :: _ ->
+    Alcotest.(check string) "last bucket is +Inf" "+Inf" le;
+    Alcotest.(check (float 0.)) "+Inf bucket equals count" 3. v;
+    (* finite le labels round-trip to the shared bucket layout *)
+    let ub = float_of_string le_prev in
+    let matches_layout =
+      let rec go i =
+        i < Metrics.num_buckets
+        && (Float.abs (Metrics.bucket_ub i -. ub) <= 1e-9 *. ub || go (i + 1))
+      in
+      go 0
+    in
+    Alcotest.(check bool) "finite le matches bucket_ub layout" true matches_layout
+  | _ -> Alcotest.fail "missing buckets");
+  Metrics.reset_all ()
+
+(* ------------------------------------------------------------------ *)
 
 let suite =
   [
@@ -440,4 +626,13 @@ let suite =
       test_cli_trace_byte_identical;
     Alcotest.test_case "serve: status latency + metrics verb" `Slow
       test_serve_status_latency_and_metrics;
+    Alcotest.test_case "ring: repair is identity on balanced streams" `Quick
+      test_ring_repair_identity;
+    Alcotest.test_case "ring: overwrite + synthetic closers validate" `Quick
+      test_ring_overwrite_and_closers;
+    QCheck_alcotest.to_alcotest prop_ring_harvest_wellformed;
+    Alcotest.test_case "kernel hook: counted, invisible in results" `Slow
+      test_effort_hook_invisible;
+    Alcotest.test_case "openmetrics: exposition parses and adds up" `Quick
+      test_openmetrics_exposition;
   ]

@@ -333,6 +333,200 @@ let test_shedding () =
   let code = stop_server pid in
   Alcotest.(check int) "server exits 0" 0 code
 
+(* ------------------------------------------------------------------ *)
+(* PR 10: the metrics plane.  /metrics must parse as OpenMetrics and its
+   counters must agree with the status verb on the data socket;
+   /healthz and /readyz answer on the same port. *)
+
+let http_get port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  send_all fd (Printf.sprintf "GET %s HTTP/1.1\r\nHost: localhost\r\n\r\n" path);
+  let ic = Unix.in_channel_of_descr fd in
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  let raw = Buffer.contents buf in
+  match Astring.String.find_sub ~sub:"\r\n\r\n" raw with
+  | Some i ->
+    let head = String.sub raw 0 i in
+    let body = String.sub raw (i + 4) (String.length raw - i - 4) in
+    let status =
+      match String.split_on_char ' ' head with
+      | _ :: code :: _ -> int_of_string code
+      | _ -> -1
+    in
+    (status, body)
+  | None -> Alcotest.fail ("malformed HTTP response: " ^ raw)
+
+let metrics_sample body name =
+  let prefix = name ^ " " in
+  List.find_map
+    (fun l ->
+      if Astring.String.is_prefix ~affix:prefix l then
+        float_of_string_opt
+          (String.sub l (String.length prefix) (String.length l - String.length prefix))
+      else None)
+    (String.split_on_char '\n' body)
+
+let json_int_field line field =
+  let key = Printf.sprintf "\"%s\":" field in
+  match Astring.String.find_sub ~sub:key line with
+  | None -> None
+  | Some i ->
+    let start = i + String.length key in
+    let stop = ref start in
+    while
+      !stop < String.length line
+      && (match line.[!stop] with '0' .. '9' | '-' -> true | _ -> false)
+    do
+      incr stop
+    done;
+    int_of_string_opt (String.sub line start (!stop - start))
+
+let test_metrics_endpoint () =
+  let a = Filename.temp_file "serve_a" ".c" in
+  write_file a a_src;
+  let sock = Filename.temp_file "serve" ".sock" in
+  Sys.remove sock;
+  let port = 21000 + (Unix.getpid () mod 10000) in
+  let pid =
+    start_server
+      [ "--no-store"; "--socket"; sock; "--metrics-port"; string_of_int port ]
+  in
+  wait_for_socket sock;
+  let fd = connect sock in
+  let ic = Unix.in_channel_of_descr fd in
+  send_all fd (Printf.sprintf "translate %s\ncheck %s\nfrob x\n" a a);
+  let _r1 = input_line ic and _r2 = input_line ic and _r3 = input_line ic in
+  send_all fd "status\n";
+  let status = input_line ic in
+  (* the scrape runs on the same select loop, strictly after the status
+     request we just read the answer to — the counters must agree *)
+  let code, body = http_get port "/metrics" in
+  Alcotest.(check int) "/metrics answers 200" 200 code;
+  Alcotest.(check bool) "exposition is # EOF terminated" true
+    (Astring.String.is_suffix ~affix:"# EOF\n" body);
+  let counter name =
+    match metrics_sample body name with
+    | Some v -> int_of_float v
+    | None -> Alcotest.fail (name ^ " missing from /metrics")
+  in
+  let field f =
+    match json_int_field status f with
+    | Some v -> v
+    | None -> Alcotest.fail (f ^ " missing from status JSON")
+  in
+  Alcotest.(check int) "requests: /metrics = status (4 lines)" (field "requests")
+    (counter "acc_serve_requests_total");
+  Alcotest.(check int) "failures: /metrics = status (1 bad verb)" (field "failures")
+    (counter "acc_serve_failures_total");
+  Alcotest.(check int) "4 request lines seen" 4 (field "requests");
+  Alcotest.(check int) "trace_dropped_events: /metrics = status dropped"
+    (field "dropped")
+    (counter "acc_trace_dropped_events_total");
+  Alcotest.(check bool) "latency histogram exposed with _sum" true
+    (metrics_sample body "acc_serve_request_latency_s_sum" <> None);
+  Alcotest.(check bool) "latency histogram has le buckets" true
+    (Astring.String.is_infix ~affix:"acc_serve_request_latency_s_bucket{le=\"" body);
+  let hcode, hbody = http_get port "/healthz" in
+  Alcotest.(check int) "/healthz 200" 200 hcode;
+  Alcotest.(check string) "/healthz body" "ok\n" hbody;
+  let rcode, rbody = http_get port "/readyz" in
+  Alcotest.(check int) "/readyz 200" 200 rcode;
+  Alcotest.(check string) "/readyz body" "ready\n" rbody;
+  let ncode, _ = http_get port "/nope" in
+  Alcotest.(check int) "unknown path 404" 404 ncode;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  let code = stop_server pid in
+  Alcotest.(check int) "server exits 0" 0 code;
+  Sys.remove a
+
+(* ------------------------------------------------------------------ *)
+(* PR 10: SIGTERM drain flushes an in-progress --trace file, and the
+   flushed trace validates. *)
+
+let test_sigterm_trace_flush () =
+  let a = Filename.temp_file "serve_a" ".c" in
+  write_file a a_src;
+  let trace = Filename.temp_file "serve_trace" ".json" in
+  Sys.remove trace;
+  let sock = Filename.temp_file "serve" ".sock" in
+  Sys.remove sock;
+  let pid = start_server [ "--no-store"; "--socket"; sock; "--trace"; trace ] in
+  wait_for_socket sock;
+  let fd = connect sock in
+  let ic = Unix.in_channel_of_descr fd in
+  send_all fd (Printf.sprintf "translate %s\ncheck %s\n" a a);
+  let _ = input_line ic and _ = input_line ic in
+  (* connection still open, requests answered: kill mid-session *)
+  let code = stop_server pid in
+  Alcotest.(check int) "server exits 0 on SIGTERM" 0 code;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Alcotest.(check bool) "trace file flushed on drain" true (Sys.file_exists trace);
+  let v =
+    shell
+      (Printf.sprintf "%s trace --validate %s > /dev/null 2>&1" (Filename.quote acc_exe)
+         (Filename.quote trace))
+  in
+  Alcotest.(check int) "flushed trace passes acc trace --validate" 0 v;
+  Sys.remove a;
+  Sys.remove trace
+
+(* ------------------------------------------------------------------ *)
+(* PR 10: SIGUSR1 dumps the flight-recorder ring mid-flight; the dump
+   validates while the server keeps serving. *)
+
+let test_sigusr1_flight_dump () =
+  let a = Filename.temp_file "serve_a" ".c" in
+  write_file a a_src;
+  let dump = Filename.temp_file "serve_flight" ".json" in
+  Sys.remove dump;
+  let sock = Filename.temp_file "serve" ".sock" in
+  Sys.remove sock;
+  let pid =
+    start_server
+      [
+        "--no-store"; "--socket"; sock; "--flight-recorder"; "4096";
+        "--flight-dump"; dump;
+      ]
+  in
+  wait_for_socket sock;
+  let fd = connect sock in
+  let ic = Unix.in_channel_of_descr fd in
+  send_all fd (Printf.sprintf "translate %s\n" a);
+  let _ = input_line ic in
+  Unix.kill pid Sys.sigusr1;
+  (* the dump happens on the serve loop's next tick *)
+  let rec wait_dump tries =
+    if tries = 0 then Alcotest.fail "flight dump never appeared"
+    else if
+      Sys.file_exists dump
+      && shell
+           (Printf.sprintf "%s trace --validate %s > /dev/null 2>&1"
+              (Filename.quote acc_exe) (Filename.quote dump))
+         = 0
+    then ()
+    else (
+      Unix.sleepf 0.05;
+      wait_dump (tries - 1))
+  in
+  wait_dump 200;
+  (* still serving after the dump *)
+  send_all fd (Printf.sprintf "check %s\n" a);
+  let resp = input_line ic in
+  Alcotest.(check bool) "server alive after SIGUSR1 dump" true
+    (Astring.String.is_infix ~affix:"\"ok\":true" resp);
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  let code = stop_server pid in
+  Alcotest.(check int) "server exits 0" 0 code;
+  Sys.remove a;
+  (try Sys.remove dump with Sys_error _ -> ())
+
 let suite =
   [
     Alcotest.test_case "line_buf: chunking-independent framing" `Quick
@@ -348,4 +542,10 @@ let suite =
     Alcotest.test_case "SIGTERM drains in-flight requests" `Quick test_sigterm_drain;
     Alcotest.test_case "backpressure sheds in order and is counted" `Quick
       test_shedding;
+    Alcotest.test_case "/metrics parses and agrees with status" `Slow
+      test_metrics_endpoint;
+    Alcotest.test_case "SIGTERM drain flushes a validating --trace" `Slow
+      test_sigterm_trace_flush;
+    Alcotest.test_case "SIGUSR1 dumps the flight recorder mid-flight" `Slow
+      test_sigusr1_flight_dump;
   ]
